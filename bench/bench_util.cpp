@@ -1,0 +1,119 @@
+#include "bench/bench_util.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "common/log.hpp"
+#include "common/table_writer.hpp"
+
+namespace dsm::bench {
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, sep))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+[[noreturn]] void usage(const char* msg) {
+  std::fprintf(stderr,
+               "error: %s\n"
+               "options:\n"
+               "  --scale=paper|bench|test   workload size (default bench)\n"
+               "  --apps=LU,FMM,Art,Equake   subset of applications\n"
+               "  --nodes=2,8,32             subset of node counts\n"
+               "  --csv=DIR                  dump full-resolution CSV\n"
+               "  --verbose                  progress logging\n",
+               msg);
+  std::exit(2);
+}
+
+}  // namespace
+
+BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg.rfind("--scale=", 0) == 0) {
+      const std::string v = value("--scale=");
+      if (v == "paper") opt.scale = apps::Scale::kPaper;
+      else if (v == "bench") opt.scale = apps::Scale::kBench;
+      else if (v == "test") opt.scale = apps::Scale::kTest;
+      else usage("unknown --scale value");
+    } else if (arg.rfind("--apps=", 0) == 0) {
+      opt.app_names = split(value("--apps="), ',');
+    } else if (arg.rfind("--nodes=", 0) == 0) {
+      for (const auto& n : split(value("--nodes="), ','))
+        opt.node_counts.push_back(
+            static_cast<unsigned>(std::strtoul(n.c_str(), nullptr, 10)));
+    } else if (arg.rfind("--csv=", 0) == 0) {
+      opt.csv_dir = value("--csv=");
+    } else if (arg == "--verbose") {
+      opt.verbose = true;
+      set_log_level(LogLevel::kInfo);
+    } else if (arg.rfind("--benchmark", 0) == 0) {
+      // google-benchmark flag: not ours, ignore.
+    } else {
+      usage(("unknown option: " + arg).c_str());
+    }
+  }
+  return opt;
+}
+
+sim::RunSummary run_workload(const apps::AppInfo& app, apps::Scale scale,
+                             unsigned nodes, bool verbose) {
+  MachineConfig cfg = default_config(nodes);
+  cfg.phase.interval_instructions = apps::scaled_interval(app.name, scale);
+  const auto t0 = std::chrono::steady_clock::now();
+  sim::Machine machine(cfg);
+  sim::RunSummary run = machine.run(app.factory(scale));
+  if (verbose) {
+    const auto dt = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    DSM_LOG_INFO("%s @ %uP (%s): %zu intervals/proc0, CPI %.2f, %.1fs",
+                 app.name.c_str(), nodes, apps::scale_name(scale),
+                 run.procs[0].intervals.size(), run.cpi(0), dt);
+  }
+  return run;
+}
+
+void print_curve(const std::string& title,
+                 const std::vector<analysis::CurvePoint>& curve,
+                 std::size_t max_rows) {
+  TableWriter t({"#phases", "identifier CoV", "tuning frac"});
+  const std::size_t stride =
+      curve.size() <= max_rows ? 1 : curve.size() / max_rows;
+  for (std::size_t i = 0; i < curve.size(); i += stride) {
+    t.add_row({TableWriter::fmt(curve[i].mean_phases, 3),
+               TableWriter::fmt(curve[i].mean_cov, 3),
+               TableWriter::fmt(curve[i].tuning_fraction, 2)});
+  }
+  std::printf("%s\n%s\n", title.c_str(), t.to_text().c_str());
+}
+
+void maybe_write_csv(const BenchOptions& opt, const std::string& name,
+                     const std::vector<analysis::CurvePoint>& curve) {
+  if (opt.csv_dir.empty()) return;
+  TableWriter t({"phases", "cov", "tuning_fraction", "bbv_threshold",
+                 "dds_rel_threshold"});
+  for (const auto& pt : curve) {
+    t.add_row({TableWriter::fmt(pt.mean_phases, 6),
+               TableWriter::fmt(pt.mean_cov, 6),
+               TableWriter::fmt(pt.tuning_fraction, 6),
+               std::to_string(pt.thresholds.bbv),
+               TableWriter::fmt(pt.thresholds.dds, 6)});
+  }
+  t.write_csv_file(opt.csv_dir + "/" + name + ".csv");
+}
+
+}  // namespace dsm::bench

@@ -1,0 +1,45 @@
+// bench_util.hpp — shared plumbing for the figure/table harnesses: flag
+// parsing, app runs with properly scaled sampling intervals, and curve
+// printing in a gnuplot-friendly layout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/curve.hpp"
+#include "apps/registry.hpp"
+#include "common/config.hpp"
+#include "sim/machine.hpp"
+
+namespace dsm::bench {
+
+struct BenchOptions {
+  apps::Scale scale = apps::Scale::kPaper;  ///< Table II inputs fit in minutes
+  std::vector<std::string> app_names;  ///< empty = all four paper apps
+  std::vector<unsigned> node_counts;   ///< empty = the bench's defaults
+  std::string csv_dir;                 ///< when set, also dump CSV files
+  bool verbose = false;
+};
+
+/// Parses --scale=paper|bench|test, --apps=LU,FMM,..., --nodes=2,8,32,
+/// --csv=DIR, --verbose. Ignores google-benchmark-style flags it does not
+/// know. Exits with a usage message on malformed input.
+BenchOptions parse_options(int argc, char** argv);
+
+/// Runs `app` on a Table I machine with `nodes` processors at `scale`,
+/// with the sampling interval scaled to the workload per DESIGN.md.
+sim::RunSummary run_workload(const apps::AppInfo& app, apps::Scale scale,
+                             unsigned nodes, bool verbose);
+
+/// Prints a CoV curve as "phases cov tuning%" rows, subsampled to at most
+/// `max_rows` (the full resolution goes to CSV when enabled).
+void print_curve(const std::string& title,
+                 const std::vector<analysis::CurvePoint>& curve,
+                 std::size_t max_rows = 16);
+
+/// Writes the full-resolution curve to `<csv_dir>/<name>.csv` when the
+/// option is set.
+void maybe_write_csv(const BenchOptions& opt, const std::string& name,
+                     const std::vector<analysis::CurvePoint>& curve);
+
+}  // namespace dsm::bench

@@ -1,0 +1,58 @@
+// fig2_bbv_baseline.cpp — reproduces Figure 2 of the paper: CoV curves of
+// the *uniprocessor BBV detector* applied per-node to a DSM, for the four
+// Table II applications at 2, 8, and 32 processors.
+//
+// Paper-shape expectations this harness reports at the end:
+//   * for a fixed phase count (7 and 25), CoV grows markedly with the
+//     node count for every application;
+//   * e.g. paper: LU achieves <10% CoV with ~7 phases at 2P, but ~40% /
+//     ~70% CoV at the same 7 phases on 8P / 32P.
+#include <cstdio>
+
+#include "analysis/curve.hpp"
+#include "bench/bench_util.hpp"
+#include "common/table_writer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsm;
+  auto opt = bench::parse_options(argc, argv);
+  if (opt.node_counts.empty()) opt.node_counts = {2, 8, 32};
+
+  std::printf("== Figure 2: baseline BBV CoV curves (scale: %s) ==\n\n",
+              apps::scale_name(opt.scale));
+
+  analysis::CurveParams cp;  // 32-entry BBV, 32-vector footprint, 200 thr.
+
+  TableWriter headline({"app", "nodes", "CoV@7 phases", "CoV@25 phases",
+                        "min phases for CoV<=20%"});
+
+  for (const auto& app : apps::paper_apps()) {
+    if (!opt.app_names.empty()) {
+      bool want = false;
+      for (const auto& n : opt.app_names) want |= (n == app.name);
+      if (!want) continue;
+    }
+    for (const unsigned nodes : opt.node_counts) {
+      const auto run = bench::run_workload(app, opt.scale, nodes,
+                                           opt.verbose);
+      const auto curve = analysis::bbv_cov_curve(run.procs, cp);
+      char title[128];
+      std::snprintf(title, sizeof title, "-- %s CoV curve, BBV, %uP --",
+                    app.name.c_str(), nodes);
+      bench::print_curve(title, curve);
+      bench::maybe_write_csv(opt, "fig2_" + app.name + "_" +
+                                      std::to_string(nodes) + "p",
+                             curve);
+      headline.add_row(
+          {app.name, std::to_string(nodes),
+           TableWriter::fmt(analysis::cov_at_phases(curve, 7.0), 3),
+           TableWriter::fmt(analysis::cov_at_phases(curve, 25.0), 3),
+           TableWriter::fmt(analysis::phases_for_cov(curve, 0.20), 3)});
+    }
+  }
+
+  std::printf("== Figure 2 headline (paper shape: CoV at fixed phases rises "
+              "with node count) ==\n%s\n",
+              headline.to_text().c_str());
+  return 0;
+}

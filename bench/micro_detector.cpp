@@ -1,0 +1,99 @@
+// micro_detector.cpp — google-benchmark microbenchmarks of the detector
+// hardware operations, quantifying the per-interval work the paper argues
+// is "modest in size and complexity" (§I): BBV accumulator updates,
+// Manhattan distances, footprint-table searches, DDV access recording, and
+// the end-of-interval DDS gather/computation.
+#include <benchmark/benchmark.h>
+
+#include "common/config.hpp"
+#include "network/topology.hpp"
+#include "phase/bbv.hpp"
+#include "phase/ddv.hpp"
+#include "phase/footprint.hpp"
+
+namespace {
+
+using namespace dsm;
+
+void BM_BbvRecordBranch(benchmark::State& state) {
+  phase::BbvAccumulator acc(32, 1u << 16);
+  Addr pc = 0x400000;
+  for (auto _ : state) {
+    acc.record_branch(pc, 12);
+    pc += 64;
+    benchmark::DoNotOptimize(acc.total_weight());
+  }
+}
+BENCHMARK(BM_BbvRecordBranch);
+
+void BM_BbvSnapshot(benchmark::State& state) {
+  phase::BbvAccumulator acc(static_cast<unsigned>(state.range(0)), 1u << 16);
+  for (unsigned i = 0; i < 1000; ++i) acc.record_branch(i * 64, i % 13 + 1);
+  for (auto _ : state) {
+    auto v = acc.snapshot();
+    benchmark::DoNotOptimize(v.data());
+  }
+}
+BENCHMARK(BM_BbvSnapshot)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_ManhattanDistance(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  phase::BbvVector a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = static_cast<std::uint32_t>(i * 37 % 2048);
+    b[i] = static_cast<std::uint32_t>(i * 91 % 2048);
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(phase::manhattan(a, b));
+}
+BENCHMARK(BM_ManhattanDistance)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_FootprintClassify(benchmark::State& state) {
+  const auto capacity = static_cast<unsigned>(state.range(0));
+  phase::FootprintTable table(capacity, /*use_dds=*/true);
+  // Pre-populate with distinct signatures.
+  phase::BbvVector v(32, 0);
+  for (unsigned e = 0; e < capacity; ++e) {
+    v[e % 32] = 65536;
+    table.classify(v, e * 1000.0, 0, 0.0);
+    v[e % 32] = 0;
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    v[i % 32] = 60000;
+    benchmark::DoNotOptimize(table.classify(v, (i % 7) * 1500.0, 8000, 500.0));
+    v[i % 32] = 0;
+    ++i;
+  }
+}
+BENCHMARK(BM_FootprintClassify)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_DdvRecordAccess(benchmark::State& state) {
+  const auto nodes = static_cast<unsigned>(state.range(0));
+  net::TopologyModel topo(Topology::kHypercube, nodes);
+  phase::DdvFabric ddv(nodes, topo.ddv_distance_matrix());
+  NodeId j = 0;
+  for (auto _ : state) {
+    ddv.record_access(0, j);
+    j = (j + 1) % nodes;
+  }
+}
+BENCHMARK(BM_DdvRecordAccess)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_DdvGather(benchmark::State& state) {
+  const auto nodes = static_cast<unsigned>(state.range(0));
+  net::TopologyModel topo(Topology::kHypercube, nodes);
+  phase::DdvFabric ddv(nodes, topo.ddv_distance_matrix());
+  for (NodeId p = 0; p < nodes; ++p)
+    for (unsigned k = 0; k < 64; ++k)
+      ddv.record_access(p, (p + k) % nodes);
+  for (auto _ : state) {
+    auto g = ddv.gather(0);
+    benchmark::DoNotOptimize(g.dds);
+    ddv.record_access(0, 1);  // keep state moving
+  }
+}
+BENCHMARK(BM_DdvGather)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// predictors_eval.cpp — the paper's conclusion: "future work ... should
+// move toward combining the insights derived from our study with
+// appropriate phase prediction mechanisms". This harness closes that
+// loop: classify each application online with both detectors, feed the
+// phase sequence to three predictors (last-phase, first-order Markov,
+// run-length Markov), and report next-interval prediction accuracy.
+//
+// The interesting comparison: better detectors produce *more stable*
+// phase sequences, which are easier to predict — detection quality and
+// predictability compound.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.hpp"
+#include "common/table_writer.hpp"
+#include "phase/detector.hpp"
+#include "phase/predictor.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsm;
+  auto opt = bench::parse_options(argc, argv);
+  if (opt.node_counts.empty()) opt.node_counts = {8};
+
+  std::printf("== Phase predictors over detected phase sequences "
+              "(scale: %s) ==\n\n",
+              apps::scale_name(opt.scale));
+
+  TableWriter t({"app", "nodes", "detector", "phases", "last-phase",
+                 "markov", "run-length"});
+
+  for (const auto& app : apps::paper_apps()) {
+    if (!opt.app_names.empty() &&
+        std::find(opt.app_names.begin(), opt.app_names.end(), app.name) ==
+            opt.app_names.end())
+      continue;
+    for (const unsigned nodes : opt.node_counts) {
+      const auto run = bench::run_workload(app, opt.scale, nodes,
+                                           opt.verbose);
+      for (const bool use_dds : {false, true}) {
+        // Mid-range thresholds derived per processor, as the examples do.
+        phase::LastPhasePredictor last;
+        phase::MarkovPhasePredictor markov;
+        phase::RunLengthPredictor rl;
+        double phases = 0.0;
+        for (const auto& proc : run.procs) {
+          double lo = 1e300, hi = -1e300;
+          for (const auto& r : proc.intervals) {
+            lo = std::min(lo, r.dds);
+            hi = std::max(hi, r.dds);
+          }
+          phase::Thresholds th;
+          th.bbv = run.cfg.phase.bbv_norm / 8;
+          th.dds = (hi - lo) / 6.0;
+          std::unique_ptr<phase::PhaseDetector> det;
+          if (use_dds)
+            det = std::make_unique<phase::BbvDdvDetector>(
+                run.cfg.phase.footprint_vectors, th);
+          else
+            det = std::make_unique<phase::BbvDetector>(
+                run.cfg.phase.footprint_vectors, th);
+          PhaseId max_phase = 0;
+          for (const auto& rec : proc.intervals) {
+            const auto c = det->classify(rec);
+            max_phase = std::max(max_phase, c.phase);
+            last.observe(c.phase);
+            markov.observe(c.phase);
+            rl.observe(c.phase);
+          }
+          phases += max_phase + 1;
+        }
+        t.add_row({app.name, std::to_string(nodes),
+                   use_dds ? "BBV+DDV" : "BBV",
+                   TableWriter::fmt(phases / run.procs.size(), 3),
+                   TableWriter::fmt(100.0 * last.accuracy(), 3),
+                   TableWriter::fmt(100.0 * markov.accuracy(), 3),
+                   TableWriter::fmt(100.0 * rl.accuracy(), 3)});
+      }
+    }
+  }
+  std::printf("%s\n(accuracies in %%; phases = mean phase ids issued per "
+              "processor)\n",
+              t.to_text().c_str());
+  return 0;
+}

@@ -1,0 +1,45 @@
+// table1_architecture.cpp — reproduces Table I of the paper ("Summary of
+// simulated architecture") directly from the live configuration structs,
+// and validates the derived quantities every timing model consumes.
+#include <cstdio>
+
+#include "common/config.hpp"
+#include "network/network.hpp"
+
+int main() {
+  using namespace dsm;
+
+  const MachineConfig cfg = default_config(32);
+  std::printf("== Table I: summary of simulated architecture ==\n\n%s\n",
+              format_table1(cfg).c_str());
+
+  std::printf("derived quantities (consumed by the timing models):\n");
+  std::printf("  core cycles per ns        : %.1f\n", cfg.cycles_per_ns());
+  std::printf("  DRAM access latency       : %llu cycles (75 ns)\n",
+              static_cast<unsigned long long>(
+                  cfg.ns_to_cycles(cfg.memory.access_ns)));
+  std::printf("  line transfer @2.6 GB/s   : %.1f cycles (32 B)\n",
+              32.0 / cfg.memory.bandwidth_gbps * cfg.cycles_per_ns());
+  std::printf("  network pin-to-pin        : %llu cycles (16 ns)\n",
+              static_cast<unsigned long long>(
+                  cfg.ns_to_cycles(cfg.network.pin_to_pin_ns)));
+  std::printf("  core cycles / router cycle: %.1f (2 GHz / 400 MHz)\n",
+              static_cast<double>(cfg.core.frequency_hz) /
+                  cfg.network.router_frequency_hz);
+
+  std::printf("\nhypercube geometry (Table I network row):\n");
+  std::printf("  nodes  diameter  mean-hops  zero-load line fetch (cycles)\n");
+  for (const unsigned n : {2u, 8u, 32u}) {
+    MachineConfig c = default_config(n);
+    net::Network net(c);
+    const auto& topo = net.topology();
+    std::printf("  %-5u  %-8u  %-9.2f  %llu\n", n, topo.diameter(),
+                topo.mean_hops(),
+                static_cast<unsigned long long>(net.zero_load_latency(
+                    0, n - 1, c.l2.line_bytes)));
+  }
+
+  const std::string err = cfg.validate();
+  std::printf("\nconfig validation: %s\n", err.empty() ? "OK" : err.c_str());
+  return err.empty() ? 0 : 1;
+}

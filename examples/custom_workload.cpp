@@ -1,0 +1,104 @@
+// custom_workload.cpp — how to bring your own application to the
+// simulator and the detectors. The workload here is a bulk-synchronous
+// 1-D stencil relaxation with a mid-run repartitioning event: a realistic
+// "adaptive application" whose data distribution changes while its code
+// does not — precisely the situation the paper's DDV exists for.
+//
+// Checklist for a new workload (mirrors what src/apps/* do):
+//   1. Put shared state in a shared_ptr captured by the AppFn closure;
+//      initialize it on processor 0 before a barrier.
+//   2. Allocate simulated memory via ctx.alloc/alloc_on/alloc_distributed
+//      (placement decides home nodes — the DDV's 'home' is defined here).
+//   3. Express computation as basic blocks: loads/stores at cache-line
+//      granularity plus ctx.bb(site, instructions, fp_fraction).
+//   4. Synchronize with ctx.barrier()/lock(); sync costs cycles but no
+//      instructions (the paper's interval definition).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "analysis/classifier.hpp"
+#include "analysis/cov.hpp"
+#include "apps/registry.hpp"
+#include "common/config.hpp"
+#include "sim/thread_ctx.hpp"
+
+namespace {
+
+using namespace dsm;
+
+struct StencilShared {
+  std::vector<Addr> chunk;   ///< per-proc slice of the field
+  std::uint64_t chunk_bytes = 0;
+};
+
+/// A 1-D Jacobi-style relaxation. After half the sweeps, ownership shifts
+/// by one node (simulating repartitioning after load imbalance): each
+/// processor now works on its *neighbour's* memory — identical code,
+/// different homes.
+sim::AppFn make_stencil(unsigned sweeps, std::uint64_t field_bytes) {
+  auto s = std::make_shared<StencilShared>();
+  return [=](sim::ThreadCtx& ctx) {
+    const unsigned n = ctx.nprocs();
+    if (ctx.self() == 0) {
+      s->chunk_bytes = field_bytes / n;
+      s->chunk.resize(n);
+      for (unsigned q = 0; q < n; ++q)
+        s->chunk[q] = ctx.alloc_on(s->chunk_bytes, q);
+    }
+    ctx.barrier();
+
+    constexpr BlockId kSweep = sim::bb_id("stencil.sweep");
+    const unsigned line = ctx.config().l2.line_bytes;
+    for (unsigned sweep = 0; sweep < sweeps; ++sweep) {
+      // Repartitioning event: shift ownership by one node.
+      const unsigned owner_shift = (sweep < sweeps / 2) ? 0u : 1u;
+      const Addr base = s->chunk[(ctx.self() + owner_shift) % n];
+      for (Addr a = base; a < base + s->chunk_bytes; a += line) {
+        ctx.load(a);
+        ctx.store(a);
+        ctx.bb(kSweep, 24, 0.6);
+      }
+      ctx.barrier();
+    }
+  };
+}
+
+}  // namespace
+
+int main() {
+  MachineConfig cfg = default_config(8);
+  cfg.phase.interval_instructions = 3'200'000;  // 400k per processor
+
+  sim::Machine machine(cfg);
+  // 4 MB per-processor chunks: the field streams through the 2 MB L2,
+  // so after the repartition every sweep pays *remote* misses — a
+  // persistent, distribution-only phase change.
+  const auto run = machine.run(make_stencil(/*sweeps=*/16, 32u << 20));
+
+  std::printf("custom stencil on %u nodes: %zu intervals/proc, CPI %.2f, "
+              "remote fraction %.2f\n",
+              cfg.num_nodes, run.procs[0].intervals.size(), run.cpi(0),
+              run.remote_access_fraction(0));
+
+  // The repartitioning is invisible to BBV (same code!) but obvious to the
+  // DDV. Classify with both and report.
+  const auto& trace = run.procs[3].intervals;
+  double lo = 1e300, hi = -1e300;
+  for (const auto& r : trace) {
+    lo = std::min(lo, r.dds);
+    hi = std::max(hi, r.dds);
+  }
+  phase::Thresholds t{.bbv = cfg.phase.bbv_norm / 8, .dds = (hi - lo) / 4};
+  const auto bbv = analysis::classify_trace(trace, false, 32, t);
+  const auto ddv = analysis::classify_trace(trace, true, 32, t);
+  std::printf("BBV    : %u phases, identifier CoV %.4f\n",
+              bbv.distinct_phases,
+              analysis::identifier_cov(trace, bbv.assignment));
+  std::printf("BBV+DDV: %u phases, identifier CoV %.4f\n",
+              ddv.distinct_phases,
+              analysis::identifier_cov(trace, ddv.assignment));
+  std::printf("\nThe ownership shift halfway through is a data-distribution"
+              "-only phase\nchange: BBV merges it, BBV+DDV finds it.\n");
+  return 0;
+}

@@ -1,0 +1,25 @@
+#include "analysis/classifier.hpp"
+
+#include <unordered_set>
+
+namespace dsm::analysis {
+
+ClassifiedTrace classify_trace(const std::vector<phase::IntervalRecord>& trace,
+                               bool use_dds, unsigned footprint_capacity,
+                               phase::Thresholds thresholds) {
+  phase::FootprintTable table(footprint_capacity, use_dds);
+  ClassifiedTrace out;
+  out.assignment.reserve(trace.size());
+  std::unordered_set<PhaseId> seen;
+  for (const auto& rec : trace) {
+    const auto c = table.classify(rec.bbv, rec.dds, thresholds.bbv,
+                                  use_dds ? thresholds.dds : 0.0);
+    out.assignment.push_back(c.phase);
+    seen.insert(c.phase);
+  }
+  out.distinct_phases = static_cast<unsigned>(seen.size());
+  out.footprint_replacements = table.replacements();
+  return out;
+}
+
+}  // namespace dsm::analysis

@@ -1,0 +1,33 @@
+// classifier.hpp — offline replay of the footprint-table classification
+// over a recorded interval trace.
+//
+// The paper examines two hundred threshold values per configuration; re-
+// simulating per threshold would be wasteful and is unnecessary, because
+// classification is a pure function of the recorded per-interval
+// signatures. This replays the *exact* online algorithm (LRU footprint
+// table included), so an online detector with the same thresholds produces
+// the identical assignment — a property tests/classifier_test.cpp checks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "phase/detector.hpp"
+#include "phase/interval_record.hpp"
+
+namespace dsm::analysis {
+
+struct ClassifiedTrace {
+  std::vector<PhaseId> assignment;  ///< phase id per interval, in order
+  unsigned distinct_phases = 0;     ///< phases with >= 1 interval
+  std::uint64_t footprint_replacements = 0;
+};
+
+/// Classifies one processor's trace with a BBV-only (use_dds=false) or
+/// BBV+DDV (use_dds=true) detector at the given thresholds.
+ClassifiedTrace classify_trace(const std::vector<phase::IntervalRecord>& trace,
+                               bool use_dds, unsigned footprint_capacity,
+                               phase::Thresholds thresholds);
+
+}  // namespace dsm::analysis

@@ -1,0 +1,44 @@
+#include "analysis/cov.hpp"
+
+#include <map>
+
+#include "common/assert.hpp"
+#include "common/stats.hpp"
+
+namespace dsm::analysis {
+
+std::vector<PhaseStat> per_phase_stats(
+    const std::vector<phase::IntervalRecord>& trace,
+    std::span<const PhaseId> assignment) {
+  DSM_ASSERT(trace.size() == assignment.size());
+  std::map<PhaseId, RunningStat> groups;
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    groups[assignment[i]].add(trace[i].cpi);
+
+  std::vector<PhaseStat> out;
+  out.reserve(groups.size());
+  for (const auto& [phase, stat] : groups) {
+    PhaseStat ps;
+    ps.phase = phase;
+    ps.intervals = static_cast<std::size_t>(stat.count());
+    ps.mean_cpi = stat.mean();
+    ps.cov_cpi = stat.cov();
+    out.push_back(ps);
+  }
+  return out;
+}
+
+double identifier_cov(const std::vector<phase::IntervalRecord>& trace,
+                      std::span<const PhaseId> assignment) {
+  if (trace.empty()) return 0.0;
+  const auto stats = per_phase_stats(trace, assignment);
+  double weighted = 0.0;
+  std::size_t total = 0;
+  for (const auto& ps : stats) {
+    weighted += ps.cov_cpi * static_cast<double>(ps.intervals);
+    total += ps.intervals;
+  }
+  return total == 0 ? 0.0 : weighted / static_cast<double>(total);
+}
+
+}  // namespace dsm::analysis

@@ -1,0 +1,187 @@
+#include "analysis/curve.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "analysis/classifier.hpp"
+#include "analysis/cov.hpp"
+#include "common/assert.hpp"
+
+namespace dsm::analysis {
+namespace {
+
+/// Per-processor DDS scale anchors for the threshold sweep. The *noise
+/// floor* (median absolute consecutive difference) is where thresholds
+/// stop fragmenting stationary behaviour; the *range* (max - min) is where
+/// the DDS constraint stops mattering. Sweeping geometrically between the
+/// two covers every useful operating point regardless of each node's DDS
+/// magnitude (which depends on its distance profile).
+struct DdsScale {
+  double noise = 0.0;
+  double range = 0.0;
+};
+
+DdsScale dds_scale(const std::vector<phase::IntervalRecord>& trace) {
+  DdsScale s;
+  if (trace.empty()) return s;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  std::vector<double> diffs;
+  diffs.reserve(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    lo = std::min(lo, trace[i].dds);
+    hi = std::max(hi, trace[i].dds);
+    if (i > 0) diffs.push_back(std::abs(trace[i].dds - trace[i - 1].dds));
+  }
+  s.range = hi - lo;
+  if (!diffs.empty()) {
+    std::nth_element(diffs.begin(), diffs.begin() + diffs.size() / 2,
+                     diffs.end());
+    s.noise = diffs[diffs.size() / 2];
+  }
+  if (s.noise <= 0.0) s.noise = s.range > 0.0 ? s.range * 1e-3 : 1.0;
+  return s;
+}
+
+/// Threshold for sweep position `frac` in [0, 1]: geometric from half the
+/// noise floor to the full range (frac == 1 disables the DDS constraint).
+double dds_threshold_at(const DdsScale& s, double frac) {
+  if (frac >= 1.0) return s.range;
+  const double lo = 0.5 * s.noise;
+  const double hi = std::max(s.range, lo * 2.0);
+  return lo * std::pow(hi / lo, frac);
+}
+
+/// Quadratic sweep position: dense resolution at small thresholds, where
+/// phase counts change fastest.
+double sweep_frac(unsigned k, unsigned steps) {
+  if (steps <= 1) return 1.0;
+  const double f = static_cast<double>(k) / (steps - 1);
+  return f * f;
+}
+
+CurvePoint evaluate(const std::vector<phase::ProcessorTrace>& procs,
+                    bool use_dds, std::uint64_t bbv_thr, double dds_frac,
+                    const CurveParams& p) {
+  CurvePoint pt;
+  pt.thresholds.bbv = bbv_thr;
+  double sum_cov = 0.0, sum_phases = 0.0, sum_tuning = 0.0;
+  unsigned counted = 0;
+  for (const auto& proc : procs) {
+    if (proc.intervals.empty()) continue;
+    phase::Thresholds t;
+    t.bbv = bbv_thr;
+    t.dds = use_dds ? dds_threshold_at(dds_scale(proc.intervals), dds_frac)
+                    : 0.0;
+    const auto cls = classify_trace(proc.intervals, use_dds,
+                                    p.footprint_capacity, t);
+    sum_cov += identifier_cov(proc.intervals, cls.assignment);
+    sum_phases += cls.distinct_phases;
+    sum_tuning +=
+        std::min(1.0, static_cast<double>(cls.distinct_phases) *
+                          p.tuning_trials / proc.intervals.size());
+    ++counted;
+  }
+  if (counted > 0) {
+    pt.mean_cov = sum_cov / counted;
+    pt.mean_phases = sum_phases / counted;
+    pt.tuning_fraction = sum_tuning / counted;
+  }
+  return pt;
+}
+
+}  // namespace
+
+std::vector<CurvePoint> bbv_cov_curve(
+    const std::vector<phase::ProcessorTrace>& procs, const CurveParams& p) {
+  std::vector<CurvePoint> out;
+  out.reserve(p.bbv_steps);
+  const double max_dist = 2.0 * p.bbv_norm;
+  for (unsigned k = 0; k < p.bbv_steps; ++k) {
+    const auto thr =
+        static_cast<std::uint64_t>(sweep_frac(k, p.bbv_steps) * max_dist);
+    out.push_back(evaluate(procs, /*use_dds=*/false, thr, 0.0, p));
+  }
+  return out;
+}
+
+std::vector<CurvePoint> bbv_ddv_cov_points(
+    const std::vector<phase::ProcessorTrace>& procs, const CurveParams& p) {
+  std::vector<CurvePoint> out;
+  // Full bbv resolution on one axis and the dds sweep on the other. The
+  // dds sweep includes frac == 1.0 (threshold = the full observed DDS
+  // range), which degenerates to the BBV baseline — so the lower envelope
+  // of this grid can never lie above the baseline curve.
+  const unsigned bbv_steps = p.bbv_steps;
+  out.reserve(static_cast<std::size_t>(bbv_steps) * p.dds_steps);
+  const double max_dist = 2.0 * p.bbv_norm;
+  for (unsigned i = 0; i < bbv_steps; ++i) {
+    const auto bbv_thr =
+        static_cast<std::uint64_t>(sweep_frac(i, bbv_steps) * max_dist);
+    for (unsigned j = 0; j < p.dds_steps; ++j) {
+      const double dds_frac =
+          p.dds_steps <= 1 ? 1.0
+                           : static_cast<double>(j) / (p.dds_steps - 1);
+      auto pt = evaluate(procs, /*use_dds=*/true, bbv_thr, dds_frac, p);
+      pt.thresholds.dds = dds_frac;  // stored as the relative setting
+      out.push_back(pt);
+    }
+  }
+  return out;
+}
+
+std::vector<CurvePoint> lower_envelope(std::vector<CurvePoint> points) {
+  // Bucket phase counts at 0.5 resolution; keep the min-CoV point of each.
+  std::map<long, CurvePoint> best;
+  for (const auto& pt : points) {
+    const long bucket = std::lround(pt.mean_phases * 2.0);
+    const auto it = best.find(bucket);
+    if (it == best.end() || pt.mean_cov < it->second.mean_cov)
+      best[bucket] = pt;
+  }
+  std::vector<CurvePoint> out;
+  out.reserve(best.size());
+  for (const auto& [bucket, pt] : best) out.push_back(pt);
+  std::sort(out.begin(), out.end(),
+            [](const CurvePoint& a, const CurvePoint& b) {
+              return a.mean_phases < b.mean_phases;
+            });
+  return out;
+}
+
+std::vector<CurvePoint> bbv_ddv_cov_curve(
+    const std::vector<phase::ProcessorTrace>& procs, const CurveParams& p) {
+  return lower_envelope(bbv_ddv_cov_points(procs, p));
+}
+
+double cov_at_phases(const std::vector<CurvePoint>& curve, double phases) {
+  DSM_ASSERT(!curve.empty());
+  // Staircase reading: the best CoV the detector delivers within a budget
+  // of `phases` phases. Robust to gaps in the swept phase counts (the
+  // threshold->phases map is steppy for near-degenerate BBVs).
+  double best = std::numeric_limits<double>::infinity();
+  double smallest_phases = std::numeric_limits<double>::infinity();
+  double cov_at_smallest = 0.0;
+  for (const auto& pt : curve) {
+    if (pt.mean_phases <= phases) best = std::min(best, pt.mean_cov);
+    if (pt.mean_phases < smallest_phases) {
+      smallest_phases = pt.mean_phases;
+      cov_at_smallest = pt.mean_cov;
+    }
+  }
+  // Budget below every achievable operating point: report the coarsest one.
+  return std::isinf(best) ? cov_at_smallest : best;
+}
+
+double phases_for_cov(const std::vector<CurvePoint>& curve,
+                      double target_cov) {
+  double best = 1e9;
+  for (const auto& pt : curve) {
+    if (pt.mean_cov <= target_cov) best = std::min(best, pt.mean_phases);
+  }
+  return best;
+}
+
+}  // namespace dsm::analysis

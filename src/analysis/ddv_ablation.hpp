@@ -1,0 +1,35 @@
+// ddv_ablation.hpp — recomputes per-interval DDS values with parts of the
+// paper's formula removed, from the raw F and C vectors the simulator
+// records. Quantifies what each DDV term (distance matrix D, contention
+// vector C) contributes to detection quality — the ablation DESIGN.md
+// calls out for the key design choices.
+//
+//   kFull          DDS = sum_j F[j] * D[i][j] * C[j]   (the paper)
+//   kNoContention  DDS = sum_j F[j] * D[i][j]          (drop C)
+//   kNoDistance    DDS = sum_j F[j] * C[j]             (drop D)
+//   kFrequencyOnly DDS = sum_j F[j]                    (raw access count)
+#pragma once
+
+#include <vector>
+
+#include "network/topology.hpp"
+#include "phase/interval_record.hpp"
+
+namespace dsm::analysis {
+
+enum class DdsVariant {
+  kFull,
+  kNoContention,
+  kNoDistance,
+  kFrequencyOnly,
+};
+
+const char* dds_variant_name(DdsVariant v);
+
+/// Copy of `procs` with every interval's dds recomputed under `variant`
+/// using the topology's distance matrix.
+std::vector<phase::ProcessorTrace> with_dds_variant(
+    const std::vector<phase::ProcessorTrace>& procs,
+    const net::TopologyModel& topo, DdsVariant variant);
+
+}  // namespace dsm::analysis

@@ -1,0 +1,36 @@
+// art.hpp — SPEC-OMP Art model (Table II input "MinneSPEC-Large"):
+// Adaptive Resonance Theory (ART-2) neural network scanning an image for
+// learned objects.
+//
+// Two program stages: a short training stage that commits the object
+// categories, then the dominant scanfield stage — a parallel sweep of a
+// recognition window over the image. The ART match/reset loop is computed
+// *for real* on host-side weights, so branch behaviour and weight-update
+// (store + invalidation) activity genuinely depend on the image content:
+// windows near embedded targets resonate and update shared weight pages,
+// others mismatch quickly. Shared weight pages concentrate on a few home
+// nodes — the access/contention signature the DDV is built to see.
+#pragma once
+
+#include "sim/machine.hpp"
+
+namespace dsm::apps {
+
+struct ArtParams {
+  unsigned f1 = 100;          ///< input features (10x10 window)
+  unsigned f2 = 12;           ///< category neurons
+  unsigned train_epochs = 40;
+  unsigned train_patterns = 16;
+  unsigned image_w = 512;
+  unsigned image_h = 512;
+  unsigned window = 10;       ///< recognition window side
+  unsigned stride = 2;        ///< scan stride
+  unsigned targets = 2;       ///< objects embedded in the image
+  double vigilance = 0.6;
+  double instr_per_flop = 3.0;
+  double fp_frac = 0.5;
+};
+
+sim::AppFn make_art(const ArtParams& p);
+
+}  // namespace dsm::apps

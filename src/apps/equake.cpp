@@ -1,0 +1,170 @@
+#include "apps/equake.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "apps/kernels.hpp"
+#include "common/assert.hpp"
+#include "common/bitops.hpp"
+#include "sim/thread_ctx.hpp"
+
+namespace dsm::apps {
+namespace {
+
+constexpr BlockId kBbSmvp = sim::bb_id("equake.smvp");
+constexpr BlockId kBbDisp = sim::bb_id("equake.disp");
+constexpr BlockId kBbVel = sim::bb_id("equake.vel");
+constexpr BlockId kBbSource = sim::bb_id("equake.source");
+
+struct EquakeShared {
+  Addr k_vals = 0;    ///< CSR values, ~9 per row
+  Addr k_cols = 0;    ///< CSR column indices
+  Addr x = 0;         ///< input vector (previous displacement)
+  Addr y = 0;         ///< smvp output
+  Addr disp = 0;      ///< displacement
+  Addr vel = 0;       ///< velocity
+  std::vector<std::uint32_t> row_begin;  ///< per-proc row partition
+};
+
+}  // namespace
+
+sim::AppFn make_equake(const EquakeParams& p) {
+  auto shared = std::make_shared<EquakeShared>();
+
+  return [p, shared](sim::ThreadCtx& ctx) {
+    EquakeShared& s = *shared;
+    const NodeId me = ctx.self();
+    const unsigned nprocs = ctx.nprocs();
+    const unsigned line = ctx.config().l2.line_bytes;
+    const std::uint32_t n = p.grid * p.grid;
+    auto instr = [&](double flops) {
+      return static_cast<InstrCount>(std::max(1.0, flops * p.instr_per_flop));
+    };
+
+    if (me == 0) {
+      s.row_begin.resize(nprocs + 1);
+      for (unsigned q = 0; q <= nprocs; ++q)
+        s.row_begin[q] = static_cast<std::uint32_t>(
+            static_cast<std::uint64_t>(n) * q / nprocs);
+
+      const std::uint64_t nnz = 9ull * n;
+      // Allocate each processor's row slice of every array in its local
+      // memory (the owner-computes layout an OpenMP first-touch gives).
+      auto alloc_partitioned = [&](std::uint64_t bytes_per_row) {
+        const Addr base = ctx.alloc(bytes_per_row * n);
+        for (unsigned q = 0; q < nprocs; ++q) {
+          const std::uint64_t lo = bytes_per_row * s.row_begin[q];
+          const std::uint64_t hi = bytes_per_row * s.row_begin[q + 1];
+          if (lo < hi)
+            ctx.machine().home_map().place_range(base + lo, hi - lo, q);
+        }
+        return base;
+      };
+      s.k_vals = alloc_partitioned(8 * 9);
+      s.k_cols = alloc_partitioned(4 * 9);
+      s.x = alloc_partitioned(8);
+      s.y = alloc_partitioned(8);
+      s.disp = alloc_partitioned(8);
+      s.vel = alloc_partitioned(8);
+      (void)nnz;
+    }
+    ctx.barrier();
+
+    const std::uint32_t row_lo = s.row_begin[me];
+    const std::uint32_t row_hi = s.row_begin[me + 1];
+
+    // Epicenter rows live in the middle of the mesh — owned by the middle
+    // processor(s).
+    const std::uint32_t epi_lo = n / 2 - 2 * p.grid;
+    const std::uint32_t epi_hi = n / 2 + 2 * p.grid;
+
+    // Rows of mine whose long-range coupling lands in the epicenter
+    // region: while the source is active these get extra relaxation
+    // passes (the wavefront needs more accurate integration), which pulls
+    // every processor's access mix toward the epicenter's home nodes.
+    std::vector<std::uint32_t> wavefront_rows;
+    for (std::uint32_t r = row_lo; r < row_hi; ++r) {
+      if (r % 8 != 0) continue;
+      const auto far1 = static_cast<std::uint32_t>(fnv1a64(r) % n);
+      if (far1 >= epi_lo && far1 < epi_hi) wavefront_rows.push_back(r);
+    }
+
+    auto vec_line = [&](Addr base, std::uint32_t row) {
+      return (base + 8ull * row) & ~Addr{line - 1};
+    };
+
+    for (unsigned step = 0; step < p.timesteps; ++step) {
+      // (1) smvp: y = K * x over owned rows. Per row: stream the row's
+      // values + column indices, gather the 9-point-stencil segments of x
+      // (three line touches: row above, own row, row below), write y.
+      for (std::uint32_t r = row_lo; r < row_hi; ++r) {
+        ctx.load(s.k_vals + 72ull * r);
+        ctx.load((s.k_vals + 72ull * r + 71) & ~Addr{line - 1});
+        ctx.load(s.k_cols + 36ull * r);
+        if (r >= p.grid) ctx.load(vec_line(s.x, r - p.grid));
+        ctx.load(vec_line(s.x, r));
+        if (r + p.grid < n) ctx.load(vec_line(s.x, r + p.grid));
+        // Long-range couplings of the unstructured mesh: every few rows
+        // reach a deterministic far column (gathers scattered over the
+        // whole x vector, as tetrahedral element connectivity produces).
+        if (r % 8 == 0) {
+          const std::uint32_t far1 =
+              static_cast<std::uint32_t>(fnv1a64(r) % n);
+          const std::uint32_t far2 =
+              static_cast<std::uint32_t>(fnv1a64(r * 2654435761u) % n);
+          ctx.load(vec_line(s.x, far1));
+          ctx.load(vec_line(s.x, far2));
+        }
+        ctx.store(s.y + 8ull * r);
+        ctx.bb(kBbSmvp, instr(18.0), p.fp_frac);
+      }
+      ctx.barrier();
+
+      // (2) Earthquake source term while the event is active: extra work
+      // concentrated on the epicenter's owners, plus wavefront relaxation
+      // passes on every processor's epicenter-coupled rows (same smvp
+      // code, so the per-node instruction profile barely moves — only the
+      // data distribution does).
+      if (step >= p.quake_start && step < p.quake_end) {
+        for (std::uint32_t r = std::max(row_lo, epi_lo);
+             r < std::min(row_hi, epi_hi); ++r) {
+          ctx.load(s.k_vals + 72ull * r);
+          ctx.load(vec_line(s.x, r));
+          ctx.load(s.y + 8ull * r);
+          ctx.store(s.y + 8ull * r);
+          ctx.bb(kBbSource, instr(60.0), p.fp_frac);
+        }
+        for (unsigned pass = 0; pass < 8; ++pass) {
+          for (const std::uint32_t r : wavefront_rows) {
+            const auto far1 = static_cast<std::uint32_t>(fnv1a64(r) % n);
+            ctx.load(vec_line(s.x, far1));
+            ctx.load(vec_line(s.x, r));
+            ctx.store(s.y + 8ull * r);
+            ctx.bb(kBbSmvp, instr(18.0), p.fp_frac);
+          }
+        }
+      }
+
+      // (3) disp update: disp = f(disp, y), streaming over owned rows.
+      block_update1(ctx, s.disp + 8ull * row_lo, s.y + 8ull * row_lo,
+                    8ull * (row_hi - row_lo), kBbDisp,
+                    instr(4.0 * 6.0),  // 4 doubles per line, ~6 flops each
+                    p.fp_frac);
+
+      // (4) velocity + time-flip: vel = g(vel, disp); x <- disp for the
+      // next step (modeled as a second streaming pass that also writes x).
+      for (std::uint64_t off = 0; off < 8ull * (row_hi - row_lo);
+           off += line) {
+        const Addr base = 8ull * row_lo + off;
+        ctx.load(s.disp + base);
+        ctx.load(s.vel + base);
+        ctx.store(s.vel + base);
+        ctx.store(s.x + base);
+        ctx.bb(kBbVel, instr(4.0 * 5.0), p.fp_frac);
+      }
+      ctx.barrier();
+    }
+  };
+}
+
+}  // namespace dsm::apps

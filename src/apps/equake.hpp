@@ -1,0 +1,31 @@
+// equake.hpp — SPEC-OMP Equake model (Table II input "MinneSPEC-Large"):
+// seismic wave propagation by explicit FEM time integration. The
+// computational heart of Equake is smvp() — a sparse matrix-vector product
+// over the stiffness matrix — followed by elementwise displacement/velocity
+// vector updates each time step; an earthquake source term is active for a
+// window of time steps around the event.
+//
+// We build the stiffness matrix as a 9-point-stencil CSR over a grid mesh
+// (same row-sparsity regime as the unstructured tetrahedral mesh),
+// partition rows contiguously per processor, and drive the source term at
+// an epicenter owned by one node — so mid-run the load and the home-node
+// traffic mix shift, then shift back: a temporal phase only visible to a
+// detector that sees data distribution.
+#pragma once
+
+#include "sim/machine.hpp"
+
+namespace dsm::apps {
+
+struct EquakeParams {
+  unsigned grid = 144;        ///< unknowns = grid^2
+  unsigned timesteps = 120;
+  unsigned quake_start = 25;  ///< first step with the source active
+  unsigned quake_end = 65;    ///< last step with the source active
+  double instr_per_flop = 3.0;
+  double fp_frac = 0.6;
+};
+
+sim::AppFn make_equake(const EquakeParams& p);
+
+}  // namespace dsm::apps

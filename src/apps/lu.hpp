@@ -1,0 +1,31 @@
+// lu.hpp — SPLASH-2 LU (contiguous blocks): dense blocked LU factorization
+// of an n x n matrix with B x B blocks, 2-D scatter block ownership, and
+// each block allocated in its owner's local memory — the Table II workload
+// "LU, 512x512 matrix, 16x16 block".
+//
+// Phase anatomy (per step k): factor diagonal block (k,k); divide the
+// perimeter blocks of row/column k; rank-b update of the (B-k-1)^2
+// interior blocks. As k advances the active window shrinks: fewer owners
+// participate, barrier imbalance grows, and the home-node mix of the reads
+// (diagonal + perimeter blocks of step k) shifts — CPI changes while each
+// processor's basic-block profile stays nearly constant, which is exactly
+// the failure mode of per-node BBV the paper demonstrates.
+#pragma once
+
+#include "sim/machine.hpp"
+
+namespace dsm::apps {
+
+struct LuParams {
+  unsigned n = 512;          ///< matrix dimension (paper input)
+  unsigned block = 16;       ///< block dimension (paper input)
+  /// Modeled instructions per floating-point operation (indexing, loads
+  /// folded into compute batches; SPLASH-2 LU retires ~3 instr/flop).
+  double instr_per_flop = 3.0;
+  double fp_frac = 0.55;     ///< FPU share of the instruction mix
+};
+
+/// SPMD entry point: every simulated processor runs this.
+sim::AppFn make_lu(const LuParams& p);
+
+}  // namespace dsm::apps

@@ -1,0 +1,113 @@
+#include "apps/micro.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "sim/thread_ctx.hpp"
+
+namespace dsm::apps {
+namespace {
+
+constexpr BlockId kBbUniform = sim::bb_id("micro.uniform");
+constexpr BlockId kBbCompute = sim::bb_id("micro.compute");
+constexpr BlockId kBbMemory = sim::bb_id("micro.memory");
+constexpr BlockId kBbShared = sim::bb_id("micro.shared_code");
+constexpr BlockId kBbImbal = sim::bb_id("micro.imbalance");
+
+}  // namespace
+
+sim::AppFn make_uniform(const MicroParams& p) {
+  auto local = std::make_shared<std::vector<Addr>>();
+  return [p, local](sim::ThreadCtx& ctx) {
+    if (ctx.self() == 0) {
+      local->resize(ctx.nprocs());
+      for (unsigned q = 0; q < ctx.nprocs(); ++q)
+        (*local)[q] = ctx.alloc_on(p.array_bytes, q);
+    }
+    ctx.barrier();
+    const Addr base = (*local)[ctx.self()];
+    // Warm the working set so the steady state really is stationary
+    // (random accesses alone would drip cold misses for many intervals).
+    for (Addr a = base; a < base + p.array_bytes; a += 32) ctx.load(a);
+    ctx.barrier();
+    for (unsigned r = 0; r < p.repeats; ++r) {
+      for (unsigned i = 0; i < p.iters_per_segment; ++i) {
+        ctx.load(base + ctx.rng().next_below(p.array_bytes));
+        ctx.bb(kBbUniform, 40, 0.3);
+      }
+      ctx.barrier();
+    }
+  };
+}
+
+sim::AppFn make_two_phase(const MicroParams& p) {
+  auto local = std::make_shared<std::vector<Addr>>();
+  return [p, local](sim::ThreadCtx& ctx) {
+    if (ctx.self() == 0) {
+      local->resize(ctx.nprocs());
+      for (unsigned q = 0; q < ctx.nprocs(); ++q)
+        (*local)[q] = ctx.alloc_on(p.array_bytes, q);
+    }
+    ctx.barrier();
+    const Addr base = (*local)[ctx.self()];
+    for (unsigned r = 0; r < p.repeats; ++r) {
+      // Compute-heavy segment: long basic blocks, few accesses.
+      for (unsigned i = 0; i < p.iters_per_segment; ++i)
+        ctx.bb(kBbCompute, 120, 0.7);
+      // Memory-heavy segment: streaming with short blocks.
+      for (unsigned i = 0; i < p.iters_per_segment; ++i) {
+        ctx.load(base + (std::uint64_t{i} * 32) % p.array_bytes);
+        ctx.store(base + (std::uint64_t{i} * 32) % p.array_bytes);
+        ctx.bb(kBbMemory, 6, 0.1);
+      }
+      ctx.barrier();
+    }
+  };
+}
+
+sim::AppFn make_hot_home(const MicroParams& p) {
+  struct Shared {
+    Addr hot = 0;
+    std::vector<Addr> local;
+  };
+  auto s = std::make_shared<Shared>();
+  return [p, s](sim::ThreadCtx& ctx) {
+    if (ctx.self() == 0) {
+      s->hot = ctx.alloc_on(p.array_bytes, 0);
+      s->local.resize(ctx.nprocs());
+      for (unsigned q = 0; q < ctx.nprocs(); ++q)
+        s->local[q] = ctx.alloc_on(p.array_bytes, q);
+    }
+    ctx.barrier();
+    const Addr mine = s->local[ctx.self()];
+    for (unsigned r = 0; r < p.repeats; ++r) {
+      // Segment A: everyone reads the node-0-homed array. Segment B:
+      // everyone reads its own node-local array. Identical basic blocks,
+      // identical instruction counts — only data distribution differs.
+      for (unsigned half = 0; half < 2; ++half) {
+        const Addr base = (half == 0) ? s->hot : mine;
+        for (unsigned i = 0; i < p.iters_per_segment; ++i) {
+          ctx.load(base + ctx.rng().next_below(p.array_bytes / 32) * 32);
+          ctx.bb(kBbShared, 30, 0.3);
+        }
+        ctx.barrier();
+      }
+    }
+  };
+}
+
+sim::AppFn make_imbalance(const MicroParams& p) {
+  return [p](sim::ThreadCtx& ctx) {
+    for (unsigned r = 0; r < p.repeats; ++r) {
+      // A rotating third of the processors does triple work this round.
+      const bool heavy =
+          (ctx.self() + r) % 3 == 0 || ctx.nprocs() < 3;
+      const unsigned iters = p.iters_per_segment * (heavy ? 3 : 1);
+      for (unsigned i = 0; i < iters; ++i) ctx.bb(kBbImbal, 50, 0.4);
+      ctx.barrier();
+    }
+  };
+}
+
+}  // namespace dsm::apps

@@ -1,0 +1,35 @@
+// micro.hpp — small synthetic workloads with *known* phase structure, used
+// by the test suite and the ablation benches to check detector properties
+// the real apps can only suggest:
+//
+//  * uniform        — statistically stationary; a detector should settle
+//                     on very few phases.
+//  * two_phase      — alternates compute-heavy and memory-heavy segments
+//                     with different basic blocks; BBV alone must separate
+//                     them.
+//  * hot_home       — alternates two segments executing the *identical*
+//                     basic blocks and instruction counts, differing only
+//                     in WHERE the data lives (node-0-homed array vs
+//                     node-local array). Per the paper's core claim, BBV
+//                     cannot tell these apart but BBV+DDV can.
+//  * imbalance      — same code everywhere, but a rotating subset of
+//                     processors does extra work between barriers.
+#pragma once
+
+#include "sim/machine.hpp"
+
+namespace dsm::apps {
+
+struct MicroParams {
+  unsigned repeats = 6;            ///< phase alternations
+  unsigned iters_per_segment = 3000;  ///< inner-loop iterations per segment
+  std::uint64_t array_bytes = 1u << 18;
+  std::uint64_t seed = 42;
+};
+
+sim::AppFn make_uniform(const MicroParams& p);
+sim::AppFn make_two_phase(const MicroParams& p);
+sim::AppFn make_hot_home(const MicroParams& p);
+sim::AppFn make_imbalance(const MicroParams& p);
+
+}  // namespace dsm::apps

@@ -1,0 +1,152 @@
+#include "apps/registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "apps/art.hpp"
+#include "apps/equake.hpp"
+#include "apps/fmm.hpp"
+#include "apps/lu.hpp"
+#include "common/assert.hpp"
+
+namespace dsm::apps {
+namespace {
+
+sim::AppFn lu_factory(Scale s) {
+  LuParams p;  // paper defaults: 512x512, 16x16 blocks
+  switch (s) {
+    case Scale::kPaper: break;
+    case Scale::kBench:
+      // Same 32x32 *block grid* as the paper (so the parallelism and
+      // imbalance profile over the factorization steps is identical),
+      // with smaller blocks.
+      p.n = 256;
+      p.block = 8;
+      break;
+    case Scale::kTest:
+      p.n = 96;
+      p.block = 8;
+      break;
+  }
+  return make_lu(p);
+}
+
+sim::AppFn fmm_factory(Scale s) {
+  FmmParams p;  // paper defaults: 65,536 particles
+  switch (s) {
+    case Scale::kPaper: break;
+    case Scale::kBench:
+      p.particles = 16384;
+      p.leaf_log2 = 6;
+      break;
+    case Scale::kTest:
+      p.particles = 2048;
+      p.leaf_log2 = 4;
+      p.min_level = 1;
+      p.steps = 2;
+      break;
+  }
+  return make_fmm(p);
+}
+
+sim::AppFn art_factory(Scale s) {
+  ArtParams p;  // MinneSPEC-Large analogue: 512x512 scanfield
+  switch (s) {
+    case Scale::kPaper: break;
+    case Scale::kBench:
+      p.image_w = p.image_h = 256;
+      p.train_epochs = 20;
+      break;
+    case Scale::kTest:
+      p.image_w = p.image_h = 96;
+      p.stride = 4;
+      p.train_epochs = 4;
+      break;
+  }
+  return make_art(p);
+}
+
+sim::AppFn equake_factory(Scale s) {
+  EquakeParams p;  // MinneSPEC-Large analogue: 144^2 mesh, 120 steps
+  switch (s) {
+    case Scale::kPaper: break;
+    case Scale::kBench:
+      p.grid = 96;
+      p.timesteps = 80;
+      p.quake_start = 18;
+      p.quake_end = 45;
+      break;
+    case Scale::kTest:
+      p.grid = 48;
+      p.timesteps = 24;
+      p.quake_start = 6;
+      p.quake_end = 14;
+      break;
+  }
+  return make_equake(p);
+}
+
+/// Work of a scaled run relative to the paper input — used to shrink the
+/// sampling interval proportionally so every scale yields a comparable
+/// number of intervals per processor (the statistic CoV curves depend on).
+double work_ratio(const std::string& name, Scale s) {
+  if (s == Scale::kPaper) return 1.0;
+  const bool test = (s == Scale::kTest);
+  if (name == "LU") {
+    const double r = test ? 96.0 / 512.0 : 256.0 / 512.0;
+    return r * r * r;
+  }
+  if (name == "FMM") return test ? 0.02 : 0.25;
+  if (name == "Art") return test ? 0.02 : 0.25;
+  if (name == "Equake") {
+    return test ? (48.0 * 48 * 24) / (144.0 * 144 * 120)
+                : (96.0 * 96 * 80) / (144.0 * 144 * 120);
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+const std::vector<AppInfo>& paper_apps() {
+  static const std::vector<AppInfo> apps = {
+      {"LU", "512x512 matrix, 16x16 block", lu_factory},
+      {"FMM", "65,536 particles", fmm_factory},
+      {"Art", "MinneSPEC-Large (512x512 scanfield analogue)", art_factory},
+      {"Equake", "MinneSPEC-Large (144^2 mesh, 120 steps analogue)",
+       equake_factory},
+  };
+  return apps;
+}
+
+const AppInfo& app_by_name(const std::string& name) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  for (const auto& a : paper_apps()) {
+    std::string al = a.name;
+    std::transform(al.begin(), al.end(), al.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (al == lower) return a;
+  }
+  DSM_ASSERT_MSG(false, "unknown application name");
+  return paper_apps().front();  // unreachable
+}
+
+const char* scale_name(Scale s) {
+  switch (s) {
+    case Scale::kPaper: return "paper";
+    case Scale::kBench: return "bench";
+    case Scale::kTest: return "test";
+  }
+  return "?";
+}
+
+InstrCount scaled_interval(const std::string& app_name, Scale s,
+                           InstrCount paper_interval) {
+  const double r = work_ratio(app_name, s);
+  const auto scaled = static_cast<InstrCount>(
+      static_cast<double>(paper_interval) * r);
+  return std::max<InstrCount>(scaled, 20'000);
+}
+
+}  // namespace dsm::apps

@@ -1,0 +1,41 @@
+// registry.hpp — name -> workload factory, with the Table II inputs as the
+// paper scale and a proportionally reduced "bench" scale so the full
+// figure sweeps finish in minutes. Benches and examples look apps up here.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace dsm::apps {
+
+/// Workload scale presets.
+enum class Scale {
+  kPaper,  ///< Table II inputs (LU 512x512/16, FMM 65,536 particles, ...)
+  kBench,  ///< ~1/4-size inputs for the shipped benchmark defaults
+  kTest,   ///< small inputs for integration tests
+};
+
+struct AppInfo {
+  std::string name;         ///< "LU", "FMM", "Art", "Equake"
+  std::string input_paper;  ///< Table II description
+  std::function<sim::AppFn(Scale)> factory;
+};
+
+/// The paper's four applications (Table II order).
+const std::vector<AppInfo>& paper_apps();
+
+/// Lookup by case-insensitive name; aborts on unknown names.
+const AppInfo& app_by_name(const std::string& name);
+
+const char* scale_name(Scale s);
+
+/// The sampling-interval length (1-processor basis) to pair with a scaled
+/// run: the paper's 3M instructions shrunk by the workload's work ratio,
+/// so every scale produces a comparable number of intervals per processor.
+InstrCount scaled_interval(const std::string& app_name, Scale s,
+                           InstrCount paper_interval = 3'000'000);
+
+}  // namespace dsm::apps

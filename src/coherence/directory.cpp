@@ -1,0 +1,25 @@
+#include "coherence/directory.hpp"
+
+#include <bit>
+
+namespace dsm::coh {
+
+unsigned DirEntry::sharer_count() const {
+  return static_cast<unsigned>(std::popcount(sharers));
+}
+
+DirEntry Directory::peek(Addr line_addr) const {
+  const auto it = entries_.find(line_addr);
+  return it == entries_.end() ? DirEntry{} : it->second;
+}
+
+void Directory::compact() {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.state == DirEntry::State::kUncached && !it->second.sharers)
+      it = entries_.erase(it);
+    else
+      ++it;
+  }
+}
+
+}  // namespace dsm::coh

@@ -1,0 +1,55 @@
+// directory.hpp — per-home-node full-map directory state for the MESI
+// protocol (one directory slice per node of the DSM, as in DASH/Origin-
+// style machines the paper's simulated architecture follows).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hpp"
+
+namespace dsm::coh {
+
+/// Directory's view of one memory line.
+struct DirEntry {
+  enum class State : std::uint8_t {
+    kUncached,   ///< no cache holds the line
+    kShared,     ///< one or more caches hold it read-only
+    kExclusive,  ///< exactly one cache holds it E or M
+  };
+
+  State state = State::kUncached;
+  std::uint64_t sharers = 0;   ///< bitset over nodes (full-map)
+  NodeId owner = kNoNode;      ///< valid when state == kExclusive
+
+  bool is_sharer(NodeId n) const { return (sharers >> n) & 1u; }
+  void add_sharer(NodeId n) { sharers |= (1ull << n); }
+  void remove_sharer(NodeId n) { sharers &= ~(1ull << n); }
+  unsigned sharer_count() const;
+};
+
+/// The directory slice held by one home node. Entries are created lazily;
+/// an absent entry means kUncached.
+class Directory {
+ public:
+  explicit Directory(NodeId home) : home_(home) {}
+
+  NodeId home() const { return home_; }
+
+  /// Mutable entry (creating an Uncached one on demand).
+  DirEntry& entry(Addr line_addr) { return entries_[line_addr]; }
+
+  /// Read-only lookup; returns a value copy (Uncached default if absent).
+  DirEntry peek(Addr line_addr) const;
+
+  /// Drops entries that returned to kUncached (bounds memory in long runs).
+  void compact();
+
+  std::size_t tracked_lines() const { return entries_.size(); }
+
+ private:
+  NodeId home_;
+  std::unordered_map<Addr, DirEntry> entries_;
+};
+
+}  // namespace dsm::coh

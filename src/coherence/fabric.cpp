@@ -1,0 +1,384 @@
+#include "coherence/fabric.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace dsm::coh {
+
+using mem::Mesi;
+using net::TrafficClass;
+
+const char* data_source_name(DataSource s) {
+  switch (s) {
+    case DataSource::kL1: return "L1";
+    case DataSource::kL2: return "L2";
+    case DataSource::kLocalMem: return "LocalMem";
+    case DataSource::kRemoteMem: return "RemoteMem";
+    case DataSource::kRemoteCache: return "RemoteCache";
+    case DataSource::kUpgrade: return "Upgrade";
+  }
+  return "?";
+}
+
+CoherenceFabric::Node::Node(const MachineConfig& cfg, NodeId id)
+    : l1(cfg.l1), l2(cfg.l2), dir(id), ctrl(cfg, id) {}
+
+CoherenceFabric::CoherenceFabric(const MachineConfig& cfg,
+                                 net::Network& network,
+                                 mem::HomeMap& home_map)
+    : cfg_(cfg), network_(network), home_map_(&home_map) {
+  DSM_ASSERT_MSG(cfg.num_nodes <= 64,
+                 "full-map directory uses a 64-bit sharer bitset");
+  nodes_.reserve(cfg.num_nodes);
+  for (NodeId n = 0; n < cfg.num_nodes; ++n)
+    nodes_.push_back(std::make_unique<Node>(cfg, n));
+}
+
+mem::Cache& CoherenceFabric::l1(NodeId n) { return nodes_.at(n)->l1; }
+mem::Cache& CoherenceFabric::l2(NodeId n) { return nodes_.at(n)->l2; }
+const mem::Cache& CoherenceFabric::l1(NodeId n) const {
+  return nodes_.at(n)->l1;
+}
+const mem::Cache& CoherenceFabric::l2(NodeId n) const {
+  return nodes_.at(n)->l2;
+}
+Directory& CoherenceFabric::directory(NodeId home) {
+  return nodes_.at(home)->dir;
+}
+mem::MemController& CoherenceFabric::controller(NodeId home) {
+  return nodes_.at(home)->ctrl;
+}
+const NodeCoherenceStats& CoherenceFabric::stats(NodeId n) const {
+  return nodes_.at(n)->stats;
+}
+
+AccessOutcome CoherenceFabric::access(NodeId node, Addr addr, bool is_write,
+                                      Cycle now) {
+  DSM_ASSERT(node < nodes_.size());
+  Node& me = *nodes_[node];
+  const Addr line = me.l2.line_of(addr);
+
+  AccessOutcome out;
+  out.write = is_write;
+  out.home = home_map_->home_of(line, node);
+  if (is_write) ++me.stats.stores; else ++me.stats.loads;
+
+  // ---- L1 ----
+  const Mesi s1 = me.l1.state(line);
+  if (s1 != Mesi::kInvalid) {
+    const bool writable = (s1 == Mesi::kModified || s1 == Mesi::kExclusive);
+    if (!is_write || writable) {
+      me.l1.access(line);
+      if (is_write && s1 == Mesi::kExclusive) {
+        // Silent E->M upgrade, mirrored in the (inclusive) L2.
+        me.l1.set_state(line, Mesi::kModified);
+        DSM_ASSERT(me.l2.probe(line));
+        me.l2.set_state(line, Mesi::kModified);
+      }
+      ++me.stats.l1_hits;
+      out.l1_hit = true;
+      out.latency = cfg_.l1.latency_cycles;
+      out.source = DataSource::kL1;
+      return out;
+    }
+    // L1 hit in S but we need write permission: fall through to the
+    // directory upgrade path. Count the tag probe, not a hit.
+  } else {
+    me.l1.access(line);  // records the L1 miss
+  }
+
+  Cycle lat = cfg_.l1.latency_cycles;
+
+  // ---- L2 ----
+  const Mesi s2 = me.l2.state(line);
+  const bool l2_has_data = (s2 != Mesi::kInvalid);
+  const bool l2_writable = (s2 == Mesi::kModified || s2 == Mesi::kExclusive);
+  lat += cfg_.l2.latency_cycles;
+  if (l2_has_data && (!is_write || l2_writable)) {
+    me.l2.access(line);
+    ++me.stats.l2_hits;
+    Mesi grant = s2;
+    if (is_write) {
+      grant = Mesi::kModified;
+      me.l2.set_state(line, Mesi::kModified);
+    }
+    // Refill L1 from L2 (s1 may be S on a read after L1 conflict miss).
+    if (me.l1.probe(line)) {
+      me.l1.access(line);
+      me.l1.set_state(line, grant);
+    } else {
+      const auto v1 = me.l1.fill(line, grant);
+      if (v1 && v1->state == Mesi::kModified) {
+        DSM_ASSERT_MSG(me.l2.probe(v1->line_addr), "L1/L2 inclusion broken");
+        me.l2.set_state(v1->line_addr, Mesi::kModified);
+      }
+    }
+    out.latency = lat;
+    out.source = DataSource::kL2;
+    return out;
+  }
+  if (l2_has_data) me.l2.access(line);  // S-upgrade: data present, touch LRU
+
+  // ---- Directory ----
+  lat += directory_request(node, line, is_write, now + lat, out);
+  out.latency = lat;
+  return out;
+}
+
+Cycle CoherenceFabric::directory_request(NodeId requestor, Addr line,
+                                         bool is_write, Cycle now,
+                                         AccessOutcome& out) {
+  Node& me = *nodes_[requestor];
+  const NodeId home = out.home;
+  Node& h = *nodes_[home];
+  Cycle lat = 0;
+
+  // Request travels to the home node's directory.
+  lat += network_.message_latency(requestor, home, control_bytes(), now,
+                                  TrafficClass::kCoherence);
+  lat += cfg_.memory.directory_latency_cycles;
+
+  DirEntry& e = h.dir.entry(line);
+  const bool requestor_had_data = me.l2.probe(line);
+  Mesi grant;
+
+  switch (e.state) {
+    case DirEntry::State::kUncached: {
+      // Fetch from home memory; grant E (read) or M (write) — MESI gives
+      // exclusivity to a sole cacher.
+      lat += h.ctrl.request(line, now + lat, data_bytes(), requestor);
+      lat += network_.message_latency(home, requestor, data_bytes(),
+                                      now + lat, TrafficClass::kData);
+      grant = is_write ? Mesi::kModified : Mesi::kExclusive;
+      e.state = DirEntry::State::kExclusive;
+      e.sharers = 0;
+      e.add_sharer(requestor);
+      e.owner = requestor;
+      out.source = (home == requestor) ? DataSource::kLocalMem
+                                       : DataSource::kRemoteMem;
+      if (home == requestor) ++me.stats.local_mem; else ++me.stats.remote_mem;
+      break;
+    }
+    case DirEntry::State::kShared: {
+      if (is_write) {
+        // Invalidate every other sharer; acks return in parallel, so the
+        // cost is the slowest round trip.
+        Cycle max_inval = 0;
+        for (NodeId q = 0; q < nodes_.size(); ++q) {
+          if (q == requestor || !e.is_sharer(q)) continue;
+          Cycle t = network_.message_latency(home, q, control_bytes(),
+                                             now + lat,
+                                             TrafficClass::kCoherence);
+          nodes_[q]->l1.invalidate(line);
+          nodes_[q]->l2.invalidate(line);
+          t += network_.message_latency(q, home, control_bytes(),
+                                        now + lat + t,
+                                        TrafficClass::kCoherence);
+          max_inval = std::max(max_inval, t);
+          ++me.stats.invalidations_sent;
+          ++out.invalidations;
+        }
+        lat += max_inval;
+        if (requestor_had_data) {
+          // Upgrade: permission only, no data transfer.
+          lat += network_.message_latency(home, requestor, control_bytes(),
+                                          now + lat, TrafficClass::kCoherence);
+          out.source = DataSource::kUpgrade;
+          ++me.stats.upgrades;
+        } else {
+          lat += h.ctrl.request(line, now + lat, data_bytes(), requestor);
+          lat += network_.message_latency(home, requestor, data_bytes(),
+                                          now + lat, TrafficClass::kData);
+          out.source = (home == requestor) ? DataSource::kLocalMem
+                                           : DataSource::kRemoteMem;
+          if (home == requestor) ++me.stats.local_mem;
+          else ++me.stats.remote_mem;
+        }
+        grant = Mesi::kModified;
+        e.state = DirEntry::State::kExclusive;
+        e.sharers = 0;
+        e.add_sharer(requestor);
+        e.owner = requestor;
+      } else {
+        // Memory holds a clean copy in Shared.
+        lat += h.ctrl.request(line, now + lat, data_bytes(), requestor);
+        lat += network_.message_latency(home, requestor, data_bytes(),
+                                        now + lat, TrafficClass::kData);
+        grant = Mesi::kShared;
+        e.add_sharer(requestor);
+        out.source = (home == requestor) ? DataSource::kLocalMem
+                                         : DataSource::kRemoteMem;
+        if (home == requestor) ++me.stats.local_mem;
+        else ++me.stats.remote_mem;
+      }
+      break;
+    }
+    case DirEntry::State::kExclusive: {
+      const NodeId q = e.owner;
+      DSM_ASSERT_MSG(q != requestor,
+                     "requestor cannot be the registered owner on a miss");
+      Node& owner = *nodes_[q];
+      // Forward the request to the current owner.
+      lat += network_.message_latency(home, q, control_bytes(), now + lat,
+                                      TrafficClass::kCoherence);
+      const Mesi owner_l1 = owner.l1.state(line);
+      const Mesi owner_l2 = owner.l2.state(line);
+      DSM_ASSERT_MSG(owner_l2 == Mesi::kExclusive ||
+                         owner_l2 == Mesi::kModified,
+                     "directory owner must hold the line E or M");
+      const bool was_dirty =
+          owner_l1 == Mesi::kModified || owner_l2 == Mesi::kModified;
+      if (is_write) {
+        owner.l1.invalidate(line);
+        owner.l2.invalidate(line);
+        ++me.stats.invalidations_sent;
+        ++out.invalidations;
+        e.sharers = 0;
+        e.add_sharer(requestor);
+        e.owner = requestor;
+        grant = Mesi::kModified;
+      } else {
+        owner.l1.downgrade(line);
+        owner.l2.downgrade(line);
+        if (was_dirty) {
+          // Sharing writeback: the home's memory is refreshed off the
+          // requestor's critical path, but the controller is occupied.
+          h.ctrl.request(line, now + lat, data_bytes(), q);
+          network_.message_latency(q, home, data_bytes(), now + lat,
+                                   TrafficClass::kData);
+          ++owner.stats.writebacks;
+        }
+        e.state = DirEntry::State::kShared;
+        e.add_sharer(requestor);
+        e.owner = kNoNode;
+        grant = Mesi::kShared;
+      }
+      // Cache-to-cache transfer, owner -> requestor.
+      lat += network_.message_latency(q, requestor, data_bytes(), now + lat,
+                                      TrafficClass::kData);
+      out.source = DataSource::kRemoteCache;
+      ++me.stats.cache_to_cache;
+      break;
+    }
+  }
+
+  // Install / upgrade locally.
+  if (out.source == DataSource::kUpgrade) {
+    DSM_ASSERT(me.l2.probe(line));
+    me.l2.set_state(line, Mesi::kModified);
+    if (me.l1.probe(line)) {
+      me.l1.set_state(line, Mesi::kModified);
+      me.l1.access(line);
+    } else {
+      const auto v1 = me.l1.fill(line, Mesi::kModified);
+      if (v1 && v1->state == Mesi::kModified) {
+        DSM_ASSERT(me.l2.probe(v1->line_addr));
+        me.l2.set_state(v1->line_addr, Mesi::kModified);
+      }
+    }
+  } else {
+    lat += fill_hierarchy(requestor, line, grant, now + lat);
+  }
+  return lat;
+}
+
+Cycle CoherenceFabric::fill_hierarchy(NodeId requestor, Addr line, Mesi st,
+                                      Cycle now) {
+  Node& me = *nodes_[requestor];
+  Cycle lat = 0;
+  DSM_ASSERT_MSG(!me.l2.probe(line), "fill_hierarchy expects an L2 miss");
+  const auto v2 = me.l2.fill(line, st);
+  if (v2) lat += handle_l2_eviction(requestor, *v2, now);
+  const auto v1 = me.l1.fill(line, st);
+  if (v1 && v1->state == Mesi::kModified) {
+    DSM_ASSERT_MSG(me.l2.probe(v1->line_addr), "L1/L2 inclusion broken");
+    me.l2.set_state(v1->line_addr, Mesi::kModified);
+  }
+  return lat;
+}
+
+Cycle CoherenceFabric::handle_l2_eviction(NodeId evictor, const mem::Victim& v,
+                                          Cycle now) {
+  Node& me = *nodes_[evictor];
+  // Inclusion: purge the L1 copy; it may carry the dirty bit.
+  const Mesi l1_state = me.l1.invalidate(v.line_addr);
+  const bool dirty =
+      v.state == Mesi::kModified || l1_state == Mesi::kModified;
+
+  const NodeId vhome = home_map_->home_of(v.line_addr, evictor);
+  DirEntry& e = nodes_[vhome]->dir.entry(v.line_addr);
+
+  if (dirty) {
+    // Dirty writeback: buffered off the critical path; the traffic and the
+    // home controller occupancy are still real.
+    ++me.stats.writebacks;
+    const Cycle arrive =
+        now + network_.message_latency(evictor, vhome, data_bytes(), now,
+                                       TrafficClass::kData);
+    nodes_[vhome]->ctrl.request(v.line_addr, arrive, data_bytes(), evictor);
+    e.state = DirEntry::State::kUncached;
+    e.sharers = 0;
+    e.owner = kNoNode;
+    return 0;
+  }
+
+  // Clean eviction: silent on the wire; directory stays precise.
+  e.remove_sharer(evictor);
+  if (e.state == DirEntry::State::kExclusive && e.owner == evictor) {
+    e.state = DirEntry::State::kUncached;
+    e.owner = kNoNode;
+    e.sharers = 0;
+  } else if (e.sharer_count() == 0) {
+    e.state = DirEntry::State::kUncached;
+  }
+  return 0;
+}
+
+void CoherenceFabric::flush_all() {
+  for (auto& n : nodes_) {
+    n->l1.flush();
+    n->l2.flush();
+  }
+}
+
+void CoherenceFabric::check_invariants() const {
+  const unsigned n = static_cast<unsigned>(nodes_.size());
+  // 1) L1 subset of L2 with compatible states.
+  for (unsigned p = 0; p < n; ++p) {
+    for (const Addr line : nodes_[p]->l1.resident_lines()) {
+      DSM_ASSERT_MSG(nodes_[p]->l2.probe(line), "L1 line missing from L2");
+      const Mesi s1 = nodes_[p]->l1.state(line);
+      const Mesi s2 = nodes_[p]->l2.state(line);
+      if (s1 == Mesi::kModified)
+        DSM_ASSERT_MSG(s2 == Mesi::kModified, "dirty L1 over non-M L2");
+      if (s1 == Mesi::kExclusive)
+        DSM_ASSERT_MSG(s2 == Mesi::kExclusive || s2 == Mesi::kModified,
+                       "E in L1 over weaker L2");
+    }
+  }
+  // 2) Directory agrees with the caches.
+  for (unsigned home = 0; home < n; ++home) {
+    // Walk every line any L2 holds whose home is this node.
+    for (unsigned p = 0; p < n; ++p) {
+      for (const Addr line : nodes_[p]->l2.resident_lines()) {
+        if (home_map_->peek_home(line) != static_cast<NodeId>(home)) continue;
+        const DirEntry e = nodes_[home]->dir.peek(line);
+        DSM_ASSERT_MSG(e.is_sharer(static_cast<NodeId>(p)),
+                       "cache holds line the directory does not attribute");
+        const Mesi s = nodes_[p]->l2.state(line);
+        if (s == Mesi::kExclusive || s == Mesi::kModified) {
+          DSM_ASSERT_MSG(e.state == DirEntry::State::kExclusive &&
+                             e.owner == static_cast<NodeId>(p),
+                         "E/M copy without directory ownership");
+          DSM_ASSERT_MSG(e.sharer_count() == 1, "owner plus extra sharers");
+        } else {
+          DSM_ASSERT_MSG(e.state == DirEntry::State::kShared,
+                         "S copy but directory not in Shared");
+        }
+      }
+    }
+  }
+}
+
+}  // namespace dsm::coh

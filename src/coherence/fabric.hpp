@@ -1,0 +1,122 @@
+// fabric.hpp — the coherence fabric: per-node L1/L2 cache hierarchies, the
+// distributed full-map MESI directory, home memory controllers, and the
+// interconnect, composed into a single `access()` entry point used by the
+// core model for every committed load/store.
+//
+// Timing approximation: remote caches are mutated functionally at request
+// time while all latency is charged to the requestor — the standard
+// approximation in deterministic, cooperatively scheduled DSM simulators.
+// Clean (S/E) evictions update the directory precisely without a message;
+// dirty (M) evictions pay the full writeback path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "coherence/directory.hpp"
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "memory/cache.hpp"
+#include "memory/home_map.hpp"
+#include "memory/mem_controller.hpp"
+#include "network/network.hpp"
+
+namespace dsm::coh {
+
+/// Where the data for an access finally came from.
+enum class DataSource : std::uint8_t {
+  kL1,           ///< L1 hit with sufficient permission
+  kL2,           ///< L2 hit with sufficient permission
+  kLocalMem,     ///< home == requestor, served by local DRAM
+  kRemoteMem,    ///< home != requestor, served by remote DRAM
+  kRemoteCache,  ///< cache-to-cache transfer from the previous owner
+  kUpgrade,      ///< data was present; only write permission was acquired
+};
+
+const char* data_source_name(DataSource s);
+
+/// Result of one committed load/store.
+struct AccessOutcome {
+  Cycle latency = 0;         ///< total cycles, before MLP overlap
+  DataSource source = DataSource::kL1;
+  NodeId home = 0;           ///< home node of the accessed line
+  bool l1_hit = false;
+  bool write = false;
+  unsigned invalidations = 0;  ///< remote copies invalidated
+};
+
+/// Per-node protocol statistics.
+struct NodeCoherenceStats {
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t local_mem = 0;
+  std::uint64_t remote_mem = 0;
+  std::uint64_t cache_to_cache = 0;
+  std::uint64_t upgrades = 0;
+  std::uint64_t invalidations_sent = 0;
+  std::uint64_t writebacks = 0;
+};
+
+class CoherenceFabric {
+ public:
+  CoherenceFabric(const MachineConfig& cfg, net::Network& network,
+                  mem::HomeMap& home_map);
+
+  /// Performs one committed load (is_write=false) or store (is_write=true)
+  /// by `node` at local time `now`.
+  AccessOutcome access(NodeId node, Addr addr, bool is_write, Cycle now);
+
+  mem::Cache& l1(NodeId n);
+  mem::Cache& l2(NodeId n);
+  const mem::Cache& l1(NodeId n) const;
+  const mem::Cache& l2(NodeId n) const;
+  Directory& directory(NodeId home);
+  mem::MemController& controller(NodeId home);
+  const NodeCoherenceStats& stats(NodeId n) const;
+  mem::HomeMap& home_map() { return *home_map_; }
+
+  unsigned nodes() const { return cfg_.num_nodes; }
+  unsigned line_bytes() const { return cfg_.l2.line_bytes; }
+
+  /// Drops all cached state (between benchmark runs).
+  void flush_all();
+
+  /// Verifies global MESI invariants (single owner, inclusive hierarchy,
+  /// directory/cache agreement); aborts on violation. For tests.
+  void check_invariants() const;
+
+ private:
+  struct Node {
+    mem::Cache l1;
+    mem::Cache l2;
+    Directory dir;
+    mem::MemController ctrl;
+    NodeCoherenceStats stats;
+    Node(const MachineConfig& cfg, NodeId id);
+  };
+
+  /// Serves a miss/upgrade at the directory; returns added latency.
+  Cycle directory_request(NodeId requestor, Addr line, bool is_write,
+                          Cycle now, AccessOutcome& out);
+
+  /// Installs `line` into requestor's L2+L1 with state `st`, handling
+  /// inclusion victims and dirty writebacks. Returns added latency.
+  Cycle fill_hierarchy(NodeId requestor, Addr line, mem::Mesi st, Cycle now);
+
+  /// Handles an L2 victim: directory update + writeback if dirty.
+  Cycle handle_l2_eviction(NodeId evictor, const mem::Victim& v, Cycle now);
+
+  unsigned control_bytes() const { return 8; }
+  unsigned data_bytes() const { return cfg_.l2.line_bytes; }
+
+  const MachineConfig& cfg_;
+  net::Network& network_;
+  mem::HomeMap* home_map_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace dsm::coh

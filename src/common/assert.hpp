@@ -1,0 +1,30 @@
+// assert.hpp — always-on invariant checking for the simulator.
+//
+// A timing simulator whose invariants silently break produces plausible-
+// looking garbage, so DSM_ASSERT stays active in release builds. The cost is
+// negligible next to cache/directory lookups.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dsm::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "DSM_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace dsm::detail
+
+#define DSM_ASSERT(expr)                                                   \
+  do {                                                                     \
+    if (!(expr)) ::dsm::detail::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define DSM_ASSERT_MSG(expr, msg)                                            \
+  do {                                                                       \
+    if (!(expr)) ::dsm::detail::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (false)

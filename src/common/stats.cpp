@@ -1,0 +1,142 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace dsm {
+
+void RunningStat::add(double x) {
+  ++n_;
+  sum_ += x;
+  if (n_ == 1) {
+    mean_ = x;
+    m2_ = 0.0;
+    min_ = max_ = x;
+    return;
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStat::merge(const RunningStat& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan et al. parallel combination.
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double nab = na + nb;
+  m2_ += other.m2_ + delta * delta * na * nb / nab;
+  mean_ += delta * nb / nab;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStat::reset() { *this = RunningStat{}; }
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::cov() const {
+  if (n_ < 2 || mean_ == 0.0) return 0.0;
+  return stddev() / mean_;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  DSM_ASSERT(hi > lo);
+  DSM_ASSERT(buckets > 0);
+}
+
+void Histogram::add(double x, std::uint64_t weight) {
+  auto idx = static_cast<std::int64_t>((x - lo_) / width_);
+  idx = std::clamp<std::int64_t>(idx, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bucket_hi(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto c = static_cast<double>(counts_[i]);
+    if (cum + c >= target && c > 0.0) {
+      const double frac = (target - cum) / c;
+      return bucket_lo(i) + frac * width_;
+    }
+    cum += c;
+  }
+  return hi_;
+}
+
+void StatRegistry::inc(const std::string& name, std::uint64_t by) {
+  counters_[name] += by;
+}
+
+void StatRegistry::set(const std::string& name, std::uint64_t value) {
+  counters_[name] = value;
+}
+
+std::uint64_t StatRegistry::get(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+bool StatRegistry::has(const std::string& name) const {
+  return counters_.contains(name);
+}
+
+void StatRegistry::reset() { counters_.clear(); }
+
+void StatRegistry::merge(const StatRegistry& other) {
+  for (const auto& [k, v] : other.counters_) counters_[k] += v;
+}
+
+double mean_of(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (const double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev_of(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean_of(xs);
+  double acc = 0.0;
+  for (const double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double cov_of(std::span<const double> xs) {
+  const double m = mean_of(xs);
+  if (m == 0.0) return 0.0;
+  return stddev_of(xs) / m;
+}
+
+}  // namespace dsm

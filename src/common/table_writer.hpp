@@ -1,0 +1,35 @@
+// table_writer.hpp — aligned-text and CSV emitters used by the bench
+// harnesses to print the paper's tables and figure series.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dsm {
+
+/// Collects rows of string cells and renders them as an aligned text table
+/// (for terminal output) or CSV (for plotting).
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Column-aligned, pipe-separated rendering.
+  std::string to_text() const;
+  /// RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  std::string to_csv() const;
+  void write_csv_file(const std::string& path) const;
+
+  /// Formats a double with `digits` significant digits (trailing-zero
+  /// trimmed) — shared cell formatter for all benches.
+  static std::string fmt(double v, int digits = 4);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dsm

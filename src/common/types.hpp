@@ -1,0 +1,40 @@
+// types.hpp — fundamental vocabulary types shared by every dsm module.
+//
+// Part of the reproduction of Ipek et al., "Dynamic Program Phase Detection
+// in Distributed Shared-Memory Multiprocessors" (IPDPS 2006).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dsm {
+
+/// Simulated physical address in the DSM global address space (bytes).
+using Addr = std::uint64_t;
+
+/// Simulated time in processor clock cycles (2 GHz by default, Table I).
+using Cycle = std::uint64_t;
+
+/// Identifier of a node (processor + its slice of distributed memory).
+using NodeId = std::uint32_t;
+
+/// Identifier of a basic block site inside an application kernel. The
+/// framework derives a synthetic branch instruction address from it.
+using BlockId = std::uint64_t;
+
+/// Phase identifier assigned by a detector. kNoPhase means "unclassified".
+using PhaseId = std::int32_t;
+
+inline constexpr PhaseId kNoPhase = -1;
+
+/// Sentinel for "no node" / broadcast in protocol messages.
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// Sentinel address used by allocators before placement.
+inline constexpr Addr kNullAddr = 0;
+
+/// Count of dynamic instructions (committed, non-synchronization unless
+/// stated otherwise).
+using InstrCount = std::uint64_t;
+
+}  // namespace dsm

@@ -1,0 +1,54 @@
+#include "cpu/gshare.hpp"
+
+#include "common/assert.hpp"
+#include "common/bitops.hpp"
+
+namespace dsm::cpu {
+
+GsharePredictor::GsharePredictor(const PredictorConfig& cfg)
+    : history_bits_(cfg.history_bits),
+      mask_(cfg.table_entries - 1),
+      counters_(cfg.table_entries, 2) {  // 2 = weakly taken
+  DSM_ASSERT(is_pow2(cfg.table_entries));
+  DSM_ASSERT(cfg.history_bits <= 32);
+}
+
+std::uint64_t GsharePredictor::index(Addr pc) const {
+  return ((pc >> 2) ^ history_) & mask_;
+}
+
+bool GsharePredictor::predict(Addr pc) const {
+  return counters_[index(pc)] >= 2;
+}
+
+bool GsharePredictor::update(Addr pc, bool taken) {
+  const std::uint64_t idx = index(pc);
+  const bool predicted_taken = counters_[idx] >= 2;
+  const bool correct = (predicted_taken == taken);
+  ++predictions_;
+  if (!correct) ++mispredictions_;
+
+  std::uint8_t& c = counters_[idx];
+  if (taken) {
+    if (c < 3) ++c;
+  } else {
+    if (c > 0) --c;
+  }
+  history_ = ((history_ << 1) | (taken ? 1u : 0u)) &
+             ((1ull << history_bits_) - 1);
+  return correct;
+}
+
+double GsharePredictor::misprediction_rate() const {
+  return predictions_ == 0
+             ? 0.0
+             : static_cast<double>(mispredictions_) / predictions_;
+}
+
+void GsharePredictor::reset() {
+  history_ = 0;
+  predictions_ = mispredictions_ = 0;
+  for (auto& c : counters_) c = 2;
+}
+
+}  // namespace dsm::cpu

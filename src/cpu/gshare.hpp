@@ -1,0 +1,43 @@
+// gshare.hpp — the 2,048-entry gshare branch predictor of Table I.
+//
+// Index = (pc >> 2) XOR global-history, into a table of 2-bit saturating
+// counters; the global history shift register records actual outcomes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace dsm::cpu {
+
+class GsharePredictor {
+ public:
+  explicit GsharePredictor(const PredictorConfig& cfg);
+
+  /// Predicted direction for the branch at `pc`.
+  bool predict(Addr pc) const;
+
+  /// Records the actual outcome, updating counter and history; returns
+  /// true when the earlier prediction would have been correct.
+  bool update(Addr pc, bool taken);
+
+  std::uint64_t predictions() const { return predictions_; }
+  std::uint64_t mispredictions() const { return mispredictions_; }
+  double misprediction_rate() const;
+
+  void reset();
+
+ private:
+  std::uint64_t index(Addr pc) const;
+
+  unsigned history_bits_;
+  std::uint64_t mask_;
+  std::uint64_t history_ = 0;
+  std::vector<std::uint8_t> counters_;  ///< 2-bit saturating, init weakly-taken
+  std::uint64_t predictions_ = 0;
+  std::uint64_t mispredictions_ = 0;
+};
+
+}  // namespace dsm::cpu

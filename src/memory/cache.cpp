@@ -1,0 +1,130 @@
+#include "memory/cache.hpp"
+
+#include "common/assert.hpp"
+#include "common/bitops.hpp"
+
+namespace dsm::mem {
+
+const char* mesi_name(Mesi s) {
+  switch (s) {
+    case Mesi::kInvalid: return "I";
+    case Mesi::kShared: return "S";
+    case Mesi::kExclusive: return "E";
+    case Mesi::kModified: return "M";
+  }
+  return "?";
+}
+
+Cache::Cache(const CacheConfig& cfg)
+    : cfg_(cfg),
+      sets_(cfg.size_bytes /
+            (static_cast<std::uint64_t>(cfg.line_bytes) * cfg.associativity)),
+      line_shift_(log2_exact(cfg.line_bytes)),
+      ways_(sets_ * cfg.associativity) {
+  DSM_ASSERT(is_pow2(cfg.line_bytes));
+  DSM_ASSERT(is_pow2(sets_));
+  DSM_ASSERT(cfg.associativity >= 1);
+}
+
+std::uint64_t Cache::set_index(Addr line) const {
+  return (line >> line_shift_) & (sets_ - 1);
+}
+
+Cache::Way* Cache::find(Addr addr) {
+  const Addr line = line_of(addr);
+  Way* base = &ways_[set_index(line) * cfg_.associativity];
+  for (unsigned w = 0; w < cfg_.associativity; ++w) {
+    if (base[w].state != Mesi::kInvalid && base[w].tag == line) return &base[w];
+  }
+  return nullptr;
+}
+
+const Cache::Way* Cache::find(Addr addr) const {
+  return const_cast<Cache*>(this)->find(addr);
+}
+
+bool Cache::probe(Addr addr) const { return find(addr) != nullptr; }
+
+Mesi Cache::state(Addr addr) const {
+  const Way* w = find(addr);
+  return w ? w->state : Mesi::kInvalid;
+}
+
+void Cache::set_state(Addr addr, Mesi s) {
+  Way* w = find(addr);
+  DSM_ASSERT_MSG(w != nullptr, "set_state on absent line");
+  DSM_ASSERT(s != Mesi::kInvalid);
+  w->state = s;
+}
+
+bool Cache::access(Addr addr) {
+  Way* w = find(addr);
+  if (w == nullptr) {
+    ++misses_;
+    return false;
+  }
+  w->lru = ++tick_;
+  ++hits_;
+  return true;
+}
+
+std::optional<Victim> Cache::fill(Addr addr, Mesi s) {
+  DSM_ASSERT(s != Mesi::kInvalid);
+  const Addr line = line_of(addr);
+  DSM_ASSERT_MSG(find(line) == nullptr, "fill of already-present line");
+  Way* base = &ways_[set_index(line) * cfg_.associativity];
+  Way* victim = nullptr;
+  for (unsigned w = 0; w < cfg_.associativity; ++w) {
+    if (base[w].state == Mesi::kInvalid) {
+      victim = &base[w];
+      break;
+    }
+    if (victim == nullptr || base[w].lru < victim->lru) victim = &base[w];
+  }
+  DSM_ASSERT(victim != nullptr);  // associativity >= 1 guarantees a way
+  std::optional<Victim> out;
+  if (victim->state != Mesi::kInvalid) {
+    out = Victim{victim->tag, victim->state};
+    ++evictions_;
+  }
+  victim->tag = line;
+  victim->state = s;
+  victim->lru = ++tick_;
+  return out;
+}
+
+Mesi Cache::invalidate(Addr addr) {
+  Way* w = find(addr);
+  if (w == nullptr) return Mesi::kInvalid;
+  const Mesi prior = w->state;
+  w->state = Mesi::kInvalid;
+  ++invals_;
+  return prior;
+}
+
+Mesi Cache::downgrade(Addr addr) {
+  Way* w = find(addr);
+  if (w == nullptr) return Mesi::kInvalid;
+  const Mesi prior = w->state;
+  if (prior == Mesi::kExclusive || prior == Mesi::kModified)
+    w->state = Mesi::kShared;
+  return prior;
+}
+
+void Cache::flush() {
+  for (auto& w : ways_) w.state = Mesi::kInvalid;
+}
+
+std::vector<Addr> Cache::resident_lines() const {
+  std::vector<Addr> out;
+  for (const auto& w : ways_)
+    if (w.state != Mesi::kInvalid) out.push_back(w.tag);
+  return out;
+}
+
+double Cache::hit_rate() const {
+  const std::uint64_t total = hits_ + misses_;
+  return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
+}
+
+}  // namespace dsm::mem

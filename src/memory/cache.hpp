@@ -1,0 +1,102 @@
+// cache.hpp — generic set-associative cache with true-LRU replacement and
+// per-line MESI state, used for both the L1 (16 kB direct-mapped) and the
+// L2 (2 MB, 8-way, 32 B lines) of Table I.
+//
+// The cache is *functional*: it tracks tags, LRU order, and coherence
+// state. Timing is composed by the node model (memory/mem_controller.hpp,
+// coherence/directory.hpp) from the configured hit latencies.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace dsm::mem {
+
+/// MESI coherence state of a cached line.
+enum class Mesi : std::uint8_t { kInvalid, kShared, kExclusive, kModified };
+
+const char* mesi_name(Mesi s);
+
+/// A line evicted to make room for an allocation.
+struct Victim {
+  Addr line_addr = 0;  ///< line-aligned byte address
+  Mesi state = Mesi::kInvalid;
+};
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& cfg);
+
+  unsigned line_bytes() const { return cfg_.line_bytes; }
+  unsigned associativity() const { return cfg_.associativity; }
+  std::uint64_t num_sets() const { return sets_; }
+  unsigned latency() const { return cfg_.latency_cycles; }
+
+  /// Line-aligns a byte address.
+  Addr line_of(Addr a) const { return a & ~static_cast<Addr>(cfg_.line_bytes - 1); }
+
+  /// True when the line is present in any valid state. Does not touch LRU.
+  bool probe(Addr addr) const;
+
+  /// Present-line state (kInvalid when absent).
+  Mesi state(Addr addr) const;
+
+  /// Updates the state of a present line; no-op -> assertion when absent.
+  void set_state(Addr addr, Mesi s);
+
+  /// Marks the line most-recently-used and counts a hit. Returns false
+  /// (and counts a miss) when absent.
+  bool access(Addr addr);
+
+  /// Allocates the line in state `s`, evicting the LRU way if the set is
+  /// full. Returns the victim when one was displaced. The line must not
+  /// already be present.
+  std::optional<Victim> fill(Addr addr, Mesi s);
+
+  /// Removes the line (remote invalidation / inclusion victim). Returns
+  /// its prior state (kInvalid when it was absent).
+  Mesi invalidate(Addr addr);
+
+  /// Downgrades Exclusive/Modified to Shared; returns prior state.
+  Mesi downgrade(Addr addr);
+
+  /// Drops every line (used between application runs).
+  void flush();
+
+  /// Enumerates all valid line addresses (diagnostics/tests).
+  std::vector<Addr> resident_lines() const;
+
+  // Statistics.
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+  std::uint64_t invalidations_received() const { return invals_; }
+  double hit_rate() const;
+
+ private:
+  struct Way {
+    Addr tag = 0;
+    Mesi state = Mesi::kInvalid;
+    std::uint64_t lru = 0;  ///< larger = more recent
+  };
+
+  std::uint64_t set_index(Addr line) const;
+  Way* find(Addr addr);
+  const Way* find(Addr addr) const;
+
+  CacheConfig cfg_;
+  std::uint64_t sets_;
+  unsigned line_shift_;
+  std::vector<Way> ways_;  ///< sets_ * associativity, row-major by set
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t invals_ = 0;
+};
+
+}  // namespace dsm::mem

@@ -1,0 +1,31 @@
+#include "memory/dram.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/bitops.hpp"
+
+namespace dsm::mem {
+
+Dram::Dram(const MachineConfig& cfg)
+    : banks_(cfg.memory.banks),
+      line_shift_(log2_exact(cfg.l2.line_bytes)),
+      access_cycles_(cfg.ns_to_cycles(cfg.memory.access_ns)),
+      cycles_per_byte_(cfg.cycles_per_ns() /
+                       cfg.memory.bandwidth_gbps) {  // GB/s == B/ns
+  DSM_ASSERT(banks_ > 0);
+}
+
+Cycle Dram::access_latency(unsigned bytes) const {
+  return access_cycles_ + channel_occupancy(bytes);
+}
+
+Cycle Dram::channel_occupancy(unsigned bytes) const {
+  return static_cast<Cycle>(std::ceil(cycles_per_byte_ * bytes));
+}
+
+unsigned Dram::bank_of(Addr line_addr) const {
+  return static_cast<unsigned>((line_addr >> line_shift_) % banks_);
+}
+
+}  // namespace dsm::mem

@@ -1,0 +1,43 @@
+// dram.hpp — interleaved-SDRAM timing for one node's local memory
+// (Table I: SDRAM interleaved, 75 ns access, 2.6 GB/s).
+//
+// The device model is deliberately stateless in time: a request costs the
+// row-access latency plus the channel transfer for its payload. Queueing
+// ahead of the device is modeled by the MemController's utilization-based
+// queue (mem_controller.hpp), which — unlike an absolute busy-until
+// reservation — is immune to the bounded clock skew between cooperatively
+// scheduled processors.
+#pragma once
+
+#include <cstdint>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace dsm::mem {
+
+class Dram {
+ public:
+  explicit Dram(const MachineConfig& cfg);
+
+  /// Device-only latency (no queueing) for a `bytes`-byte access.
+  Cycle access_latency(unsigned bytes) const;
+
+  /// Cycles the shared data channel is occupied by a `bytes` transfer —
+  /// the service time the controller's queue model uses.
+  Cycle channel_occupancy(unsigned bytes) const;
+
+  /// Bank selected by a line address (consecutive lines hit consecutive
+  /// banks: classic SDRAM interleaving). Exposed for tests/statistics.
+  unsigned bank_of(Addr line_addr) const;
+
+  unsigned banks() const { return banks_; }
+
+ private:
+  unsigned banks_;
+  unsigned line_shift_;
+  Cycle access_cycles_;     ///< 75 ns in core cycles
+  double cycles_per_byte_;  ///< 1 / (2.6 GB/s) in core cycles
+};
+
+}  // namespace dsm::mem

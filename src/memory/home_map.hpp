@@ -1,0 +1,59 @@
+// home_map.hpp — page-granular assignment of the global address space to
+// home nodes. The paper's DDV counts "loads and stores ... that accessed
+// data with home in node j"; this map is where "home" is defined.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hpp"
+
+namespace dsm::mem {
+
+/// Default placement policy for pages not explicitly placed.
+enum class Placement : std::uint8_t {
+  kRoundRobin,   ///< page i -> node i mod n (classic DSM interleaving)
+  kBlockCyclic,  ///< blocks of pages cycle over the nodes
+  kFirstTouch,   ///< home = first accessor (SGI-style)
+};
+
+class HomeMap {
+ public:
+  HomeMap(unsigned nodes, std::uint64_t page_bytes, Placement policy,
+          std::uint64_t block_pages = 8);
+
+  unsigned nodes() const { return nodes_; }
+  std::uint64_t page_bytes() const { return page_bytes_; }
+  Placement policy() const { return policy_; }
+
+  /// Home of the page containing `addr`, assigning it per policy on first
+  /// use. `accessor` resolves first-touch; other policies ignore it.
+  NodeId home_of(Addr addr, NodeId accessor);
+
+  /// Home if already determined (explicit or policy-computable without an
+  /// accessor); kNoNode for an untouched first-touch page.
+  NodeId peek_home(Addr addr) const;
+
+  /// Explicitly places every page overlapping [addr, addr+bytes) on `node`
+  /// (overrides the policy; later calls override earlier ones).
+  void place_range(Addr addr, std::uint64_t bytes, NodeId node);
+
+  /// Distributes pages of [addr, addr+bytes) round-robin starting at
+  /// `first_node` — how our apps emulate SPLASH-2-style data distribution.
+  void distribute_range(Addr addr, std::uint64_t bytes, NodeId first_node = 0);
+
+  /// Number of pages with an explicit or first-touch binding.
+  std::size_t bound_pages() const { return explicit_.size(); }
+
+ private:
+  std::uint64_t page_of(Addr addr) const { return addr / page_bytes_; }
+  NodeId policy_home(std::uint64_t page) const;
+
+  unsigned nodes_;
+  std::uint64_t page_bytes_;
+  Placement policy_;
+  std::uint64_t block_pages_;
+  std::unordered_map<std::uint64_t, NodeId> explicit_;
+};
+
+}  // namespace dsm::mem

@@ -1,0 +1,57 @@
+#include "memory/mem_controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace dsm::mem {
+
+MemController::MemController(const MachineConfig& cfg, NodeId node)
+    : node_(node),
+      occupancy_(cfg.ns_to_cycles(cfg.memory.controller_occupancy_ns)),
+      epoch_cycles_(cfg.network.contention_epoch_cycles),
+      dram_(cfg),
+      per_requestor_(cfg.num_nodes, 0) {}
+
+void MemController::roll(std::uint64_t epoch_now) const {
+  if (epoch_ == epoch_now) return;
+  busy_previous_ = (epoch_ + 1 == epoch_now) ? busy_current_ : 0.0;
+  busy_current_ = 0.0;
+  epoch_ = epoch_now;
+}
+
+double MemController::utilization(Cycle now) const {
+  roll(now / epoch_cycles_);
+  return std::min(busy_previous_ / static_cast<double>(epoch_cycles_), 1.0);
+}
+
+Cycle MemController::request(Addr line_addr, Cycle now, unsigned bytes,
+                             NodeId requestor) {
+  DSM_ASSERT(requestor < per_requestor_.size());
+  (void)line_addr;
+  ++requests_;
+  ++per_requestor_[requestor];
+
+  // Service time: the controller and the data channel pipeline, so the
+  // bottleneck stage sets the rate.
+  const Cycle service =
+      std::max<Cycle>(occupancy_, dram_.channel_occupancy(bytes));
+
+  roll(now / epoch_cycles_);
+  const double rho = std::min(
+      busy_previous_ / static_cast<double>(epoch_cycles_), 0.90);
+  const auto queue_wait = static_cast<Cycle>(
+      std::llround(static_cast<double>(service) * rho / (1.0 - rho)));
+  busy_current_ += static_cast<double>(service);
+
+  queue_stat_.add(static_cast<double>(queue_wait));
+  return queue_wait + dram_.access_latency(bytes);
+}
+
+std::uint64_t MemController::requests_from(NodeId n) const {
+  DSM_ASSERT(n < per_requestor_.size());
+  return per_requestor_[n];
+}
+
+}  // namespace dsm::mem

@@ -1,0 +1,58 @@
+// mem_controller.hpp — the home node's memory controller: an epoch-
+// utilization queue in front of the DRAM.
+//
+// This queue is the physical source of the *contention* the paper's DDV
+// contention vector C observes: when many processors hammer one home node,
+// requests pile up here and every visitor's latency rises.
+//
+// Queueing is analytical (M/D/1-shaped over the previous epoch's
+// utilization) rather than an absolute busy-until reservation, so the
+// bounded clock skew between cooperatively scheduled processors cannot
+// manufacture phantom waits — see tests/mem_controller_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "memory/dram.hpp"
+
+namespace dsm::mem {
+
+class MemController {
+ public:
+  MemController(const MachineConfig& cfg, NodeId node);
+
+  NodeId node() const { return node_; }
+
+  /// One request from `requestor` arriving at `now` for `bytes` at
+  /// `line_addr`; returns queueing + device latency in cycles.
+  Cycle request(Addr line_addr, Cycle now, unsigned bytes, NodeId requestor);
+
+  /// Utilization (0..1) of the controller during the last completed epoch.
+  double utilization(Cycle now) const;
+
+  std::uint64_t requests() const { return requests_; }
+  std::uint64_t requests_from(NodeId n) const;
+
+  /// Queueing-delay distribution — rises with contention on this home.
+  const RunningStat& queue_stat() const { return queue_stat_; }
+
+ private:
+  void roll(std::uint64_t epoch_now) const;
+
+  NodeId node_;
+  Cycle occupancy_;      ///< controller busy time per request
+  Cycle epoch_cycles_;   ///< shares the network's contention epoch length
+  Dram dram_;
+  mutable std::uint64_t epoch_ = 0;
+  mutable double busy_current_ = 0.0;   ///< service cycles booked this epoch
+  mutable double busy_previous_ = 0.0;  ///< last epoch's booked cycles
+  std::uint64_t requests_ = 0;
+  std::vector<std::uint64_t> per_requestor_;
+  RunningStat queue_stat_;
+};
+
+}  // namespace dsm::mem

@@ -1,0 +1,49 @@
+#include "network/contention.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace dsm::net {
+
+LinkContentionTracker::LinkContentionTracker(Cycle epoch_cycles,
+                                             double capacity_flits)
+    : epoch_cycles_(epoch_cycles), capacity_flits_(capacity_flits) {
+  DSM_ASSERT(epoch_cycles_ > 0);
+  DSM_ASSERT(capacity_flits_ > 0.0);
+}
+
+void LinkContentionTracker::roll(LinkState& s, std::uint64_t epoch_now) const {
+  if (s.epoch == epoch_now) return;
+  if (s.epoch + 1 == epoch_now) {
+    s.previous = s.current;
+  } else {
+    s.previous = 0.0;  // link was idle for at least one full epoch
+  }
+  s.current = 0.0;
+  s.epoch = epoch_now;
+}
+
+void LinkContentionTracker::record(LinkId link, Cycle now, double flits) {
+  auto& s = links_[link];
+  roll(s, now / epoch_cycles_);
+  s.current += flits;
+}
+
+double LinkContentionTracker::utilization(LinkId link, Cycle now) const {
+  const auto it = links_.find(link);
+  if (it == links_.end()) return 0.0;
+  auto& s = it->second;
+  roll(s, now / epoch_cycles_);
+  return std::min(s.previous / capacity_flits_, 1.0);
+}
+
+double LinkContentionTracker::queueing_delay(LinkId link, Cycle now,
+                                             double alpha) const {
+  // M/M/1-style shape, with utilization capped so a saturated link costs
+  // a bounded (9x alpha) per-hop penalty rather than a runaway tail.
+  const double u = std::min(utilization(link, now), 0.90);
+  return alpha * u / (1.0 - u);
+}
+
+}  // namespace dsm::net

@@ -1,0 +1,54 @@
+// contention.hpp — epoch-based link-utilization tracking for the analytical
+// wormhole contention model.
+//
+// A full flit-level wormhole simulation is far too slow for paper-scale
+// runs; instead each directed link accumulates the flit-cycles it carried
+// during the current epoch. The utilization of the *previous* epoch drives
+// an M/M/1-style queueing term for messages crossing that link now. This
+// captures the first-order effect the paper's DDV needs: traffic focused on
+// one home node slows everyone routing toward it.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "network/topology.hpp"
+
+namespace dsm::net {
+
+class LinkContentionTracker {
+ public:
+  /// `epoch_cycles`: epoch length in core cycles. `capacity_flits`: flits a
+  /// link can carry per epoch (router cycles in the epoch).
+  LinkContentionTracker(Cycle epoch_cycles, double capacity_flits);
+
+  /// Records that `flits` crossed `link` at time `now`.
+  void record(LinkId link, Cycle now, double flits);
+
+  /// Utilization (0..~1) of `link` during the last completed epoch.
+  double utilization(LinkId link, Cycle now) const;
+
+  /// Queueing delay in router cycles for one message crossing `link`:
+  /// alpha * u / (1 - u), capped (u capped at 0.95 to bound the tail).
+  double queueing_delay(LinkId link, Cycle now, double alpha) const;
+
+  Cycle epoch_cycles() const { return epoch_cycles_; }
+
+ private:
+  struct LinkState {
+    std::uint64_t epoch = 0;      ///< epoch index of `current`
+    double current = 0.0;         ///< flits this epoch
+    double previous = 0.0;        ///< flits last epoch
+  };
+
+  /// Rolls `s` forward so that `s.epoch` is the epoch containing `now`.
+  void roll(LinkState& s, std::uint64_t epoch_now) const;
+
+  Cycle epoch_cycles_;
+  double capacity_flits_;
+  mutable std::unordered_map<LinkId, LinkState> links_;
+};
+
+}  // namespace dsm::net

@@ -1,0 +1,101 @@
+#include "network/network.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/bitops.hpp"
+
+namespace dsm::net {
+
+Network::Network(const MachineConfig& cfg)
+    : cfg_(cfg),
+      topo_(cfg.network.topology, cfg.num_nodes),
+      core_cycles_per_router_cycle_(
+          static_cast<double>(cfg.core.frequency_hz) /
+          cfg.network.router_frequency_hz),
+      per_hop_cycles_(cfg.network.pin_to_pin_ns * cfg.cycles_per_ns()),
+      capacity_flits_(static_cast<double>(cfg.network.contention_epoch_cycles) /
+                      core_cycles_per_router_cycle_),
+      tracker_(cfg.network.contention_epoch_cycles, capacity_flits_) {}
+
+unsigned Network::flits_for(unsigned payload_bytes) const {
+  return cfg_.network.header_flits +
+         static_cast<unsigned>(
+             ceil_div(payload_bytes, cfg_.network.link_bytes_per_flit));
+}
+
+Cycle Network::zero_load_latency(NodeId src, NodeId dst,
+                                 unsigned payload_bytes) const {
+  if (src == dst) return 0;
+  const unsigned h = topo_.hops(src, dst);
+  const unsigned flits = flits_for(payload_bytes);
+  // Wormhole: header pays per-hop latency at every hop; the body streams
+  // behind it, adding (flits-1) router cycles of serialization once.
+  const double cycles =
+      h * per_hop_cycles_ +
+      (flits - 1) * core_cycles_per_router_cycle_;
+  return static_cast<Cycle>(std::ceil(cycles));
+}
+
+double Network::contention_cycles(NodeId src, NodeId dst, Cycle now,
+                                  bool record, unsigned flits) {
+  if (src == dst) return 0.0;
+  // The header flit pays the queueing delay at each hop; body flits
+  // pipeline behind it (their serialization is already charged once in
+  // zero_load_latency).
+  double queue_router_cycles = 0.0;
+  for (const LinkId link : topo_.route(src, dst)) {
+    queue_router_cycles +=
+        tracker_.queueing_delay(link, now, cfg_.network.contention_alpha);
+    if (record) tracker_.record(link, now, flits);
+  }
+  return queue_router_cycles * core_cycles_per_router_cycle_;
+}
+
+Cycle Network::message_latency(NodeId src, NodeId dst, unsigned payload_bytes,
+                               Cycle now, TrafficClass cls) {
+  const auto idx = static_cast<unsigned>(cls);
+  DSM_ASSERT(idx < kNumTrafficClasses);
+  ++msg_count_[idx];
+  byte_count_[idx] += payload_bytes;
+  if (src == dst) return 0;
+  const unsigned flits = flits_for(payload_bytes);
+  const Cycle lat =
+      zero_load_latency(src, dst, payload_bytes) +
+      static_cast<Cycle>(
+          std::ceil(contention_cycles(src, dst, now, /*record=*/true, flits)));
+  latency_stat_.add(static_cast<double>(lat));
+  return lat;
+}
+
+Cycle Network::probe_latency(NodeId src, NodeId dst, unsigned payload_bytes,
+                             Cycle now) const {
+  if (src == dst) return 0;
+  const unsigned flits = flits_for(payload_bytes);
+  auto* self = const_cast<Network*>(this);
+  return zero_load_latency(src, dst, payload_bytes) +
+         static_cast<Cycle>(std::ceil(self->contention_cycles(
+             src, dst, now, /*record=*/false, flits)));
+}
+
+std::uint64_t Network::messages_sent(TrafficClass cls) const {
+  return msg_count_[static_cast<unsigned>(cls)];
+}
+
+std::uint64_t Network::bytes_sent(TrafficClass cls) const {
+  return byte_count_[static_cast<unsigned>(cls)];
+}
+
+std::uint64_t Network::total_messages() const {
+  std::uint64_t t = 0;
+  for (const auto c : msg_count_) t += c;
+  return t;
+}
+
+std::uint64_t Network::total_bytes() const {
+  std::uint64_t t = 0;
+  for (const auto c : byte_count_) t += c;
+  return t;
+}
+
+}  // namespace dsm::net

@@ -1,0 +1,63 @@
+// topology.hpp — interconnect topologies and deterministic routing.
+//
+// The paper's machine uses a hypercube (Table I); the DDV's distance matrix
+// D is "a matrix of pre-programmed constants" derived from the topology.
+// We also provide mesh/torus/ring so ablations can vary D's structure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace dsm::net {
+
+/// A directed link between adjacent routers, identified densely so the
+/// contention model can keep per-link counters.
+using LinkId = std::uint32_t;
+
+/// Topology geometry + deterministic minimal routing.
+///
+/// Routing is dimension-ordered: e-cube on the hypercube, X-then-Y on
+/// mesh/torus, fixed direction (shorter way) on the ring — deadlock-free
+/// orders matching classic wormhole designs.
+class TopologyModel {
+ public:
+  TopologyModel(Topology kind, unsigned nodes);
+
+  Topology kind() const { return kind_; }
+  unsigned nodes() const { return nodes_; }
+  unsigned num_links() const { return static_cast<unsigned>(links_); }
+
+  /// Hop count of the deterministic minimal route from src to dst
+  /// (0 when src == dst).
+  unsigned hops(NodeId src, NodeId dst) const;
+
+  /// Network diameter (max hops over all pairs).
+  unsigned diameter() const;
+
+  /// Average hop distance over all ordered pairs with src != dst.
+  double mean_hops() const;
+
+  /// The sequence of directed links the deterministic route traverses.
+  /// Empty when src == dst.
+  std::vector<LinkId> route(NodeId src, NodeId dst) const;
+
+  /// The paper's D matrix entry: topological distance, with D[i][i] == 1
+  /// ("1 if i = j"), so local accesses carry unit weight in the DDS.
+  std::uint32_t ddv_distance(NodeId i, NodeId j) const;
+
+  /// Full D matrix in row-major order (n*n entries).
+  std::vector<std::uint32_t> ddv_distance_matrix() const;
+
+ private:
+  unsigned mesh_side() const;
+  LinkId link_id(NodeId from, NodeId to) const;
+
+  Topology kind_;
+  unsigned nodes_;
+  std::size_t links_;
+};
+
+}  // namespace dsm::net

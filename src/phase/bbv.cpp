@@ -1,0 +1,61 @@
+#include "phase/bbv.hpp"
+
+#include "common/assert.hpp"
+#include "common/bitops.hpp"
+
+namespace dsm::phase {
+
+std::uint64_t manhattan(std::span<const std::uint32_t> a,
+                        std::span<const std::uint32_t> b) {
+  DSM_ASSERT(a.size() == b.size());
+  std::uint64_t d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    d += a[i] > b[i] ? a[i] - b[i] : b[i] - a[i];
+  }
+  return d;
+}
+
+std::uint64_t manhattan_capped(std::span<const std::uint32_t> a,
+                               std::span<const std::uint32_t> b,
+                               std::uint64_t cap) {
+  DSM_ASSERT(a.size() == b.size());
+  std::uint64_t d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    d += a[i] > b[i] ? a[i] - b[i] : b[i] - a[i];
+    if (d > cap) return d;
+  }
+  return d;
+}
+
+BbvAccumulator::BbvAccumulator(unsigned entries, std::uint32_t norm)
+    : raw_(entries, 0), norm_(norm) {
+  DSM_ASSERT(entries > 0);
+  DSM_ASSERT(norm > 0);
+}
+
+unsigned BbvAccumulator::index_of(Addr branch_addr) const {
+  return static_cast<unsigned>(fnv1a64(branch_addr) % raw_.size());
+}
+
+void BbvAccumulator::record_branch(Addr branch_addr,
+                                   InstrCount instrs_since_last_branch) {
+  raw_[index_of(branch_addr)] += instrs_since_last_branch;
+  total_ += instrs_since_last_branch;
+}
+
+BbvVector BbvAccumulator::snapshot() const {
+  BbvVector out(raw_.size(), 0);
+  if (total_ == 0) return out;
+  for (std::size_t i = 0; i < raw_.size(); ++i) {
+    out[i] = static_cast<std::uint32_t>(
+        (raw_[i] * static_cast<std::uint64_t>(norm_)) / total_);
+  }
+  return out;
+}
+
+void BbvAccumulator::reset() {
+  for (auto& c : raw_) c = 0;
+  total_ = 0;
+}
+
+}  // namespace dsm::phase

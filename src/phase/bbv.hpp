@@ -1,0 +1,62 @@
+// bbv.hpp — the basic-block-vector accumulator of Sherwood et al. (paper
+// Fig. 1): an array of hardware counters hashed by branch instruction
+// address, each incremented by the number of instructions committed since
+// the last branch.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dsm::phase {
+
+/// A normalized BBV snapshot: entries rescaled to sum to `norm` so that
+/// Manhattan distances are comparable across intervals regardless of the
+/// exact committed-instruction count.
+using BbvVector = std::vector<std::uint32_t>;
+
+/// Manhattan (L1) distance between two equal-length vectors.
+std::uint64_t manhattan(std::span<const std::uint32_t> a,
+                        std::span<const std::uint32_t> b);
+
+/// Manhattan distance with an early exit: returns any value > cap as soon
+/// as the running sum exceeds `cap` (the footprint search only cares
+/// whether the distance is under the threshold).
+std::uint64_t manhattan_capped(std::span<const std::uint32_t> a,
+                               std::span<const std::uint32_t> b,
+                               std::uint64_t cap);
+
+class BbvAccumulator {
+ public:
+  /// `entries` hardware counters (paper: 32). `norm` is the fixed total
+  /// weight snapshots are rescaled to (config: 1<<16).
+  BbvAccumulator(unsigned entries, std::uint32_t norm);
+
+  /// Commits a branch at address `branch_addr` that retired with
+  /// `instrs_since_last_branch` instructions since the previous branch
+  /// (including itself): accumulator[hash(addr)] += count.
+  void record_branch(Addr branch_addr, InstrCount instrs_since_last_branch);
+
+  /// Normalized snapshot of the accumulator (does not reset).
+  BbvVector snapshot() const;
+
+  /// Clears all counters for the next interval.
+  void reset();
+
+  unsigned entries() const { return static_cast<unsigned>(raw_.size()); }
+  std::uint64_t total_weight() const { return total_; }
+  std::span<const std::uint64_t> raw() const { return raw_; }
+
+  /// The accumulator's hash: FNV-1a of the branch address folded into the
+  /// table size (a power of two is not required).
+  unsigned index_of(Addr branch_addr) const;
+
+ private:
+  std::vector<std::uint64_t> raw_;
+  std::uint64_t total_ = 0;
+  std::uint32_t norm_;
+};
+
+}  // namespace dsm::phase

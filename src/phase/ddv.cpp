@@ -1,0 +1,74 @@
+#include "phase/ddv.hpp"
+
+#include "common/assert.hpp"
+
+namespace dsm::phase {
+
+DdvFabric::DdvFabric(unsigned nodes, std::vector<std::uint32_t> distance_matrix)
+    : nodes_(nodes),
+      dist_(std::move(distance_matrix)),
+      cumulative_(std::size_t{nodes} * nodes, 0),
+      snapshot_(std::size_t{nodes} * nodes * nodes, 0) {
+  DSM_ASSERT(nodes_ > 0);
+  DSM_ASSERT(dist_.size() == std::size_t{nodes_} * nodes_);
+  for (NodeId i = 0; i < nodes_; ++i)
+    DSM_ASSERT_MSG(dist_[idx(i, i)] == 1, "paper requires D[i][i] == 1");
+}
+
+void DdvFabric::record_access(NodeId p, NodeId home) {
+  DSM_ASSERT(p < nodes_ && home < nodes_);
+  // Equivalent to incrementing F^p[k][home] for every k.
+  ++cumulative_[idx(p, home)];
+}
+
+std::uint64_t DdvFabric::frequency(NodeId p, NodeId k, NodeId j) const {
+  DSM_ASSERT(p < nodes_ && k < nodes_ && j < nodes_);
+  const std::size_t s = (std::size_t{p} * nodes_ + k) * nodes_ + j;
+  return cumulative_[idx(p, j)] - snapshot_[s];
+}
+
+std::uint32_t DdvFabric::distance(NodeId i, NodeId j) const {
+  DSM_ASSERT(i < nodes_ && j < nodes_);
+  return dist_[idx(i, j)];
+}
+
+DdvFabric::GatherResult DdvFabric::gather(NodeId i) {
+  DSM_ASSERT(i < nodes_);
+  GatherResult out;
+  out.own_f.assign(nodes_, 0);
+  out.c.assign(nodes_, 0);
+
+  for (NodeId p = 0; p < nodes_; ++p) {
+    for (NodeId j = 0; j < nodes_; ++j) {
+      const std::size_t s = (std::size_t{p} * nodes_ + i) * nodes_ + j;
+      const std::uint64_t f = cumulative_[idx(p, j)] - snapshot_[s];
+      out.c[j] += f;
+      if (p == i) out.own_f[j] = f;
+      snapshot_[s] = cumulative_[idx(p, j)];  // zero the on-behalf count
+    }
+  }
+
+  double dds = 0.0;
+  for (NodeId j = 0; j < nodes_; ++j) {
+    dds += static_cast<double>(out.own_f[j]) *
+           static_cast<double>(dist_[idx(i, j)]) *
+           static_cast<double>(out.c[j]);
+  }
+  out.dds = dds;
+  return out;
+}
+
+std::uint64_t DdvFabric::gather_payload_bytes(unsigned counter_bytes,
+                                              unsigned request_bytes) const {
+  if (nodes_ <= 1) return 0;
+  const std::uint64_t peers = nodes_ - 1;
+  return peers * (request_bytes +
+                  static_cast<std::uint64_t>(nodes_) * counter_bytes);
+}
+
+void DdvFabric::reset() {
+  std::fill(cumulative_.begin(), cumulative_.end(), 0);
+  std::fill(snapshot_.begin(), snapshot_.end(), 0);
+}
+
+}  // namespace dsm::phase

@@ -1,0 +1,76 @@
+// ddv.hpp — the paper's data distribution vector (§III-B): per-processor
+// frequency matrix F, pre-programmed distance matrix D, contention vector
+// C, and the scalar data distribution score
+//
+//     DDS_i = sum_j  F[i][j] * D[i][j] * C[j]
+//
+// where F[i][j] counts processor i's committed loads/stores to lines with
+// home node j during i's current interval, and C[j] is the system-wide
+// access count to home j over the same window.
+//
+// Hardware semantics (paper): each processor p keeps one n-entry frequency
+// vector per processor k in the system (F^p[k][*]), incremented on every
+// commit and zeroed when k gathers it, so counts line up with *k's*
+// interval boundaries even though intervals are local to each processor.
+//
+// Implementation note: "increment all F^p[k][j] for every k" is realized
+// in O(1) per access by keeping one cumulative counter A^p[j] plus an
+// epoch snapshot per (p, k); F^p[k][j] == A^p[j] - S^p[k][j]. The tests
+// (`ddv_test.cpp`) verify this is arithmetically identical to the paper's
+// formulation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dsm::phase {
+
+class DdvFabric {
+ public:
+  /// `distance_matrix`: row-major n*n, the paper's D (D[i][i] == 1).
+  DdvFabric(unsigned nodes, std::vector<std::uint32_t> distance_matrix);
+
+  unsigned nodes() const { return nodes_; }
+
+  /// Processor `p` committed a load/store to a line homed at `home`.
+  void record_access(NodeId p, NodeId home);
+
+  /// F^p[k][j] as the paper defines it (for tests and diagnostics).
+  std::uint64_t frequency(NodeId p, NodeId k, NodeId j) const;
+
+  std::uint32_t distance(NodeId i, NodeId j) const;
+
+  /// Result of processor i's end-of-interval gather.
+  struct GatherResult {
+    std::vector<std::uint64_t> own_f;  ///< F[i][*]: i's accesses per home
+    std::vector<std::uint64_t> c;      ///< system-wide accesses per home
+    double dds = 0.0;
+  };
+
+  /// Executes the end-of-interval exchange for processor i: collects every
+  /// F^p[i][*] vector, sums them into C, computes DDS from i's own vector,
+  /// and zeroes all on-behalf-of-i counts (starting i's next interval).
+  GatherResult gather(NodeId i);
+
+  /// Payload bytes processor i moves per gather: (n-1) requests plus
+  /// (n-1) n-entry count vectors — the traffic of the paper's §III-B
+  /// overhead estimate.
+  std::uint64_t gather_payload_bytes(unsigned counter_bytes = 4,
+                                     unsigned request_bytes = 8) const;
+
+  void reset();
+
+ private:
+  std::size_t idx(NodeId a, NodeId b) const { return std::size_t{a} * nodes_ + b; }
+
+  unsigned nodes_;
+  std::vector<std::uint32_t> dist_;        ///< n*n row-major
+  std::vector<std::uint64_t> cumulative_;  ///< A^p[j], n*n row-major
+  /// S^p[k][j]: snapshot of A^p[j] at k's last gather; n*n*n,
+  /// indexed [p][k][j].
+  std::vector<std::uint64_t> snapshot_;
+};
+
+}  // namespace dsm::phase

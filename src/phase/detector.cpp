@@ -1,0 +1,24 @@
+#include "phase/detector.hpp"
+
+namespace dsm::phase {
+
+BbvDetector::BbvDetector(unsigned footprint_capacity, Thresholds t)
+    : table_(footprint_capacity, /*use_dds=*/false), thresholds_(t) {}
+
+Classification BbvDetector::classify(const IntervalRecord& rec) {
+  return table_.classify(rec.bbv, /*dds=*/0.0, thresholds_.bbv,
+                         /*dds_threshold=*/0.0);
+}
+
+void BbvDetector::reset() { table_.reset(); }
+
+BbvDdvDetector::BbvDdvDetector(unsigned footprint_capacity, Thresholds t)
+    : table_(footprint_capacity, /*use_dds=*/true), thresholds_(t) {}
+
+Classification BbvDdvDetector::classify(const IntervalRecord& rec) {
+  return table_.classify(rec.bbv, rec.dds, thresholds_.bbv, thresholds_.dds);
+}
+
+void BbvDdvDetector::reset() { table_.reset(); }
+
+}  // namespace dsm::phase

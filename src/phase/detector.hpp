@@ -1,0 +1,90 @@
+// detector.hpp — online phase detectors: the BBV uniprocessor baseline
+// (§III-A) and the proposed BBV+DDV detector (§III-B), each a thin policy
+// over the shared footprint table.
+//
+// These run *online* inside the simulator when an experiment fixes its
+// thresholds up front; the offline sweep in analysis/classifier.hpp replays
+// the identical algorithm over recorded intervals.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "phase/footprint.hpp"
+#include "phase/interval_record.hpp"
+
+namespace dsm::phase {
+
+/// Detector thresholds. `bbv` is in normalized-Manhattan units (0 ..
+/// 2*bbv_norm); `dds` in absolute DDS units (ignored by the baseline).
+struct Thresholds {
+  std::uint64_t bbv = 0;
+  double dds = 0.0;
+};
+
+/// Common interface so experiments can swap detectors.
+///
+/// Multiprogramming (paper §III-B): "the phase identification information
+/// can be incorporated into the thread's state on a context switch.
+/// Alternatively, phase information associated with threads can be
+/// cleared at the expense of more tuning." Both options are supported:
+/// save_context()/restore_context() swap the architectural state (the
+/// footprint table and phase-id counter) in and out, and reset() is the
+/// clearing alternative. tests/phase/multiprogram_test.cpp quantifies the
+/// extra tuning that clearing costs.
+class PhaseDetector {
+ public:
+  virtual ~PhaseDetector() = default;
+
+  /// Classifies one finished interval; returns its phase id.
+  virtual Classification classify(const IntervalRecord& rec) = 0;
+
+  virtual void reset() = 0;
+  virtual const char* name() const = 0;
+
+  /// The detector's architectural state, as saved on a context switch.
+  virtual FootprintTable save_context() const = 0;
+  virtual void restore_context(FootprintTable state) = 0;
+};
+
+/// §III-A baseline: BBV distance only.
+class BbvDetector final : public PhaseDetector {
+ public:
+  BbvDetector(unsigned footprint_capacity, Thresholds t);
+
+  Classification classify(const IntervalRecord& rec) override;
+  void reset() override;
+  const char* name() const override { return "BBV"; }
+  FootprintTable save_context() const override { return table_; }
+  void restore_context(FootprintTable state) override {
+    table_ = std::move(state);
+  }
+
+  const FootprintTable& table() const { return table_; }
+
+ private:
+  FootprintTable table_;
+  Thresholds thresholds_;
+};
+
+/// §III-B proposal: BBV distance AND DDS difference must both match.
+class BbvDdvDetector final : public PhaseDetector {
+ public:
+  BbvDdvDetector(unsigned footprint_capacity, Thresholds t);
+
+  Classification classify(const IntervalRecord& rec) override;
+  void reset() override;
+  const char* name() const override { return "BBV+DDV"; }
+  FootprintTable save_context() const override { return table_; }
+  void restore_context(FootprintTable state) override {
+    table_ = std::move(state);
+  }
+
+  const FootprintTable& table() const { return table_; }
+
+ private:
+  FootprintTable table_;
+  Thresholds thresholds_;
+};
+
+}  // namespace dsm::phase

@@ -1,0 +1,65 @@
+// footprint.hpp — the footprint table of the paper's detectors (Figs. 1
+// and 3): a small, LRU-managed table of previously seen BBV signatures,
+// each optionally paired with a DDS value in the BBV+DDV configuration.
+//
+// Classification (paper §III-B): among entries whose BBV Manhattan
+// distance AND DDS difference are both under their thresholds, the entry
+// with the smallest Manhattan distance wins; otherwise a new entry is
+// allocated (possibly replacing the LRU victim) and a fresh phase id is
+// issued.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "phase/bbv.hpp"
+
+namespace dsm::phase {
+
+/// Result of classifying one interval.
+struct Classification {
+  PhaseId phase = kNoPhase;
+  bool new_phase = false;       ///< a new footprint entry was allocated
+  std::uint64_t bbv_distance = 0;  ///< to the matched entry (0 for new)
+  double dds_difference = 0.0;     ///< to the matched entry (0 for new)
+};
+
+class FootprintTable {
+ public:
+  /// `capacity` footprint vectors (paper: 32). When `use_dds` is false the
+  /// DDS threshold is ignored (pure-BBV baseline of §III-A).
+  FootprintTable(unsigned capacity, bool use_dds);
+
+  /// Classifies an interval signature. `dds` is ignored unless the table
+  /// was built with use_dds. Thresholds: `bbv_threshold` in normalized
+  /// Manhattan units; `dds_threshold` in absolute DDS units.
+  Classification classify(const BbvVector& bbv, double dds,
+                          std::uint64_t bbv_threshold, double dds_threshold);
+
+  void reset();
+
+  unsigned capacity() const { return capacity_; }
+  std::size_t occupied() const { return entries_.size(); }
+  /// Total distinct phase ids ever issued (monotonic).
+  PhaseId phases_issued() const { return next_phase_; }
+  std::uint64_t replacements() const { return replacements_; }
+
+ private:
+  struct Entry {
+    BbvVector bbv;
+    double dds = 0.0;
+    PhaseId phase = kNoPhase;
+    std::uint64_t lru = 0;
+  };
+
+  unsigned capacity_;
+  bool use_dds_;
+  std::vector<Entry> entries_;
+  std::uint64_t tick_ = 0;
+  PhaseId next_phase_ = 0;
+  std::uint64_t replacements_ = 0;
+};
+
+}  // namespace dsm::phase

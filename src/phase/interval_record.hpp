@@ -1,0 +1,41 @@
+// interval_record.hpp — everything a detector could want to know about one
+// sampling interval of one processor. The simulator records these; the
+// analysis module replays classification over them for 200 threshold
+// values without re-simulating (methodologically identical to the paper,
+// which evaluates many thresholds on the same execution).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "phase/bbv.hpp"
+
+namespace dsm::phase {
+
+struct IntervalRecord {
+  /// Normalized BBV snapshot at interval end.
+  BbvVector bbv;
+  /// F[i][*]: this processor's committed loads/stores per home node.
+  std::vector<std::uint64_t> f;
+  /// C[*]: system-wide accesses per home node over this interval.
+  std::vector<std::uint64_t> c;
+  /// DDS under the machine's distance matrix (analysis can recompute under
+  /// ablated D/C from the raw vectors above).
+  double dds = 0.0;
+  /// Committed non-synchronization instructions (the interval length).
+  InstrCount instructions = 0;
+  /// Core cycles the interval took, including synchronization stalls.
+  Cycle cycles = 0;
+  /// cycles / instructions — the statistic whose per-phase CoV the paper's
+  /// evaluation plots.
+  double cpi = 0.0;
+};
+
+/// The full per-processor trace of a run.
+struct ProcessorTrace {
+  NodeId node = 0;
+  std::vector<IntervalRecord> intervals;
+};
+
+}  // namespace dsm::phase

@@ -1,0 +1,70 @@
+#include "phase/predictor.hpp"
+
+namespace dsm::phase {
+
+void LastPhasePredictor::observe(PhaseId actual) {
+  if (last_ != kNoPhase) score(last_, actual);
+  last_ = actual;
+}
+
+PhaseId MarkovPhasePredictor::predict() const {
+  const auto it = rows_.find(last_);
+  if (it != rows_.end() && it->second.best != kNoPhase)
+    return it->second.best;
+  return last_;
+}
+
+void MarkovPhasePredictor::observe(PhaseId actual) {
+  if (last_ != kNoPhase) {
+    score(predict(), actual);
+    Row& row = rows_[last_];
+    const std::uint32_t c = ++row.next_counts[actual];
+    if (c > row.best_count) {
+      row.best_count = c;
+      row.best = actual;
+    }
+  }
+  last_ = actual;
+}
+
+void MarkovPhasePredictor::reset_state() {
+  rows_.clear();
+  last_ = kNoPhase;
+}
+
+PhaseId RunLengthPredictor::predict() const {
+  const auto it = table_.find(Key{last_, run_});
+  if (it != table_.end() && !it->second.empty()) {
+    PhaseId best = kNoPhase;
+    std::uint32_t best_count = 0;
+    for (const auto& [phase, count] : it->second) {
+      if (count > best_count) {
+        best_count = count;
+        best = phase;
+      }
+    }
+    return best;
+  }
+  return last_;  // fall back to last-phase
+}
+
+void RunLengthPredictor::observe(PhaseId actual) {
+  if (last_ != kNoPhase) {
+    score(predict(), actual);
+    ++table_[Key{last_, run_}][actual];
+  }
+  if (actual == last_) {
+    ++run_;
+  } else {
+    run_ = 1;
+  }
+  last_ = actual;
+}
+
+void RunLengthPredictor::reset_state() {
+  table_.clear();
+  last_ = kNoPhase;
+  run_ = 0;
+}
+
+}  // namespace dsm::phase

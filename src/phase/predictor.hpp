@@ -1,0 +1,122 @@
+// predictor.hpp — phase predictors. The paper's conclusion calls for
+// "combining the insights derived from our study with appropriate phase
+// prediction mechanisms"; we implement the two standard ones so the
+// reconfiguration loop (§II) can be studied end-to-end.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hpp"
+
+namespace dsm::phase {
+
+/// Common interface: observe the phase of the interval that just ended and
+/// predict the next interval's phase.
+class PhasePredictor {
+ public:
+  virtual ~PhasePredictor() = default;
+  virtual PhaseId predict() const = 0;
+  virtual void observe(PhaseId actual) = 0;
+  virtual const char* name() const = 0;
+
+  /// Clears both the predictor's state and the accuracy counters.
+  void reset() {
+    predictions_ = 0;
+    correct_ = 0;
+    reset_state();
+  }
+
+  std::uint64_t predictions() const { return predictions_; }
+  std::uint64_t correct() const { return correct_; }
+  double accuracy() const {
+    return predictions_ == 0
+               ? 0.0
+               : static_cast<double>(correct_) / predictions_;
+  }
+
+ protected:
+  virtual void reset_state() = 0;
+
+  void score(PhaseId predicted, PhaseId actual) {
+    ++predictions_;
+    if (predicted == actual) ++correct_;
+  }
+
+ private:
+  std::uint64_t predictions_ = 0;
+  std::uint64_t correct_ = 0;
+};
+
+/// Predicts the next interval repeats the current phase — the strongest
+/// simple baseline when phases are long.
+class LastPhasePredictor final : public PhasePredictor {
+ public:
+  PhaseId predict() const override { return last_; }
+  void observe(PhaseId actual) override;
+  const char* name() const override { return "last-phase"; }
+
+ protected:
+  void reset_state() override { last_ = kNoPhase; }
+
+ private:
+  PhaseId last_ = kNoPhase;
+};
+
+/// First-order Markov predictor: from each phase, predict the most
+/// frequently observed successor (falling back to last-phase until a
+/// transition has been seen).
+class MarkovPhasePredictor final : public PhasePredictor {
+ public:
+  PhaseId predict() const override;
+  void observe(PhaseId actual) override;
+  const char* name() const override { return "markov"; }
+
+ protected:
+  void reset_state() override;
+
+ private:
+  struct Row {
+    std::unordered_map<PhaseId, std::uint32_t> next_counts;
+    PhaseId best = kNoPhase;
+    std::uint32_t best_count = 0;
+  };
+
+  std::unordered_map<PhaseId, Row> rows_;
+  PhaseId last_ = kNoPhase;
+};
+
+/// Run-length Markov predictor (Sherwood et al.'s phase-tracking style):
+/// keys on (phase, observed run length) so it can anticipate the *end* of
+/// a long phase instead of always predicting "same again".
+class RunLengthPredictor final : public PhasePredictor {
+ public:
+  PhaseId predict() const override;
+  void observe(PhaseId actual) override;
+  const char* name() const override { return "run-length-markov"; }
+
+ protected:
+  void reset_state() override;
+
+ private:
+  struct Key {
+    PhaseId phase;
+    std::uint32_t run;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<std::uint64_t>{}(
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.phase))
+           << 32) |
+          k.run);
+    }
+  };
+
+  std::unordered_map<Key, std::unordered_map<PhaseId, std::uint32_t>, KeyHash>
+      table_;
+  PhaseId last_ = kNoPhase;
+  std::uint32_t run_ = 0;
+};
+
+}  // namespace dsm::phase

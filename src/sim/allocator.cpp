@@ -1,0 +1,33 @@
+#include "sim/allocator.hpp"
+
+#include "common/assert.hpp"
+#include "common/bitops.hpp"
+
+namespace dsm::sim {
+
+SimAllocator::SimAllocator(mem::HomeMap& home_map, Addr base)
+    : home_map_(&home_map), next_(align_up(base, home_map.page_bytes())) {}
+
+Addr SimAllocator::carve(std::uint64_t bytes) {
+  DSM_ASSERT(bytes > 0);
+  const Addr a = next_;
+  next_ = align_up(next_ + bytes, home_map_->page_bytes());
+  allocated_ += bytes;
+  return a;
+}
+
+Addr SimAllocator::alloc(std::uint64_t bytes) { return carve(bytes); }
+
+Addr SimAllocator::alloc_on(std::uint64_t bytes, NodeId node) {
+  const Addr a = carve(bytes);
+  home_map_->place_range(a, bytes, node);
+  return a;
+}
+
+Addr SimAllocator::alloc_distributed(std::uint64_t bytes, NodeId first_node) {
+  const Addr a = carve(bytes);
+  home_map_->distribute_range(a, bytes, first_node);
+  return a;
+}
+
+}  // namespace dsm::sim

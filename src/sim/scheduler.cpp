@@ -1,0 +1,113 @@
+#include "sim/scheduler.hpp"
+
+#include <memory>
+
+#include "common/assert.hpp"
+
+namespace dsm::sim {
+
+Scheduler::Scheduler(unsigned num_threads)
+    : n_(num_threads),
+      cycles_(num_threads, 0),
+      states_(num_threads, State::kRunnable) {
+  DSM_ASSERT(n_ > 0);
+  go_.reserve(n_);
+  for (unsigned i = 0; i < n_; ++i)
+    go_.push_back(std::make_unique<std::binary_semaphore>(0));
+}
+
+Scheduler::~Scheduler() {
+  for (auto& t : threads_)
+    if (t.joinable()) t.join();
+}
+
+void Scheduler::run(const ThreadFn& fn) {
+  DSM_ASSERT_MSG(!ran_, "a Scheduler instance runs once");
+  ran_ = true;
+
+  threads_.reserve(n_);
+  for (unsigned tid = 0; tid < n_; ++tid) {
+    threads_.emplace_back([this, tid, &fn] {
+      go_[tid]->acquire();  // wait for the first dispatch
+      fn(tid);
+      states_[tid] = State::kFinished;
+      coordinator_.release();
+    });
+  }
+
+  // Coordinator loop: hand the token to the min-cycle runnable thread.
+  for (;;) {
+    const int next = pick();
+    if (next < 0) {
+      bool all_finished = true;
+      for (const State s : states_)
+        if (s != State::kFinished) all_finished = false;
+      DSM_ASSERT_MSG(all_finished,
+                     "simulated deadlock: blocked threads but none runnable");
+      break;
+    }
+    ++switches_;
+    go_[static_cast<unsigned>(next)]->release();
+    coordinator_.acquire();
+  }
+
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+}
+
+int Scheduler::pick() const {
+  int best = -1;
+  for (unsigned i = 0; i < n_; ++i) {
+    if (states_[i] != State::kRunnable) continue;
+    if (best < 0 || cycles_[i] < cycles_[static_cast<unsigned>(best)])
+      best = static_cast<int>(i);
+  }
+  return best;
+}
+
+Cycle Scheduler::cycle(unsigned tid) const {
+  DSM_ASSERT(tid < n_);
+  return cycles_[tid];
+}
+
+void Scheduler::advance(unsigned tid, Cycle dc) {
+  DSM_ASSERT(tid < n_);
+  cycles_[tid] += dc;
+}
+
+void Scheduler::set_cycle(unsigned tid, Cycle c) {
+  DSM_ASSERT(tid < n_);
+  cycles_[tid] = c;
+}
+
+void Scheduler::yield(unsigned tid) {
+  DSM_ASSERT(tid < n_);
+  DSM_ASSERT(states_[tid] == State::kRunnable);
+  coordinator_.release();
+  go_[tid]->acquire();
+}
+
+void Scheduler::block(unsigned tid) {
+  DSM_ASSERT(tid < n_);
+  states_[tid] = State::kBlocked;
+  coordinator_.release();
+  go_[tid]->acquire();
+  DSM_ASSERT(states_[tid] == State::kRunnable);
+}
+
+void Scheduler::unblock(unsigned tid) {
+  DSM_ASSERT(tid < n_);
+  DSM_ASSERT_MSG(states_[tid] == State::kBlocked,
+                 "unblock of a non-blocked thread");
+  states_[tid] = State::kRunnable;
+}
+
+bool Scheduler::only_runnable(unsigned tid) const {
+  for (unsigned i = 0; i < n_; ++i) {
+    if (i == tid) continue;
+    if (states_[i] == State::kRunnable) return false;
+  }
+  return true;
+}
+
+}  // namespace dsm::sim

@@ -1,0 +1,81 @@
+// scheduler.hpp — deterministic cooperative scheduling of simulated
+// processors.
+//
+// Each simulated processor runs as a real OS thread, but exactly one is
+// ever executing: the coordinator hands the token to the runnable thread
+// with the smallest local cycle count (ties by id), which runs until it
+// yields, blocks, or finishes. Min-cycle-first keeps the per-processor
+// clocks in near-lockstep, so the memory-controller and network contention
+// models observe requests in approximately global time order — and every
+// run is bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <semaphore>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dsm::sim {
+
+class Scheduler {
+ public:
+  using ThreadFn = std::function<void(unsigned tid)>;
+
+  explicit Scheduler(unsigned num_threads);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Runs `fn(tid)` on every simulated processor to completion.
+  /// May be called once per Scheduler instance.
+  void run(const ThreadFn& fn);
+
+  unsigned num_threads() const { return n_; }
+
+  // ---- calls from inside simulated threads ----
+
+  /// Local clock of thread `tid` (readable/advanceable by its own code and
+  /// by releasers at sync points).
+  Cycle cycle(unsigned tid) const;
+  void advance(unsigned tid, Cycle dc);
+  void set_cycle(unsigned tid, Cycle c);
+
+  /// Cooperatively hand the token back; the thread stays runnable and will
+  /// resume when it again holds the minimum clock.
+  void yield(unsigned tid);
+
+  /// Mark self blocked and hand the token back; resumes only after another
+  /// thread calls unblock(tid).
+  void block(unsigned tid);
+
+  /// Make a blocked thread runnable again (called by the thread performing
+  /// the release while it holds the token).
+  void unblock(unsigned tid);
+
+  /// True when every other thread is blocked or finished (used by the
+  /// deadlock detector and by tests).
+  bool only_runnable(unsigned tid) const;
+
+  std::uint64_t context_switches() const { return switches_; }
+
+ private:
+  enum class State : std::uint8_t { kRunnable, kBlocked, kFinished };
+
+  /// Picks the runnable thread with the minimum (cycle, tid); -1 if none.
+  int pick() const;
+
+  unsigned n_;
+  std::vector<Cycle> cycles_;
+  std::vector<State> states_;
+  std::vector<std::unique_ptr<std::binary_semaphore>> go_;
+  std::binary_semaphore coordinator_{0};
+  std::vector<std::thread> threads_;
+  std::uint64_t switches_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace dsm::sim

@@ -1,0 +1,92 @@
+// sync.hpp — synchronization primitives over the cooperative scheduler:
+// sense-reversing barrier, FIFO ticket lock, and a centralized task queue
+// (the execution model the paper's §III-B discussion mentions for dynamic
+// load balancing).
+//
+// Timing: a barrier costs base + per-stage * ceil(log2(n)) cycles after the
+// last arrival; a contended lock hands off with a transfer delay. These
+// stalls are *cycles without instructions*, which is exactly how parallel
+// imbalance shows up in per-interval CPI — the signal the paper's CoV
+// metric quantifies.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "sim/scheduler.hpp"
+
+namespace dsm::sim {
+
+class SimBarrier {
+ public:
+  SimBarrier(Scheduler& sched, unsigned participants, const SyncConfig& cfg);
+
+  /// Blocks `tid` until all participants arrive; on release every waiter's
+  /// clock advances to (max arrival + barrier cost).
+  void wait(unsigned tid);
+
+  std::uint64_t episodes() const { return episodes_; }
+  /// Mean cycles a participant waits at the barrier (imbalance measure).
+  const RunningStat& wait_stat() const { return wait_stat_; }
+
+ private:
+  Cycle release_cost() const;
+
+  Scheduler* sched_;
+  unsigned n_;
+  SyncConfig cfg_;
+  unsigned arrived_ = 0;
+  Cycle max_arrival_ = 0;
+  std::vector<unsigned> waiters_;
+  std::uint64_t episodes_ = 0;
+  RunningStat wait_stat_;
+};
+
+class SimLock {
+ public:
+  SimLock(Scheduler& sched, const SyncConfig& cfg);
+
+  void acquire(unsigned tid);
+  void release(unsigned tid);
+  bool held() const { return held_; }
+
+  std::uint64_t acquisitions() const { return acquisitions_; }
+  std::uint64_t contended() const { return contended_; }
+
+ private:
+  Scheduler* sched_;
+  SyncConfig cfg_;
+  bool held_ = false;
+  unsigned owner_ = 0;
+  Cycle release_cycle_ = 0;
+  std::deque<unsigned> waiters_;
+  std::uint64_t acquisitions_ = 0;
+  std::uint64_t contended_ = 0;
+};
+
+/// Centralized task queue: indices [0, total) handed out under a lock.
+class TaskQueue {
+ public:
+  TaskQueue(Scheduler& sched, const SyncConfig& cfg);
+
+  /// Refills the queue with `total` tasks (call between phases, from a
+  /// single thread at a barrier).
+  void refill(std::uint64_t total);
+
+  /// Next task index, or nullopt when drained. Charges lock costs.
+  std::optional<std::uint64_t> pop(unsigned tid);
+
+  std::uint64_t total() const { return total_; }
+
+ private:
+  SimLock lock_;
+  std::uint64_t next_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace dsm::sim

@@ -1,0 +1,67 @@
+#include "analysis/classifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "phase/detector.hpp"
+
+namespace dsm::analysis {
+namespace {
+
+phase::IntervalRecord rec(unsigned bucket, double dds, double cpi) {
+  phase::IntervalRecord r;
+  r.bbv.assign(32, 0);
+  r.bbv[bucket] = 65536;
+  r.dds = dds;
+  r.cpi = cpi;
+  r.instructions = 1000;
+  r.cycles = static_cast<Cycle>(cpi * 1000);
+  return r;
+}
+
+TEST(ClassifierTest, CountsDistinctPhases) {
+  std::vector<phase::IntervalRecord> trace;
+  for (int i = 0; i < 10; ++i) trace.push_back(rec(i % 2, 0, 1.0));
+  const auto c = classify_trace(trace, false, 32, {.bbv = 100, .dds = 0});
+  EXPECT_EQ(c.distinct_phases, 2u);
+  ASSERT_EQ(c.assignment.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(c.assignment[i], i % 2);
+}
+
+TEST(ClassifierTest, OfflineReplayEqualsOnlineDetector) {
+  // The offline sweep must reproduce the *online* hardware decision
+  // sequence bit for bit, LRU churn included.
+  Rng rng(99);
+  std::vector<phase::IntervalRecord> trace;
+  for (int i = 0; i < 400; ++i) {
+    trace.push_back(rec(static_cast<unsigned>(rng.next_below(8)),
+                        rng.uniform_real(0, 1000),
+                        rng.uniform_real(0.2, 4.0)));
+  }
+  const phase::Thresholds t{.bbv = 40'000, .dds = 300.0};
+
+  // Online, with a small table to force LRU replacements.
+  phase::BbvDdvDetector online(4, t);
+  std::vector<PhaseId> online_ids;
+  for (const auto& r : trace) online_ids.push_back(online.classify(r).phase);
+
+  const auto offline = classify_trace(trace, true, 4, t);
+  EXPECT_EQ(offline.assignment, online_ids);
+  EXPECT_GT(offline.footprint_replacements, 0u);
+}
+
+TEST(ClassifierTest, DdsOnlyMattersWhenEnabled) {
+  std::vector<phase::IntervalRecord> trace{rec(0, 0, 1), rec(0, 1e9, 1)};
+  const phase::Thresholds t{.bbv = 100, .dds = 10.0};
+  EXPECT_EQ(classify_trace(trace, false, 32, t).distinct_phases, 1u);
+  EXPECT_EQ(classify_trace(trace, true, 32, t).distinct_phases, 2u);
+}
+
+TEST(ClassifierTest, EmptyTrace) {
+  const auto c = classify_trace({}, true, 32, {});
+  EXPECT_EQ(c.distinct_phases, 0u);
+  EXPECT_TRUE(c.assignment.empty());
+}
+
+}  // namespace
+}  // namespace dsm::analysis

@@ -1,0 +1,86 @@
+#include "analysis/cov.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dsm::analysis {
+namespace {
+
+phase::IntervalRecord with_cpi(double cpi) {
+  phase::IntervalRecord r;
+  r.cpi = cpi;
+  return r;
+}
+
+TEST(CovTest, PerfectPhasesGiveZero) {
+  // Two phases, each internally homogeneous: identifier CoV = 0.
+  std::vector<phase::IntervalRecord> trace;
+  std::vector<PhaseId> assign;
+  for (int i = 0; i < 10; ++i) {
+    trace.push_back(with_cpi(1.0));
+    assign.push_back(0);
+    trace.push_back(with_cpi(5.0));
+    assign.push_back(1);
+  }
+  EXPECT_DOUBLE_EQ(identifier_cov(trace, assign), 0.0);
+}
+
+TEST(CovTest, SinglePhaseMergesAllVariance) {
+  // All intervals one phase: CoV of {2,4,4,4,5,5,7,9} = 0.4.
+  std::vector<phase::IntervalRecord> trace;
+  std::vector<PhaseId> assign;
+  for (const double c : {2., 4., 4., 4., 5., 5., 7., 9.}) {
+    trace.push_back(with_cpi(c));
+    assign.push_back(0);
+  }
+  EXPECT_DOUBLE_EQ(identifier_cov(trace, assign), 0.4);
+}
+
+TEST(CovTest, WeightingByIntervalPopulation) {
+  // Phase 0: 8 intervals with CoV 0.4; phase 1: 2 identical intervals
+  // (CoV 0). Weighted: 0.4 * 8/10.
+  std::vector<phase::IntervalRecord> trace;
+  std::vector<PhaseId> assign;
+  for (const double c : {2., 4., 4., 4., 5., 5., 7., 9.}) {
+    trace.push_back(with_cpi(c));
+    assign.push_back(0);
+  }
+  trace.push_back(with_cpi(10.0));
+  assign.push_back(1);
+  trace.push_back(with_cpi(10.0));
+  assign.push_back(1);
+  EXPECT_DOUBLE_EQ(identifier_cov(trace, assign), 0.4 * 0.8);
+}
+
+TEST(CovTest, SingletonPhasesContributeZero) {
+  // Every interval its own phase: the degenerate CoV = 0 case the paper
+  // warns about ("each requiring tuning").
+  std::vector<phase::IntervalRecord> trace;
+  std::vector<PhaseId> assign;
+  for (int i = 0; i < 7; ++i) {
+    trace.push_back(with_cpi(i + 1.0));
+    assign.push_back(i);
+  }
+  EXPECT_DOUBLE_EQ(identifier_cov(trace, assign), 0.0);
+}
+
+TEST(CovTest, PerPhaseStatsBreakdown) {
+  std::vector<phase::IntervalRecord> trace{with_cpi(1), with_cpi(3),
+                                           with_cpi(10)};
+  const std::vector<PhaseId> assign{0, 0, 4};
+  const auto stats = per_phase_stats(trace, assign);
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].phase, 0);
+  EXPECT_EQ(stats[0].intervals, 2u);
+  EXPECT_DOUBLE_EQ(stats[0].mean_cpi, 2.0);
+  EXPECT_DOUBLE_EQ(stats[0].cov_cpi, 0.5);
+  EXPECT_EQ(stats[1].phase, 4);
+  EXPECT_EQ(stats[1].intervals, 1u);
+  EXPECT_DOUBLE_EQ(stats[1].cov_cpi, 0.0);
+}
+
+TEST(CovTest, EmptyTraceIsZero) {
+  EXPECT_DOUBLE_EQ(identifier_cov({}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace dsm::analysis

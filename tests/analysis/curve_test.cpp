@@ -1,0 +1,122 @@
+#include "analysis/curve.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace dsm::analysis {
+namespace {
+
+/// Builds a synthetic trace with two true behaviours that share a BBV but
+/// differ in DDS and CPI — the paper's DSM failure mode in miniature.
+std::vector<phase::ProcessorTrace> two_hidden_phases(unsigned procs,
+                                                     unsigned intervals) {
+  Rng rng(7);
+  std::vector<phase::ProcessorTrace> out(procs);
+  for (unsigned p = 0; p < procs; ++p) {
+    out[p].node = p;
+    for (unsigned i = 0; i < intervals; ++i) {
+      phase::IntervalRecord r;
+      r.bbv.assign(32, 0);
+      r.bbv[3] = 65536;  // identical code signature everywhere
+      const bool hot = (i / 8) % 2 == 0;  // behaviour alternates in runs
+      r.dds = hot ? rng.uniform_real(9e6, 1.1e7) : rng.uniform_real(9e5, 1.1e6);
+      r.cpi = hot ? rng.uniform_real(2.9, 3.1) : rng.uniform_real(0.95, 1.05);
+      r.instructions = 100'000;
+      r.cycles = static_cast<Cycle>(r.cpi * 100'000);
+      out[p].intervals.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+TEST(CurveTest, BbvCurveBlindToHiddenPhases) {
+  const auto procs = two_hidden_phases(4, 64);
+  CurveParams cp;
+  const auto curve = bbv_cov_curve(procs, cp);
+  ASSERT_EQ(curve.size(), cp.bbv_steps);
+  // BBV merges everything into 1 phase at any threshold: high CoV.
+  EXPECT_GT(cov_at_phases(curve, 25.0), 0.3);
+}
+
+TEST(CurveTest, DdvCurveSeparatesHiddenPhases) {
+  const auto procs = two_hidden_phases(4, 64);
+  CurveParams cp;
+  const auto curve = bbv_ddv_cov_curve(procs, cp);
+  // With a DDS axis, 2 phases suffice for near-zero CoV.
+  EXPECT_LT(cov_at_phases(curve, 3.0), 0.05);
+}
+
+TEST(CurveTest, DdvEnvelopeNeverAboveBbvCurve) {
+  const auto procs = two_hidden_phases(2, 48);
+  CurveParams cp;
+  const auto bbv = bbv_cov_curve(procs, cp);
+  const auto ddv = bbv_ddv_cov_curve(procs, cp);
+  for (const double phases : {1.0, 2.0, 5.0, 10.0, 25.0}) {
+    EXPECT_LE(cov_at_phases(ddv, phases), cov_at_phases(bbv, phases) + 1e-9)
+        << phases;
+  }
+}
+
+TEST(CurveTest, TuningFractionGrowsWithPhases) {
+  const auto procs = two_hidden_phases(2, 64);
+  CurveParams cp;
+  const auto curve = bbv_ddv_cov_points(procs, cp);
+  for (const auto& pt : curve) {
+    EXPECT_GE(pt.tuning_fraction, 0.0);
+    EXPECT_LE(pt.tuning_fraction, 1.0);
+    // trials * phases / intervals, capped.
+    EXPECT_NEAR(pt.tuning_fraction,
+                std::min(1.0, pt.mean_phases * cp.tuning_trials / 64.0),
+                0.02);
+  }
+}
+
+TEST(CurveTest, LowerEnvelopeKeepsMinimumPerBucket) {
+  std::vector<CurvePoint> pts;
+  CurvePoint a;
+  a.mean_phases = 5.0;
+  a.mean_cov = 0.5;
+  CurvePoint b;
+  b.mean_phases = 5.1;  // same 0.5-bucket
+  b.mean_cov = 0.2;
+  CurvePoint c;
+  c.mean_phases = 9.0;
+  c.mean_cov = 0.9;
+  pts = {a, b, c};
+  const auto env = lower_envelope(pts);
+  ASSERT_EQ(env.size(), 2u);
+  EXPECT_DOUBLE_EQ(env[0].mean_cov, 0.2);
+  EXPECT_DOUBLE_EQ(env[1].mean_cov, 0.9);
+  EXPECT_LT(env[0].mean_phases, env[1].mean_phases);
+}
+
+TEST(CurveTest, CovAtPhasesIsStaircaseMin) {
+  std::vector<CurvePoint> curve(3);
+  curve[0].mean_phases = 2;
+  curve[0].mean_cov = 0.8;
+  curve[1].mean_phases = 6;
+  curve[1].mean_cov = 0.3;
+  curve[2].mean_phases = 10;
+  curve[2].mean_cov = 0.5;  // non-monotone point
+  EXPECT_DOUBLE_EQ(cov_at_phases(curve, 1.0), 0.8);  // below all: coarsest
+  EXPECT_DOUBLE_EQ(cov_at_phases(curve, 2.0), 0.8);
+  EXPECT_DOUBLE_EQ(cov_at_phases(curve, 7.0), 0.3);
+  EXPECT_DOUBLE_EQ(cov_at_phases(curve, 20.0), 0.3);  // best within budget
+}
+
+TEST(CurveTest, PhasesForCovFindsCheapestOperatingPoint) {
+  std::vector<CurvePoint> curve(3);
+  curve[0].mean_phases = 2;
+  curve[0].mean_cov = 0.8;
+  curve[1].mean_phases = 6;
+  curve[1].mean_cov = 0.3;
+  curve[2].mean_phases = 10;
+  curve[2].mean_cov = 0.25;
+  EXPECT_DOUBLE_EQ(phases_for_cov(curve, 0.3), 6.0);
+  EXPECT_DOUBLE_EQ(phases_for_cov(curve, 0.26), 10.0);
+  EXPECT_DOUBLE_EQ(phases_for_cov(curve, 0.1), 1e9);  // unreachable
+}
+
+}  // namespace
+}  // namespace dsm::analysis

@@ -1,0 +1,68 @@
+#include "common/bitops.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dsm {
+namespace {
+
+TEST(BitopsTest, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ull << 63));
+  EXPECT_FALSE(is_pow2((1ull << 63) + 1));
+}
+
+TEST(BitopsTest, Log2Exact) {
+  EXPECT_EQ(log2_exact(1), 0u);
+  EXPECT_EQ(log2_exact(2), 1u);
+  EXPECT_EQ(log2_exact(32), 5u);
+  EXPECT_EQ(log2_exact(1ull << 40), 40u);
+}
+
+TEST(BitopsTest, CeilPow2) {
+  EXPECT_EQ(ceil_pow2(1), 1u);
+  EXPECT_EQ(ceil_pow2(3), 4u);
+  EXPECT_EQ(ceil_pow2(32), 32u);
+  EXPECT_EQ(ceil_pow2(33), 64u);
+}
+
+TEST(BitopsTest, HammingIsHypercubeHopCount) {
+  EXPECT_EQ(hamming(0b0000, 0b0000), 0u);
+  EXPECT_EQ(hamming(0b0000, 0b1111), 4u);
+  EXPECT_EQ(hamming(0b1010, 0b0101), 4u);
+  EXPECT_EQ(hamming(5, 4), 1u);
+}
+
+TEST(BitopsTest, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 8), 0u);
+  EXPECT_EQ(ceil_div(1, 8), 1u);
+  EXPECT_EQ(ceil_div(8, 8), 1u);
+  EXPECT_EQ(ceil_div(9, 8), 2u);
+}
+
+TEST(BitopsTest, AlignUp) {
+  EXPECT_EQ(align_up(0, 32), 0u);
+  EXPECT_EQ(align_up(1, 32), 32u);
+  EXPECT_EQ(align_up(32, 32), 32u);
+  EXPECT_EQ(align_up(4097, 4096), 8192u);
+}
+
+TEST(BitopsTest, Fnv1a64IsDeterministicAndSpreads) {
+  EXPECT_EQ(fnv1a64(42), fnv1a64(42));
+  EXPECT_NE(fnv1a64(42), fnv1a64(43));
+  // Consecutive inputs should land in different low bits most of the time
+  // (the BBV accumulator uses hash % 32).
+  int collisions = 0;
+  for (std::uint64_t i = 0; i < 64; ++i)
+    if (fnv1a64(i) % 32 == fnv1a64(i + 1) % 32) ++collisions;
+  EXPECT_LT(collisions, 10);
+}
+
+TEST(BitopsTest, HashCombineOrderSensitive) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+}  // namespace
+}  // namespace dsm

@@ -1,0 +1,109 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dsm {
+namespace {
+
+TEST(ConfigTest, DefaultMatchesTable1) {
+  const MachineConfig cfg = default_config(8);
+  EXPECT_EQ(cfg.core.frequency_hz, 2'000'000'000u);
+  EXPECT_EQ(cfg.core.num_alu, 6u);
+  EXPECT_EQ(cfg.core.num_fpu, 4u);
+  EXPECT_EQ(cfg.core.fetch_width, 6u);
+  EXPECT_EQ(cfg.core.issue_width, 6u);
+  EXPECT_EQ(cfg.core.commit_width, 6u);
+  EXPECT_EQ(cfg.core.int_regs, 128u);
+  EXPECT_EQ(cfg.core.fp_regs, 128u);
+  EXPECT_EQ(cfg.predictor.table_entries, 2048u);
+  EXPECT_EQ(cfg.l1.size_bytes, 16u * 1024);
+  EXPECT_EQ(cfg.l1.associativity, 1u);
+  EXPECT_EQ(cfg.l1.latency_cycles, 1u);
+  EXPECT_EQ(cfg.l2.size_bytes, 2u * 1024 * 1024);
+  EXPECT_EQ(cfg.l2.associativity, 8u);
+  EXPECT_EQ(cfg.l2.line_bytes, 32u);
+  EXPECT_EQ(cfg.l2.latency_cycles, 12u);
+  EXPECT_DOUBLE_EQ(cfg.memory.access_ns, 75.0);
+  EXPECT_DOUBLE_EQ(cfg.memory.bandwidth_gbps, 2.6);
+  EXPECT_EQ(cfg.network.topology, Topology::kHypercube);
+  EXPECT_DOUBLE_EQ(cfg.network.router_frequency_hz, 400e6);
+  EXPECT_DOUBLE_EQ(cfg.network.pin_to_pin_ns, 16.0);
+  EXPECT_EQ(cfg.phase.bbv_entries, 32u);
+  EXPECT_EQ(cfg.phase.footprint_vectors, 32u);
+  EXPECT_EQ(cfg.phase.interval_instructions, 3'000'000u);
+}
+
+TEST(ConfigTest, NsToCyclesAt2GHz) {
+  const MachineConfig cfg = default_config(2);
+  EXPECT_EQ(cfg.ns_to_cycles(75.0), 150u);
+  EXPECT_EQ(cfg.ns_to_cycles(16.0), 32u);
+  EXPECT_EQ(cfg.ns_to_cycles(0.4), 1u);  // rounds up
+}
+
+TEST(ConfigTest, IntervalPerProcessorDividesByNodes) {
+  for (const unsigned n : {2u, 8u, 32u}) {
+    const MachineConfig cfg = default_config(n);
+    EXPECT_EQ(cfg.interval_per_processor(), 3'000'000u / n);
+  }
+}
+
+TEST(ConfigTest, DefaultValidatesForPaperNodeCounts) {
+  for (const unsigned n : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    EXPECT_EQ(default_config(n).validate(), "") << n << " nodes";
+  }
+}
+
+TEST(ConfigTest, HypercubeRejectsNonPow2) {
+  MachineConfig cfg = default_config(8);
+  cfg.num_nodes = 6;
+  EXPECT_NE(cfg.validate(), "");
+}
+
+TEST(ConfigTest, RejectsMismatchedLineSizes) {
+  MachineConfig cfg = default_config(8);
+  cfg.l1.line_bytes = 64;
+  EXPECT_NE(cfg.validate(), "");
+}
+
+TEST(ConfigTest, RejectsNonPow2Structures) {
+  MachineConfig cfg = default_config(8);
+  cfg.predictor.table_entries = 1000;
+  EXPECT_NE(cfg.validate(), "");
+
+  cfg = default_config(8);
+  cfg.l2.size_bytes = 3'000'000;
+  EXPECT_NE(cfg.validate(), "");
+}
+
+TEST(ConfigTest, RejectsBadMlpOverlap) {
+  MachineConfig cfg = default_config(8);
+  cfg.core.mlp_overlap = 1.0;
+  EXPECT_NE(cfg.validate(), "");
+  cfg.core.mlp_overlap = -0.1;
+  EXPECT_NE(cfg.validate(), "");
+}
+
+TEST(ConfigTest, RejectsPageSmallerThanLine) {
+  MachineConfig cfg = default_config(8);
+  cfg.memory.page_bytes = 16;
+  EXPECT_NE(cfg.validate(), "");
+}
+
+TEST(ConfigTest, Table1RenderingContainsEveryRow) {
+  const std::string t = format_table1(default_config(32));
+  for (const char* needle :
+       {"2GHz", "6 ALU, 4 FPU", "6/6/6", "128 Int, 128 FP",
+        "2048-entry gshare", "16kB, direct-mapped, 1 cycle",
+        "2MB, 8-way, 32B, 12 cycles", "SDRAM interleaved, 75ns, 2.6GB/s",
+        "Hypercube, wormhole, 400MHz pipelined router, 16ns pin-to-pin"}) {
+    EXPECT_NE(t.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(ConfigTest, TopologyNames) {
+  EXPECT_STREQ(topology_name(Topology::kHypercube), "Hypercube");
+  EXPECT_STREQ(topology_name(Topology::kRing), "Ring");
+}
+
+}  // namespace
+}  // namespace dsm

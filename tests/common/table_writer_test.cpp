@@ -1,0 +1,48 @@
+#include "common/table_writer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dsm {
+namespace {
+
+TEST(TableWriterTest, TextAlignsColumns) {
+  TableWriter t({"a", "long_header"});
+  t.add_row({"xxxxxx", "1"});
+  const std::string out = t.to_text();
+  // Header separator and both rows present.
+  EXPECT_NE(out.find("a      | long_header"), std::string::npos);
+  EXPECT_NE(out.find("xxxxxx | 1"), std::string::npos);
+}
+
+TEST(TableWriterTest, CsvEscapesSpecials) {
+  TableWriter t({"name", "note"});
+  t.add_row({"plain", "has,comma"});
+  t.add_row({"quote\"inside", "line\nbreak"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+  EXPECT_NE(csv.find("\"line\nbreak\""), std::string::npos);
+}
+
+TEST(TableWriterTest, CsvRowCount) {
+  TableWriter t({"x"});
+  t.add_row({"1"});
+  t.add_row({"2"});
+  const std::string csv = t.to_csv();
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);  // header + 2
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableWriterTest, FmtSignificantDigits) {
+  EXPECT_EQ(TableWriter::fmt(0.123456, 3), "0.123");
+  EXPECT_EQ(TableWriter::fmt(1234567.0, 3), "1.23e+06");
+  EXPECT_EQ(TableWriter::fmt(2.0, 4), "2");
+}
+
+TEST(TableWriterDeathTest, RowWidthMismatchAborts) {
+  TableWriter t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only one"}), "row width");
+}
+
+}  // namespace
+}  // namespace dsm

@@ -1,0 +1,105 @@
+#include "cpu/core_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+
+namespace dsm::cpu {
+namespace {
+
+CoreModel table1_core() {
+  return CoreModel(CoreConfig{}, PredictorConfig{});
+}
+
+TEST(CoreModelTest, IssueWidthBoundsIntCode) {
+  auto core = table1_core();
+  // 6000 integer instructions on a 6-wide machine: 1000 cycles.
+  EXPECT_EQ(core.compute_cycles(6000, 0.0), 1000u);
+}
+
+TEST(CoreModelTest, FpuThroughputBindsFpHeavyCode) {
+  auto core = table1_core();
+  // 4000 instructions, all FP, 4 FPUs: 1000 cycles (not 4000/6 = 667).
+  EXPECT_EQ(core.compute_cycles(4000, 1.0), 1000u);
+}
+
+TEST(CoreModelTest, MixedCodeTakesTheMaxBound) {
+  auto core = table1_core();
+  // 1200 instr, 50% FP: issue 200, ALU 100, FPU 150 -> 200 cycles.
+  EXPECT_EQ(core.compute_cycles(1200, 0.5), 200u);
+  // 1200 instr, 90% FP: FPU bound 270 > issue 200.
+  EXPECT_EQ(core.compute_cycles(1200, 0.9), 270u);
+}
+
+TEST(CoreModelTest, ResidueAccumulatesExactly) {
+  auto core = table1_core();
+  // 1 instruction = 1/6 cycle; 600 calls of 1 must total 100 cycles up
+  // to one unit of floating-point drift in the residue accumulator.
+  Cycle total = 0;
+  for (int i = 0; i < 600; ++i) total += core.compute_cycles(1, 0.0);
+  EXPECT_NEAR(static_cast<double>(total), 100.0, 1.0);
+}
+
+TEST(CoreModelTest, ZeroInstructionsCostNothing) {
+  auto core = table1_core();
+  EXPECT_EQ(core.compute_cycles(0, 0.5), 0u);
+}
+
+TEST(CoreModelTest, BranchPenaltyOnlyOnMisprediction) {
+  auto core = table1_core();
+  // Train a branch to taken.
+  for (int i = 0; i < 64; ++i) core.branch_cycles(0x400100, true);
+  EXPECT_EQ(core.branch_cycles(0x400100, true), 0u);
+  // A surprise not-taken pays the front-end refill.
+  EXPECT_EQ(core.branch_cycles(0x400100, false),
+            CoreConfig{}.mispredict_penalty);
+}
+
+TEST(CoreModelTest, ExposedStallPassesL1Hits) {
+  auto core = table1_core();
+  EXPECT_EQ(core.exposed_memory_stall(1, 1), 1u);
+}
+
+TEST(CoreModelTest, ExposedStallAppliesMlpOverlap) {
+  auto core = table1_core();
+  // latency 401, L1 1: exposed = 1 + 400 * (1 - 0.25) = 301.
+  EXPECT_EQ(core.exposed_memory_stall(401, 1), 301u);
+}
+
+TEST(CoreModelTest, ExposedStallMonotonicInLatency) {
+  auto core = table1_core();
+  Cycle prev = 0;
+  for (Cycle lat = 1; lat < 1000; lat += 37) {
+    const Cycle e = core.exposed_memory_stall(lat, 1);
+    EXPECT_GE(e, prev);
+    EXPECT_LE(e, lat);
+    prev = e;
+  }
+}
+
+TEST(CoreModelTest, ResetClearsPredictorAndResidue) {
+  auto core = table1_core();
+  core.compute_cycles(3, 0.0);  // leaves residue 0.5
+  for (int i = 0; i < 10; ++i) core.branch_cycles(0x400, true);
+  core.reset();
+  EXPECT_EQ(core.predictor().predictions(), 0u);
+  EXPECT_EQ(core.compute_cycles(6, 0.0), 1u);  // exact, no leftover residue
+}
+
+// Property sweep: cycles scale linearly with instruction count for any mix.
+class CoreModelMixTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CoreModelMixTest, LinearScaling) {
+  const double fp = GetParam();
+  auto core = table1_core();
+  const Cycle c1 = core.compute_cycles(60'000, fp);
+  auto core2 = table1_core();
+  const Cycle c2 = core2.compute_cycles(120'000, fp);
+  EXPECT_NEAR(static_cast<double>(c2), 2.0 * static_cast<double>(c1), 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(FpMixes, CoreModelMixTest,
+                         ::testing::Values(0.0, 0.2, 0.5, 0.8, 1.0));
+
+}  // namespace
+}  // namespace dsm::cpu

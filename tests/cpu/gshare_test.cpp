@@ -1,0 +1,94 @@
+#include "cpu/gshare.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+
+namespace dsm::cpu {
+namespace {
+
+PredictorConfig table1() { return PredictorConfig{}; }  // 2048-entry
+
+TEST(GshareTest, LearnsAlwaysTaken) {
+  GsharePredictor p(table1());
+  for (int i = 0; i < 100; ++i) p.update(0x400100, true);
+  EXPECT_TRUE(p.predict(0x400100));
+  // After warmup, mispredictions stop.
+  const auto before = p.mispredictions();
+  for (int i = 0; i < 100; ++i) p.update(0x400100, true);
+  EXPECT_EQ(p.mispredictions(), before);
+}
+
+TEST(GshareTest, LearnsAlwaysNotTaken) {
+  GsharePredictor p(table1());
+  for (int i = 0; i < 100; ++i) p.update(0x400200, false);
+  EXPECT_FALSE(p.predict(0x400200));
+}
+
+TEST(GshareTest, LearnsAlternatingPatternViaHistory) {
+  GsharePredictor p(table1());
+  // T,N,T,N...: with global history, gshare learns this perfectly.
+  for (int i = 0; i < 400; ++i) p.update(0x400300, i % 2 == 0);
+  const auto before = p.mispredictions();
+  for (int i = 0; i < 200; ++i) p.update(0x400300, i % 2 == 0);
+  EXPECT_EQ(p.mispredictions(), before);
+}
+
+TEST(GshareTest, LearnsLoopExitPattern) {
+  GsharePredictor p(table1());
+  // 7 taken, 1 not-taken (an 8-iteration loop): history disambiguates.
+  for (int rep = 0; rep < 100; ++rep)
+    for (int i = 0; i < 8; ++i) p.update(0x400400, i != 7);
+  const auto before = p.mispredictions();
+  for (int rep = 0; rep < 50; ++rep)
+    for (int i = 0; i < 8; ++i) p.update(0x400400, i != 7);
+  EXPECT_EQ(p.mispredictions(), before);
+}
+
+TEST(GshareTest, MispredictionRateBounded) {
+  GsharePredictor p(table1());
+  // Random-ish but deterministic outcomes: the rate must be ~50%, not 0
+  // or 100 (sanity of the accounting).
+  std::uint64_t x = 99;
+  for (int i = 0; i < 5000; ++i) {
+    x = x * 6364136223846793005ull + 1;
+    p.update(0x400500 + (x % 64) * 4, (x >> 40) & 1);
+  }
+  EXPECT_GT(p.misprediction_rate(), 0.25);
+  EXPECT_LT(p.misprediction_rate(), 0.75);
+  EXPECT_EQ(p.predictions(), 5000u);
+}
+
+TEST(GshareTest, UpdateReturnsCorrectness) {
+  GsharePredictor p(table1());
+  // Counters initialize weakly-taken: first taken-update is "correct".
+  EXPECT_TRUE(p.update(0x400600, true));
+}
+
+TEST(GshareTest, ResetClearsState) {
+  GsharePredictor p(table1());
+  for (int i = 0; i < 64; ++i) p.update(0x400700, false);
+  p.reset();
+  EXPECT_EQ(p.predictions(), 0u);
+  EXPECT_EQ(p.mispredictions(), 0u);
+  EXPECT_TRUE(p.predict(0x400700));  // back to weakly taken
+}
+
+TEST(GshareTest, DistinctBranchesUseDistinctCounters) {
+  GsharePredictor p(table1());
+  for (int i = 0; i < 50; ++i) {
+    p.update(0x400800, true);
+    p.update(0x404800, false);
+  }
+  // Both patterns learned despite opposite directions (no destructive
+  // aliasing for this pair).
+  const auto before = p.mispredictions();
+  for (int i = 0; i < 50; ++i) {
+    p.update(0x400800, true);
+    p.update(0x404800, false);
+  }
+  EXPECT_LE(p.mispredictions() - before, 10u);
+}
+
+}  // namespace
+}  // namespace dsm::cpu

@@ -1,0 +1,165 @@
+#include "memory/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+namespace dsm::mem {
+namespace {
+
+CacheConfig small_cache(unsigned assoc) {
+  CacheConfig c;
+  c.size_bytes = 1024;
+  c.associativity = assoc;
+  c.line_bytes = 32;
+  c.latency_cycles = 1;
+  return c;
+}
+
+TEST(CacheTest, MissThenHit) {
+  Cache c(small_cache(2));
+  EXPECT_FALSE(c.access(0x100));
+  EXPECT_EQ(c.misses(), 1u);
+  c.fill(0x100, Mesi::kShared);
+  EXPECT_TRUE(c.access(0x100));
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_TRUE(c.access(0x11f));  // same 32-byte line
+  EXPECT_FALSE(c.access(0x120));  // next line
+}
+
+TEST(CacheTest, StateTracking) {
+  Cache c(small_cache(2));
+  c.fill(0x40, Mesi::kExclusive);
+  EXPECT_EQ(c.state(0x40), Mesi::kExclusive);
+  c.set_state(0x40, Mesi::kModified);
+  EXPECT_EQ(c.state(0x40), Mesi::kModified);
+  EXPECT_EQ(c.state(0x9999), Mesi::kInvalid);
+}
+
+TEST(CacheTest, LruEvictsLeastRecentlyUsed) {
+  // 2-way, 16 sets: lines 0, 512, 1024 map to set 0 (line 32B, 16 sets ->
+  // set stride 512).
+  Cache c(small_cache(2));
+  c.fill(0, Mesi::kShared);
+  c.fill(512, Mesi::kShared);
+  c.access(0);  // 0 is now MRU; 512 is LRU
+  const auto victim = c.fill(1024, Mesi::kShared);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->line_addr, 512u);
+  EXPECT_TRUE(c.probe(0));
+  EXPECT_FALSE(c.probe(512));
+  EXPECT_TRUE(c.probe(1024));
+  EXPECT_EQ(c.evictions(), 1u);
+}
+
+TEST(CacheTest, VictimCarriesDirtyState) {
+  Cache c(small_cache(1));  // direct-mapped
+  c.fill(0, Mesi::kModified);
+  const auto victim = c.fill(1024, Mesi::kShared);  // same set
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->state, Mesi::kModified);
+}
+
+TEST(CacheTest, InvalidateReturnsPriorState) {
+  Cache c(small_cache(2));
+  c.fill(0x40, Mesi::kModified);
+  EXPECT_EQ(c.invalidate(0x40), Mesi::kModified);
+  EXPECT_FALSE(c.probe(0x40));
+  EXPECT_EQ(c.invalidate(0x40), Mesi::kInvalid);  // second time: absent
+  EXPECT_EQ(c.invalidations_received(), 1u);
+}
+
+TEST(CacheTest, DowngradeOnlyWeakensExclusivity) {
+  Cache c(small_cache(2));
+  c.fill(0x40, Mesi::kModified);
+  EXPECT_EQ(c.downgrade(0x40), Mesi::kModified);
+  EXPECT_EQ(c.state(0x40), Mesi::kShared);
+  EXPECT_EQ(c.downgrade(0x40), Mesi::kShared);  // S stays S
+  EXPECT_EQ(c.state(0x40), Mesi::kShared);
+}
+
+TEST(CacheTest, FlushDropsEverything) {
+  Cache c(small_cache(2));
+  c.fill(0, Mesi::kShared);
+  c.fill(64, Mesi::kModified);
+  c.flush();
+  EXPECT_FALSE(c.probe(0));
+  EXPECT_FALSE(c.probe(64));
+  EXPECT_TRUE(c.resident_lines().empty());
+}
+
+TEST(CacheTest, HitRate) {
+  Cache c(small_cache(2));
+  c.fill(0, Mesi::kShared);
+  c.access(0);
+  c.access(0);
+  c.access(64);  // miss
+  EXPECT_NEAR(c.hit_rate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(CacheDeathTest, DoubleFillAborts) {
+  Cache c(small_cache(2));
+  c.fill(0x40, Mesi::kShared);
+  EXPECT_DEATH(c.fill(0x40, Mesi::kShared), "already-present");
+}
+
+TEST(CacheDeathTest, SetStateOnAbsentLineAborts) {
+  Cache c(small_cache(2));
+  EXPECT_DEATH(c.set_state(0x40, Mesi::kShared), "absent");
+}
+
+// ---- property sweep over geometries ----
+
+using CacheParam = std::tuple<unsigned, unsigned, unsigned>;  // size-kB, assoc, line
+
+class CacheGeometryTest : public ::testing::TestWithParam<CacheParam> {
+ protected:
+  CacheConfig make() const {
+    const auto [kb, assoc, line] = GetParam();
+    CacheConfig c;
+    c.size_bytes = kb * 1024ull;
+    c.associativity = assoc;
+    c.line_bytes = line;
+    return c;
+  }
+};
+
+TEST_P(CacheGeometryTest, CapacityIsRespected) {
+  const CacheConfig cfg = make();
+  Cache c(cfg);
+  const std::uint64_t lines = cfg.size_bytes / cfg.line_bytes;
+  // Fill exactly capacity distinct lines: no evictions.
+  for (std::uint64_t i = 0; i < lines; ++i)
+    c.fill(i * cfg.line_bytes, Mesi::kShared);
+  EXPECT_EQ(c.evictions(), 0u);
+  EXPECT_EQ(c.resident_lines().size(), lines);
+  // One more line in any set must evict.
+  c.fill(lines * cfg.line_bytes, Mesi::kShared);
+  EXPECT_EQ(c.evictions(), 1u);
+  EXPECT_EQ(c.resident_lines().size(), lines);
+}
+
+TEST_P(CacheGeometryTest, SequentialRefillAllHits) {
+  const CacheConfig cfg = make();
+  Cache c(cfg);
+  const std::uint64_t lines = cfg.size_bytes / cfg.line_bytes;
+  for (std::uint64_t i = 0; i < lines; ++i) {
+    c.access(i * cfg.line_bytes);
+    c.fill(i * cfg.line_bytes, Mesi::kShared);
+  }
+  for (std::uint64_t i = 0; i < lines; ++i)
+    EXPECT_TRUE(c.access(i * cfg.line_bytes)) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometryTest,
+    ::testing::Values(CacheParam{1, 1, 32},    // tiny direct-mapped
+                      CacheParam{1, 2, 32},
+                      CacheParam{16, 1, 32},   // Table I L1
+                      CacheParam{16, 4, 64},
+                      CacheParam{64, 8, 32},   // L2-like, shrunk
+                      CacheParam{4, 16, 32})); // high associativity
+
+}  // namespace
+}  // namespace dsm::mem

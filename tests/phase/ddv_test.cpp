@@ -1,0 +1,153 @@
+// ddv_test.cpp — verifies the DdvFabric implements the paper's §III-B
+// semantics exactly, including the equivalence of the O(1)-per-access
+// cumulative-counter implementation with the paper's "increment all F_kj"
+// formulation, and the per-processor interval alignment of the on-behalf
+// counts.
+#include "phase/ddv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "network/topology.hpp"
+
+namespace dsm::phase {
+namespace {
+
+std::vector<std::uint32_t> unit_distance(unsigned n) {
+  // D[i][j] = 1 everywhere (legal: D[i][i] must be 1).
+  return std::vector<std::uint32_t>(std::size_t{n} * n, 1);
+}
+
+TEST(DdvTest, FrequencyMatchesPaperDefinition) {
+  // "F^p[k][j] counts loads/stores by p to home j since k's last gather."
+  DdvFabric ddv(3, unit_distance(3));
+  ddv.record_access(0, 2);
+  ddv.record_access(0, 2);
+  ddv.record_access(1, 0);
+  // All rows k see p's accesses (no gather yet).
+  for (NodeId k = 0; k < 3; ++k) {
+    EXPECT_EQ(ddv.frequency(0, k, 2), 2u) << "k=" << k;
+    EXPECT_EQ(ddv.frequency(1, k, 0), 1u) << "k=" << k;
+    EXPECT_EQ(ddv.frequency(2, k, 1), 0u) << "k=" << k;
+  }
+}
+
+TEST(DdvTest, GatherResetsOnlyTheGatherersRows) {
+  DdvFabric ddv(3, unit_distance(3));
+  ddv.record_access(0, 1);
+  ddv.record_access(2, 1);
+  ddv.gather(0);  // zeroes F^p[0][*] for all p
+  for (NodeId p : {0u, 2u}) EXPECT_EQ(ddv.frequency(p, 0, 1), 0u) << p;
+  // Processor 1's view is untouched.
+  EXPECT_EQ(ddv.frequency(0, 1, 1), 1u);
+  EXPECT_EQ(ddv.frequency(2, 1, 1), 1u);
+}
+
+TEST(DdvTest, IntervalsAlignPerGatherer) {
+  // Accesses recorded between two processors' different interval
+  // boundaries must appear in exactly the right windows.
+  DdvFabric ddv(2, unit_distance(2));
+  ddv.record_access(0, 0);  // before everyone's boundary
+  ddv.gather(1);            // processor 1 starts a new interval
+  ddv.record_access(0, 0);  // after 1's boundary, before 0's
+  const auto g0 = ddv.gather(0);
+  EXPECT_EQ(g0.own_f[0], 2u);  // 0 never gathered: sees both accesses
+  const auto g1 = ddv.gather(1);
+  EXPECT_EQ(g1.c[0], 1u);  // 1 sees only the access after its boundary
+}
+
+TEST(DdvTest, ContentionSumsAllProcessors) {
+  DdvFabric ddv(3, unit_distance(3));
+  ddv.record_access(0, 1);
+  ddv.record_access(1, 1);
+  ddv.record_access(2, 1);
+  ddv.record_access(2, 0);
+  const auto g = ddv.gather(0);
+  EXPECT_EQ(g.c[1], 3u);  // everyone's accesses to home 1
+  EXPECT_EQ(g.c[0], 1u);
+  EXPECT_EQ(g.c[2], 0u);
+}
+
+TEST(DdvTest, DdsFormulaExact) {
+  // 2 nodes, D = [[1, 3], [3, 1]].
+  DdvFabric ddv(2, {1, 3, 3, 1});
+  // Processor 0: 4 accesses home 0, 2 accesses home 1.
+  for (int i = 0; i < 4; ++i) ddv.record_access(0, 0);
+  for (int i = 0; i < 2; ++i) ddv.record_access(0, 1);
+  // Processor 1: 5 accesses home 1.
+  for (int i = 0; i < 5; ++i) ddv.record_access(1, 1);
+  const auto g = ddv.gather(0);
+  // C = {4, 7}; DDS_0 = F00*D00*C0 + F01*D01*C1 = 4*1*4 + 2*3*7 = 58.
+  EXPECT_EQ(g.c[0], 4u);
+  EXPECT_EQ(g.c[1], 7u);
+  EXPECT_DOUBLE_EQ(g.dds, 58.0);
+}
+
+TEST(DdvTest, EquivalenceWithNaiveMatrixImplementation) {
+  // Replay a random access/gather sequence against a literal n*n*n
+  // implementation of the paper's text and compare everything.
+  const unsigned n = 4;
+  net::TopologyModel topo(Topology::kHypercube, n);
+  DdvFabric ddv(n, topo.ddv_distance_matrix());
+
+  std::vector<std::uint64_t> naive(n * n * n, 0);  // [p][k][j]
+  auto idx = [n](unsigned p, unsigned k, unsigned j) {
+    return (std::size_t{p} * n + k) * n + j;
+  };
+
+  std::uint64_t seed = 42;
+  auto rnd = [&seed]() {
+    seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+    return seed >> 33;
+  };
+
+  for (int step = 0; step < 2000; ++step) {
+    if (rnd() % 10 != 0) {
+      const auto p = static_cast<NodeId>(rnd() % n);
+      const auto j = static_cast<NodeId>(rnd() % n);
+      ddv.record_access(p, j);
+      // Paper: "increments all F_kj" at processor p.
+      for (unsigned k = 0; k < n; ++k) ++naive[idx(p, k, j)];
+    } else {
+      const auto i = static_cast<NodeId>(rnd() % n);
+      const auto g = ddv.gather(i);
+      // Naive gather: C_j = sum_p F^p[i][j]; own = F^i[i][*]; reset row i.
+      double dds = 0.0;
+      for (unsigned j = 0; j < n; ++j) {
+        std::uint64_t c = 0;
+        for (unsigned p = 0; p < n; ++p) c += naive[idx(p, i, j)];
+        EXPECT_EQ(g.c[j], c) << "step " << step;
+        EXPECT_EQ(g.own_f[j], naive[idx(i, i, j)]) << "step " << step;
+        dds += static_cast<double>(naive[idx(i, i, j)]) *
+               topo.ddv_distance(i, j) * static_cast<double>(c);
+      }
+      EXPECT_DOUBLE_EQ(g.dds, dds) << "step " << step;
+      for (unsigned p = 0; p < n; ++p)
+        for (unsigned j = 0; j < n; ++j) naive[idx(p, i, j)] = 0;
+    }
+  }
+}
+
+TEST(DdvTest, GatherPayloadBytes) {
+  DdvFabric ddv(32, unit_distance(32));
+  // 31 peers x (8-byte request + 32 4-byte counters) = 31 * 136 = 4216.
+  EXPECT_EQ(ddv.gather_payload_bytes(), 4216u);
+  DdvFabric single(1, unit_distance(1));
+  EXPECT_EQ(single.gather_payload_bytes(), 0u);
+}
+
+TEST(DdvTest, ResetZeroesState) {
+  DdvFabric ddv(2, unit_distance(2));
+  ddv.record_access(0, 1);
+  ddv.reset();
+  const auto g = ddv.gather(0);
+  EXPECT_EQ(g.c[1], 0u);
+  EXPECT_DOUBLE_EQ(g.dds, 0.0);
+}
+
+TEST(DdvDeathTest, RejectsNonUnitDiagonal) {
+  std::vector<std::uint32_t> bad{2, 1, 1, 1};  // D[0][0] == 2
+  EXPECT_DEATH(DdvFabric(2, bad), "D\\[i\\]\\[i\\]");
+}
+
+}  // namespace
+}  // namespace dsm::phase

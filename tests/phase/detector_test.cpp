@@ -1,0 +1,66 @@
+#include "phase/detector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dsm::phase {
+namespace {
+
+IntervalRecord make_interval(unsigned hot_bucket, double dds,
+                             double cpi = 1.0) {
+  IntervalRecord r;
+  r.bbv.assign(32, 0);
+  r.bbv[hot_bucket] = 65536;
+  r.dds = dds;
+  r.cpi = cpi;
+  r.instructions = 100'000;
+  r.cycles = static_cast<Cycle>(cpi * 100'000);
+  return r;
+}
+
+TEST(DetectorTest, BbvDetectorIgnoresDds) {
+  BbvDetector d(32, Thresholds{.bbv = 1000, .dds = 0.0});
+  const auto a = d.classify(make_interval(0, 100.0));
+  const auto b = d.classify(make_interval(0, 1e9));
+  EXPECT_EQ(a.phase, b.phase);
+}
+
+TEST(DetectorTest, BbvDdvDetectorSplitsOnDds) {
+  BbvDdvDetector d(32, Thresholds{.bbv = 1000, .dds = 50.0});
+  const auto a = d.classify(make_interval(0, 100.0));
+  const auto b = d.classify(make_interval(0, 1e9));
+  EXPECT_NE(a.phase, b.phase);
+  // Back near the first DDS: rejoins phase a.
+  const auto c = d.classify(make_interval(0, 120.0));
+  EXPECT_EQ(c.phase, a.phase);
+}
+
+TEST(DetectorTest, BothSplitOnBbv) {
+  BbvDetector bbv(32, Thresholds{.bbv = 1000});
+  BbvDdvDetector ddv(32, Thresholds{.bbv = 1000, .dds = 1e18});
+  for (auto* base : {static_cast<PhaseDetector*>(&bbv),
+                     static_cast<PhaseDetector*>(&ddv)}) {
+    const auto a = base->classify(make_interval(0, 0.0));
+    const auto b = base->classify(make_interval(7, 0.0));
+    EXPECT_NE(a.phase, b.phase) << base->name();
+  }
+}
+
+TEST(DetectorTest, ResetStartsOver) {
+  BbvDdvDetector d(32, Thresholds{.bbv = 1000, .dds = 50.0});
+  d.classify(make_interval(0, 0.0));
+  d.classify(make_interval(1, 0.0));
+  d.reset();
+  const auto c = d.classify(make_interval(5, 0.0));
+  EXPECT_EQ(c.phase, 0);
+  EXPECT_TRUE(c.new_phase);
+}
+
+TEST(DetectorTest, Names) {
+  BbvDetector a(4, {});
+  BbvDdvDetector b(4, {});
+  EXPECT_STREQ(a.name(), "BBV");
+  EXPECT_STREQ(b.name(), "BBV+DDV");
+}
+
+}  // namespace
+}  // namespace dsm::phase

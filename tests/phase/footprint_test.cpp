@@ -1,0 +1,128 @@
+#include "phase/footprint.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dsm::phase {
+namespace {
+
+BbvVector onehot(unsigned idx, std::uint32_t value = 1000, unsigned n = 8) {
+  BbvVector v(n, 0);
+  v[idx] = value;
+  return v;
+}
+
+TEST(FootprintTest, FirstIntervalAllocatesPhaseZero) {
+  FootprintTable t(4, false);
+  const auto c = t.classify(onehot(0), 0, 100, 0);
+  EXPECT_EQ(c.phase, 0);
+  EXPECT_TRUE(c.new_phase);
+  EXPECT_EQ(t.occupied(), 1u);
+}
+
+TEST(FootprintTest, CloseVectorMatchesExistingPhase) {
+  FootprintTable t(4, false);
+  t.classify(onehot(0, 1000), 0, 100, 0);
+  auto v = onehot(0, 980);
+  v[1] = 20;
+  const auto c = t.classify(v, 0, 100, 0);
+  EXPECT_EQ(c.phase, 0);
+  EXPECT_FALSE(c.new_phase);
+  EXPECT_EQ(c.bbv_distance, 40u);
+}
+
+TEST(FootprintTest, DistantVectorAllocatesNewPhase) {
+  FootprintTable t(4, false);
+  t.classify(onehot(0), 0, 100, 0);
+  const auto c = t.classify(onehot(3), 0, 100, 0);
+  EXPECT_EQ(c.phase, 1);
+  EXPECT_TRUE(c.new_phase);
+}
+
+TEST(FootprintTest, ClosestOfMultipleCandidatesWins) {
+  FootprintTable t(4, false);
+  t.classify(onehot(0, 1000), 0, 5000, 0);  // phase 0
+  auto far = onehot(0, 600);
+  far[1] = 400;
+  t.classify(far, 0, 100, 0);  // distinct: phase 1 (distance 800 > 100)
+  // Query at distance 80 from phase 0 and 720 from phase 1, threshold
+  // large enough for both: the closer (phase 0) must win.
+  auto query = onehot(0, 960);
+  query[1] = 40;
+  const auto c = t.classify(query, 0, 5000, 0);
+  EXPECT_EQ(c.phase, 0);
+}
+
+TEST(FootprintTest, DdsConstraintVetoesBbvMatch) {
+  FootprintTable t(4, /*use_dds=*/true);
+  t.classify(onehot(0), /*dds=*/100.0, 100, 50.0);
+  // Same BBV, far DDS: must be a new phase.
+  const auto c = t.classify(onehot(0), 400.0, 100, 50.0);
+  EXPECT_TRUE(c.new_phase);
+  EXPECT_EQ(c.phase, 1);
+  // Same BBV, close DDS: matches the *DDS-compatible* entry.
+  const auto c2 = t.classify(onehot(0), 390.0, 100, 50.0);
+  EXPECT_EQ(c2.phase, 1);
+  EXPECT_FALSE(c2.new_phase);
+}
+
+TEST(FootprintTest, DdsIgnoredWhenDisabled) {
+  FootprintTable t(4, /*use_dds=*/false);
+  t.classify(onehot(0), 100.0, 100, 0.0);
+  const auto c = t.classify(onehot(0), 1e12, 100, 0.0);
+  EXPECT_EQ(c.phase, 0);  // wildly different DDS, same phase
+}
+
+TEST(FootprintTest, LruReplacementWhenFull) {
+  FootprintTable t(2, false);
+  t.classify(onehot(0), 0, 10, 0);  // phase 0
+  t.classify(onehot(1), 0, 10, 0);  // phase 1
+  t.classify(onehot(0), 0, 10, 0);  // touch phase 0 -> 1 is LRU
+  t.classify(onehot(2), 0, 10, 0);  // phase 2 replaces entry of phase 1
+  EXPECT_EQ(t.replacements(), 1u);
+  // Phase 0's entry survived; vector 1's entry did not.
+  EXPECT_EQ(t.classify(onehot(0), 0, 10, 0).phase, 0);
+  const auto c = t.classify(onehot(1), 0, 10, 0);
+  EXPECT_TRUE(c.new_phase);  // had been evicted, so a *new* phase id
+  EXPECT_EQ(c.phase, 3);
+}
+
+TEST(FootprintTest, PhaseIdsAreMonotonic) {
+  FootprintTable t(8, false);
+  for (unsigned i = 0; i < 8; ++i) {
+    const auto c = t.classify(onehot(i), 0, 10, 0);
+    EXPECT_EQ(c.phase, static_cast<PhaseId>(i));
+  }
+  EXPECT_EQ(t.phases_issued(), 8);
+}
+
+TEST(FootprintTest, ResetForgetsEverything) {
+  FootprintTable t(4, false);
+  t.classify(onehot(0), 0, 10, 0);
+  t.reset();
+  EXPECT_EQ(t.occupied(), 0u);
+  const auto c = t.classify(onehot(0), 0, 10, 0);
+  EXPECT_EQ(c.phase, 0);
+  EXPECT_TRUE(c.new_phase);
+}
+
+TEST(FootprintTest, ZeroThresholdMakesEveryDistinctVectorAPhase) {
+  FootprintTable t(32, false);
+  unsigned phases = 0;
+  for (unsigned i = 0; i < 8; ++i) {
+    const auto c = t.classify(onehot(i), 0, 0, 0);
+    phases += c.new_phase;
+  }
+  EXPECT_EQ(phases, 8u);
+  // Exact repeats still match at threshold 0.
+  EXPECT_FALSE(t.classify(onehot(3), 0, 0, 0).new_phase);
+}
+
+TEST(FootprintTest, HugeThresholdMergesEverything) {
+  FootprintTable t(32, false);
+  t.classify(onehot(0), 0, 1u << 30, 0);
+  for (unsigned i = 1; i < 8; ++i)
+    EXPECT_EQ(t.classify(onehot(i), 0, 1u << 30, 0).phase, 0);
+}
+
+}  // namespace
+}  // namespace dsm::phase

@@ -1,0 +1,109 @@
+// multiprogram_test.cpp — the paper's §III-B multiprogramming options:
+// carrying detector state in the thread context vs clearing it on every
+// switch, and the tuning cost of the latter.
+#include <gtest/gtest.h>
+
+#include "phase/detector.hpp"
+
+namespace dsm::phase {
+namespace {
+
+IntervalRecord interval_of(unsigned bucket, double dds) {
+  IntervalRecord r;
+  r.bbv.assign(32, 0);
+  r.bbv[bucket] = 65536;
+  r.dds = dds;
+  r.instructions = 100'000;
+  r.cycles = 100'000;
+  r.cpi = 1.0;
+  return r;
+}
+
+/// Two "applications" with disjoint behaviours time-share one detector.
+struct Workloads {
+  std::vector<IntervalRecord> app_a{interval_of(0, 100), interval_of(1, 200)};
+  std::vector<IntervalRecord> app_b{interval_of(7, 9000),
+                                    interval_of(8, 9500)};
+};
+
+Thresholds loose() { return Thresholds{.bbv = 2000, .dds = 50.0}; }
+
+TEST(MultiprogramTest, SaveRestorePreservesPhaseIdentity) {
+  Workloads w;
+  BbvDdvDetector det(8, loose());
+
+  // App A establishes its phases.
+  const PhaseId a0 = det.classify(w.app_a[0]).phase;
+  const PhaseId a1 = det.classify(w.app_a[1]).phase;
+  FootprintTable ctx_a = det.save_context();
+
+  // Context switch to app B on the same hardware (fresh state).
+  det.reset();
+  det.classify(w.app_b[0]);
+  det.classify(w.app_b[1]);
+  FootprintTable ctx_b = det.save_context();
+
+  // Switch back to A: with its context restored, A's intervals rejoin
+  // their old phases — no re-tuning.
+  det.restore_context(std::move(ctx_a));
+  auto c0 = det.classify(w.app_a[0]);
+  auto c1 = det.classify(w.app_a[1]);
+  EXPECT_FALSE(c0.new_phase);
+  EXPECT_FALSE(c1.new_phase);
+  EXPECT_EQ(c0.phase, a0);
+  EXPECT_EQ(c1.phase, a1);
+
+  // And B's context is equally intact.
+  det.restore_context(std::move(ctx_b));
+  EXPECT_FALSE(det.classify(w.app_b[0]).new_phase);
+}
+
+TEST(MultiprogramTest, ClearingCostsRetuningEveryQuantum) {
+  // The paper's alternative: clear on switch "at the expense of more
+  // tuning". Count new-phase allocations over repeated switching.
+  Workloads w;
+  BbvDdvDetector det(8, loose());
+
+  unsigned new_phases_clearing = 0;
+  for (int quantum = 0; quantum < 6; ++quantum) {
+    det.reset();  // cleared on every switch
+    const auto& app = (quantum % 2 == 0) ? w.app_a : w.app_b;
+    for (const auto& rec : app)
+      new_phases_clearing += det.classify(rec).new_phase;
+  }
+
+  BbvDdvDetector det2(8, loose());
+  FootprintTable ctx_a = det2.save_context();  // empty initial contexts
+  FootprintTable ctx_b = det2.save_context();
+  unsigned new_phases_saving = 0;
+  for (int quantum = 0; quantum < 6; ++quantum) {
+    const bool is_a = quantum % 2 == 0;
+    det2.restore_context(is_a ? std::move(ctx_a) : std::move(ctx_b));
+    const auto& app = is_a ? w.app_a : w.app_b;
+    for (const auto& rec : app)
+      new_phases_saving += det2.classify(rec).new_phase;
+    (is_a ? ctx_a : ctx_b) = det2.save_context();
+  }
+
+  // Clearing re-allocates every quantum (12 phases); saving allocates
+  // each behaviour once (4 total).
+  EXPECT_EQ(new_phases_saving, 4u);
+  EXPECT_EQ(new_phases_clearing, 12u);
+}
+
+TEST(MultiprogramTest, SharedTableWithoutContextsCrossContaminates) {
+  // Why per-thread state matters: without save/restore OR clearing, app
+  // B's allocations evict app A's footprint entries in a small table.
+  Workloads w;
+  BbvDdvDetector det(2, loose());  // tiny table: 2 entries
+  const PhaseId a0 = det.classify(w.app_a[0]).phase;
+  const PhaseId a1 = det.classify(w.app_a[1]).phase;
+  EXPECT_NE(a0, a1);
+  det.classify(w.app_b[0]);  // evicts A's LRU entries
+  det.classify(w.app_b[1]);
+  const auto back = det.classify(w.app_a[0]);
+  EXPECT_TRUE(back.new_phase) << "A's phase should have been evicted";
+}
+
+}  // namespace
+}  // namespace dsm::phase

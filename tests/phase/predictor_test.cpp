@@ -1,0 +1,103 @@
+#include "phase/predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dsm::phase {
+namespace {
+
+double run_sequence(PhasePredictor& p, const std::vector<PhaseId>& seq,
+                    int repeats = 1) {
+  for (int r = 0; r < repeats; ++r)
+    for (const PhaseId ph : seq) p.observe(ph);
+  return p.accuracy();
+}
+
+TEST(LastPhaseTest, PerfectOnConstantSequence) {
+  LastPhasePredictor p;
+  EXPECT_DOUBLE_EQ(run_sequence(p, std::vector<PhaseId>(50, 3)), 1.0);
+}
+
+TEST(LastPhaseTest, PoorOnAlternation) {
+  LastPhasePredictor p;
+  std::vector<PhaseId> seq;
+  for (int i = 0; i < 100; ++i) seq.push_back(i % 2);
+  EXPECT_LT(run_sequence(p, seq), 0.05);
+}
+
+TEST(MarkovTest, LearnsAlternation) {
+  MarkovPhasePredictor p;
+  std::vector<PhaseId> seq;
+  for (int i = 0; i < 20; ++i) seq.push_back(i % 2);
+  run_sequence(p, seq);  // warmup
+  // After warmup, predictions are perfect.
+  p.observe(0);
+  EXPECT_EQ(p.predict(), 1);
+  p.observe(1);
+  EXPECT_EQ(p.predict(), 0);
+}
+
+TEST(MarkovTest, LearnsCycleOfThree) {
+  MarkovPhasePredictor p;
+  std::vector<PhaseId> seq;
+  for (int i = 0; i < 30; ++i) seq.push_back(i % 3);
+  run_sequence(p, seq);
+  p.observe(2);
+  EXPECT_EQ(p.predict(), 0);
+}
+
+TEST(MarkovTest, FallsBackToLastPhaseWhenUnseen) {
+  MarkovPhasePredictor p;
+  p.observe(7);
+  EXPECT_EQ(p.predict(), 7);  // no transition data yet
+}
+
+TEST(RunLengthTest, AnticipatesPhaseEndings) {
+  // Phase 1 always lasts exactly 3 intervals, then phase 2 for 1:
+  // 1 1 1 2 1 1 1 2 ... A run-length predictor nails the switch; a
+  // last-phase predictor misses twice per period.
+  RunLengthPredictor rl;
+  LastPhasePredictor last;
+  std::vector<PhaseId> seq;
+  for (int i = 0; i < 25; ++i) {
+    seq.push_back(1);
+    seq.push_back(1);
+    seq.push_back(1);
+    seq.push_back(2);
+  }
+  const double rl_acc = run_sequence(rl, seq);
+  const double last_acc = run_sequence(last, seq);
+  EXPECT_GT(rl_acc, 0.9);
+  EXPECT_LT(last_acc, 0.6);
+}
+
+TEST(RunLengthTest, PerfectOnConstant) {
+  RunLengthPredictor p;
+  EXPECT_DOUBLE_EQ(run_sequence(p, std::vector<PhaseId>(40, 9)), 1.0);
+}
+
+TEST(PredictorTest, ResetsClearAccuracy) {
+  for (PhasePredictor* p :
+       std::initializer_list<PhasePredictor*>{new LastPhasePredictor,
+                                              new MarkovPhasePredictor,
+                                              new RunLengthPredictor}) {
+    run_sequence(*p, {1, 2, 3, 1, 2, 3});
+    p->reset();
+    EXPECT_EQ(p->predictions(), 0u) << p->name();
+    EXPECT_EQ(p->predict(), kNoPhase) << p->name();
+    delete p;
+  }
+}
+
+TEST(PredictorTest, AccuracyCountsOnlyScoredObservations) {
+  LastPhasePredictor p;
+  p.observe(1);  // first observation cannot be scored
+  EXPECT_EQ(p.predictions(), 0u);
+  p.observe(1);
+  EXPECT_EQ(p.predictions(), 1u);
+  EXPECT_EQ(p.correct(), 1u);
+}
+
+}  // namespace
+}  // namespace dsm::phase

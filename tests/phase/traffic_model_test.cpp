@@ -1,0 +1,63 @@
+// traffic_model_test.cpp — checks the analytic DDV-overhead model against
+// the numbers the paper states in §III-B.
+#include "phase/traffic_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dsm::phase {
+namespace {
+
+TEST(TrafficModelTest, PaperScenarioReproducesTheClaim) {
+  DdvTrafficParams p;  // defaults = the paper's assumptions
+  const auto r = ddv_traffic(p);
+  // 2 GHz * IPC 1 / 100M instructions = 20 interval ends per second.
+  EXPECT_DOUBLE_EQ(r.intervals_per_second, 20.0);
+  // 31 peers x (8 + 32*4) bytes.
+  EXPECT_EQ(r.bytes_per_gather, 31u * 136u);
+  // "about 160kB/s": we land within 10%.
+  EXPECT_NEAR(r.node_bytes_per_second, 160e3, 16e3);
+  // "under 0.15% of the peak bandwidth" of 1.5 GB/s.
+  EXPECT_LT(r.fraction_of_controller, 0.0015);
+  EXPECT_GT(r.fraction_of_controller, 0.0);
+}
+
+TEST(TrafficModelTest, SingleNodeHasNoTraffic) {
+  DdvTrafficParams p;
+  p.nodes = 1;
+  const auto r = ddv_traffic(p);
+  EXPECT_EQ(r.bytes_per_gather, 0u);
+  EXPECT_DOUBLE_EQ(r.node_bytes_per_second, 0.0);
+}
+
+TEST(TrafficModelTest, TrafficGrowsQuadraticallyWithNodes) {
+  DdvTrafficParams p;
+  p.nodes = 8;
+  const auto r8 = ddv_traffic(p);
+  p.nodes = 16;
+  const auto r16 = ddv_traffic(p);
+  // bytes/gather ~ (n-1)(8+4n): 8 -> 280, 16 -> 1080; ratio ~3.86.
+  EXPECT_EQ(r8.bytes_per_gather, 7u * 40u);
+  EXPECT_EQ(r16.bytes_per_gather, 15u * 72u);
+  EXPECT_GT(r16.system_bytes_per_second / r8.system_bytes_per_second, 3.0);
+}
+
+TEST(TrafficModelTest, LongerIntervalsLowerTheRate) {
+  DdvTrafficParams p;
+  const auto base = ddv_traffic(p);
+  p.interval_instructions *= 10;
+  const auto slower = ddv_traffic(p);
+  EXPECT_NEAR(slower.node_bytes_per_second,
+              base.node_bytes_per_second / 10.0, 1.0);
+}
+
+TEST(TrafficModelTest, SimulationScaleIntervalStillCheap) {
+  // At the paper's *simulated* interval (3M instructions), the mechanism
+  // remains well under 1% of controller bandwidth.
+  DdvTrafficParams p;
+  p.interval_instructions = 3'000'000;
+  const auto r = ddv_traffic(p);
+  EXPECT_LT(r.fraction_of_controller, 0.01);
+}
+
+}  // namespace
+}  // namespace dsm::phase
