@@ -5,6 +5,9 @@
 // harness re-runs the Figure 4 classification on the SAME recorded
 // execution with ablated DDS variants (full F*D*C, F*D, F*C, F alone) and
 // reports the achievable CoV at fixed phase budgets.
+//
+// Simulations run on the experiment driver (--threads=N); the variant
+// replays are pure analysis over the recorded traces and stay serial.
 #include <cstdio>
 
 #include "analysis/curve.hpp"
@@ -15,9 +18,10 @@
 
 int main(int argc, char** argv) {
   using namespace dsm;
-  auto opt = bench::parse_options(argc, argv);
+  auto parsed = bench::parse_options(argc, argv);
+  if (!parsed.ok) return bench::usage_error(parsed);
+  auto& opt = parsed.options;
   if (opt.node_counts.empty()) opt.node_counts = {32};
-  if (opt.app_names.empty()) opt.app_names = {"LU", "Equake"};
 
   std::printf("== Ablation: DDS term contributions (scale: %s) ==\n\n",
               apps::scale_name(opt.scale));
@@ -30,38 +34,37 @@ int main(int argc, char** argv) {
       analysis::DdsVariant::kFrequencyOnly,
   };
 
-  for (const auto& name : opt.app_names) {
-    const auto& app = apps::app_by_name(name);
-    for (const unsigned nodes : opt.node_counts) {
-      const auto run = bench::run_workload(app, opt.scale, nodes,
-                                           opt.verbose);
-      const net::TopologyModel topo(run.cfg.network.topology, nodes);
+  const auto results = bench::run_sweep(
+      bench::named_apps(opt, {"LU", "Equake"}), opt.node_counts, opt);
+  for (const auto& res : results) {
+    const auto& app = *res.app;
+    const unsigned nodes = res.point.nodes;
+    const net::TopologyModel topo(res.run.cfg.network.topology, nodes);
 
-      TableWriter t({"DDS variant", "CoV@10 phases", "CoV@25 phases",
-                     "phases for CoV<=20%"});
-      // Baseline row: BBV only.
-      const auto bbv = analysis::bbv_cov_curve(run.procs, cp);
-      t.add_row({"(BBV baseline)",
-                 TableWriter::fmt(analysis::cov_at_phases(bbv, 10), 3),
-                 TableWriter::fmt(analysis::cov_at_phases(bbv, 25), 3),
-                 TableWriter::fmt(analysis::phases_for_cov(bbv, 0.20), 3)});
-      for (const auto v : variants) {
-        const auto procs = analysis::with_dds_variant(run.procs, topo, v);
-        const auto curve = analysis::bbv_ddv_cov_curve(procs, cp);
-        t.add_row({dds_variant_name(v),
-                   TableWriter::fmt(analysis::cov_at_phases(curve, 10), 3),
-                   TableWriter::fmt(analysis::cov_at_phases(curve, 25), 3),
-                   TableWriter::fmt(analysis::phases_for_cov(curve, 0.20),
-                                    3)});
-        bench::maybe_write_csv(opt,
-                               "ablation_dds_" + app.name + "_" +
-                                   std::to_string(nodes) + "p_" +
-                                   std::to_string(static_cast<int>(v)),
-                               curve);
-      }
-      std::printf("-- %s, %uP --\n%s\n", app.name.c_str(), nodes,
-                  t.to_text().c_str());
+    TableWriter t({"DDS variant", "CoV@10 phases", "CoV@25 phases",
+                   "phases for CoV<=20%"});
+    // Baseline row: BBV only.
+    const auto bbv = analysis::bbv_cov_curve(res.run.procs, cp);
+    t.add_row({"(BBV baseline)",
+               TableWriter::fmt(analysis::cov_at_phases(bbv, 10), 3),
+               TableWriter::fmt(analysis::cov_at_phases(bbv, 25), 3),
+               TableWriter::fmt(analysis::phases_for_cov(bbv, 0.20), 3)});
+    for (const auto v : variants) {
+      const auto procs = analysis::with_dds_variant(res.run.procs, topo, v);
+      const auto curve = analysis::bbv_ddv_cov_curve(procs, cp);
+      t.add_row({dds_variant_name(v),
+                 TableWriter::fmt(analysis::cov_at_phases(curve, 10), 3),
+                 TableWriter::fmt(analysis::cov_at_phases(curve, 25), 3),
+                 TableWriter::fmt(analysis::phases_for_cov(curve, 0.20),
+                                  3)});
+      bench::maybe_write_csv(opt,
+                             "ablation_dds_" + app.name + "_" +
+                                 std::to_string(nodes) + "p_" +
+                                 std::to_string(static_cast<int>(v)),
+                             curve);
     }
+    std::printf("-- %s, %uP --\n%s\n", app.name.c_str(), nodes,
+                t.to_text().c_str());
   }
   return 0;
 }

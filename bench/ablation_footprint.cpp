@@ -3,6 +3,9 @@
 // replays classification of the same recorded run with 8..128 vectors to
 // show where capacity stops limiting either detector (a pure hardware-
 // sizing question: no re-simulation needed).
+//
+// Simulations run on the experiment driver (--threads=N); the capacity
+// replays are pure analysis over the recorded traces and stay serial.
 #include <cstdio>
 
 #include "analysis/curve.hpp"
@@ -11,34 +14,32 @@
 
 int main(int argc, char** argv) {
   using namespace dsm;
-  auto opt = bench::parse_options(argc, argv);
-  if (opt.app_names.empty()) opt.app_names = {"FMM"};
+  auto parsed = bench::parse_options(argc, argv);
+  if (!parsed.ok) return bench::usage_error(parsed);
+  auto& opt = parsed.options;
   if (opt.node_counts.empty()) opt.node_counts = {32};
 
   std::printf("== Ablation: footprint-table capacity (scale: %s) ==\n\n",
               apps::scale_name(opt.scale));
 
-  for (const auto& name : opt.app_names) {
-    const auto& app = apps::app_by_name(name);
-    for (const unsigned nodes : opt.node_counts) {
-      const auto run = bench::run_workload(app, opt.scale, nodes,
-                                           opt.verbose);
-      TableWriter t({"footprint vectors", "BBV CoV@10", "DDV CoV@10",
-                     "BBV CoV@25", "DDV CoV@25"});
-      for (const unsigned capacity : {8u, 16u, 32u, 64u, 128u}) {
-        analysis::CurveParams cp;
-        cp.footprint_capacity = capacity;
-        const auto bbv = analysis::bbv_cov_curve(run.procs, cp);
-        const auto ddv = analysis::bbv_ddv_cov_curve(run.procs, cp);
-        t.add_row({std::to_string(capacity),
-                   TableWriter::fmt(analysis::cov_at_phases(bbv, 10), 3),
-                   TableWriter::fmt(analysis::cov_at_phases(ddv, 10), 3),
-                   TableWriter::fmt(analysis::cov_at_phases(bbv, 25), 3),
-                   TableWriter::fmt(analysis::cov_at_phases(ddv, 25), 3)});
-      }
-      std::printf("-- %s, %uP --\n%s\n", app.name.c_str(), nodes,
-                  t.to_text().c_str());
+  const auto results =
+      bench::run_sweep(bench::named_apps(opt, {"FMM"}), opt.node_counts, opt);
+  for (const auto& res : results) {
+    TableWriter t({"footprint vectors", "BBV CoV@10", "DDV CoV@10",
+                   "BBV CoV@25", "DDV CoV@25"});
+    for (const unsigned capacity : {8u, 16u, 32u, 64u, 128u}) {
+      analysis::CurveParams cp;
+      cp.footprint_capacity = capacity;
+      const auto bbv = analysis::bbv_cov_curve(res.run.procs, cp);
+      const auto ddv = analysis::bbv_ddv_cov_curve(res.run.procs, cp);
+      t.add_row({std::to_string(capacity),
+                 TableWriter::fmt(analysis::cov_at_phases(bbv, 10), 3),
+                 TableWriter::fmt(analysis::cov_at_phases(ddv, 10), 3),
+                 TableWriter::fmt(analysis::cov_at_phases(bbv, 25), 3),
+                 TableWriter::fmt(analysis::cov_at_phases(ddv, 25), 3)});
     }
+    std::printf("-- %s, %uP --\n%s\n", res.app->name.c_str(),
+                res.point.nodes, t.to_text().c_str());
   }
   return 0;
 }

@@ -3,6 +3,10 @@
 // chosen for the reduced input sets, vs "real-world" 100M); this harness
 // sweeps the interval around that choice and reports how both detectors'
 // operating points move.
+//
+// The app × nodes × factor product runs on the experiment driver
+// (--threads=N) with the factor carried on the SweepSpec's numeric axis;
+// each point builds its own Machine with the rescaled interval.
 #include <cstdio>
 
 #include "analysis/curve.hpp"
@@ -12,7 +16,9 @@
 
 int main(int argc, char** argv) {
   using namespace dsm;
-  auto opt = bench::parse_options(argc, argv);
+  auto parsed = bench::parse_options(argc, argv);
+  if (!parsed.ok) return bench::usage_error(parsed);
+  auto& opt = parsed.options;
   if (opt.app_names.empty()) opt.app_names = {"LU"};
   if (opt.node_counts.empty()) opt.node_counts = {8};
 
@@ -20,32 +26,57 @@ int main(int argc, char** argv) {
               apps::scale_name(opt.scale));
   analysis::CurveParams cp;
 
-  for (const auto& name : opt.app_names) {
-    const auto& app = apps::app_by_name(name);
-    for (const unsigned nodes : opt.node_counts) {
-      TableWriter t({"interval (1P basis)", "intervals/proc", "BBV CoV@10",
-                     "DDV CoV@10", "BBV CoV@25", "DDV CoV@25"});
-      const InstrCount base = apps::scaled_interval(app.name, opt.scale);
-      for (const double factor : {0.5, 1.0, 2.0, 4.0}) {
-        MachineConfig cfg = default_config(nodes);
-        cfg.phase.interval_instructions =
-            static_cast<InstrCount>(static_cast<double>(base) * factor);
+  driver::SweepSpec spec;
+  spec.apps = opt.app_names;
+  spec.node_counts = opt.node_counts;
+  spec.thresholds = {0.5, 1.0, 2.0, 4.0};  // interval-length factors
+  spec.scale = opt.scale;
+  const auto points = spec.expand();
+
+  struct PointResult {
+    InstrCount interval = 0;
+    sim::RunSummary run;
+  };
+  const driver::ExperimentRunner runner(opt.threads);
+  const auto results = runner.map<PointResult>(
+      points, [&](const driver::SpecPoint& pt) {
+        const auto& app = apps::app_by_name(pt.app);
+        const InstrCount base = apps::scaled_interval(app.name, pt.scale);
+        MachineConfig cfg = default_config(pt.nodes);
+        cfg.phase.interval_instructions = static_cast<InstrCount>(
+            static_cast<double>(base) * pt.threshold);
+        // Seed from the point WITHOUT the ablated axis: every interval-
+        // length row of an (app, nodes) pair shares one RNG stream so the
+        // rows differ only by the sampling interval under study.
+        driver::SpecPoint seed_pt = pt;
+        seed_pt.threshold = 0.0;
+        cfg.seed = driver::spec_seed(seed_pt);
         sim::Machine machine(cfg);
-        const auto run = machine.run(app.factory(opt.scale));
-        const auto bbv = analysis::bbv_cov_curve(run.procs, cp);
-        const auto ddv = analysis::bbv_ddv_cov_curve(run.procs, cp);
-        t.add_row(
-            {TableWriter::fmt(
-                 static_cast<double>(cfg.phase.interval_instructions), 4),
-             std::to_string(run.procs[0].intervals.size()),
-             TableWriter::fmt(analysis::cov_at_phases(bbv, 10), 3),
-             TableWriter::fmt(analysis::cov_at_phases(ddv, 10), 3),
-             TableWriter::fmt(analysis::cov_at_phases(bbv, 25), 3),
-             TableWriter::fmt(analysis::cov_at_phases(ddv, 25), 3)});
-      }
-      std::printf("-- %s, %uP --\n%s\n", app.name.c_str(), nodes,
-                  t.to_text().c_str());
+        PointResult r;
+        r.interval = cfg.phase.interval_instructions;
+        r.run = machine.run(app.factory(pt.scale));
+        return r;
+      });
+
+  // One table per (app, nodes): consecutive chunks of the factor axis.
+  const std::size_t factors = spec.thresholds.size();
+  for (std::size_t base = 0; base < results.size(); base += factors) {
+    TableWriter t({"interval (1P basis)", "intervals/proc", "BBV CoV@10",
+                   "DDV CoV@10", "BBV CoV@25", "DDV CoV@25"});
+    for (std::size_t k = 0; k < factors; ++k) {
+      const auto& res = results[base + k];
+      const auto bbv = analysis::bbv_cov_curve(res.run.procs, cp);
+      const auto ddv = analysis::bbv_ddv_cov_curve(res.run.procs, cp);
+      t.add_row({TableWriter::fmt(static_cast<double>(res.interval), 4),
+                 std::to_string(res.run.procs[0].intervals.size()),
+                 TableWriter::fmt(analysis::cov_at_phases(bbv, 10), 3),
+                 TableWriter::fmt(analysis::cov_at_phases(ddv, 10), 3),
+                 TableWriter::fmt(analysis::cov_at_phases(bbv, 25), 3),
+                 TableWriter::fmt(analysis::cov_at_phases(ddv, 25), 3)});
     }
+    const auto& pt = points[base];
+    std::printf("-- %s, %uP --\n%s\n", pt.app.c_str(), pt.nodes,
+                t.to_text().c_str());
   }
   return 0;
 }

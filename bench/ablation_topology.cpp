@@ -4,7 +4,13 @@
 // ring (all supported by the network model), and reports how topology —
 // and with it D's structure and the machine's latency spread — shifts
 // both detectors' operating points.
+//
+// The app × topology product runs on the experiment driver (--threads=N)
+// with the topology carried on the SweepSpec's variant axis.
+#include <algorithm>
 #include <cstdio>
+#include <stdexcept>
+#include <string>
 
 #include "analysis/curve.hpp"
 #include "bench/bench_util.hpp"
@@ -13,40 +19,77 @@
 
 int main(int argc, char** argv) {
   using namespace dsm;
-  auto opt = bench::parse_options(argc, argv);
+  auto parsed = bench::parse_options(argc, argv);
+  if (!parsed.ok) return bench::usage_error(parsed);
+  auto& opt = parsed.options;
   if (opt.app_names.empty()) opt.app_names = {"LU"};
+  constexpr unsigned kNodes = 16;
 
   std::printf("== Ablation: interconnect topology (16 nodes, scale: %s) "
               "==\n\n",
               apps::scale_name(opt.scale));
   analysis::CurveParams cp;
 
-  for (const auto& name : opt.app_names) {
-    const auto& app = apps::app_by_name(name);
+  const Topology topologies[] = {Topology::kHypercube, Topology::kTorus2D,
+                                 Topology::kMesh2D, Topology::kRing};
+
+  driver::SweepSpec spec;
+  spec.apps = opt.app_names;
+  spec.node_counts = {kNodes};
+  for (const Topology topo : topologies)
+    spec.detectors.push_back(topology_name(topo));
+  spec.scale = opt.scale;
+  const auto points = spec.expand();
+
+  // The variant axis carries the topology by name; map it back rather
+  // than inferring from the point's index.
+  auto topology_of = [&](const driver::SpecPoint& pt) {
+    for (const Topology topo : topologies)
+      if (pt.detector == topology_name(topo)) return topo;
+    throw std::runtime_error("unknown topology variant: " + pt.detector);
+  };
+
+  const driver::ExperimentRunner runner(opt.threads);
+  const auto results = runner.map<sim::RunSummary>(
+      points, [&](const driver::SpecPoint& pt) {
+        const auto& app = apps::app_by_name(pt.app);
+        MachineConfig cfg = default_config(pt.nodes);
+        cfg.network.topology = topology_of(pt);
+        cfg.phase.interval_instructions =
+            apps::scaled_interval(app.name, pt.scale);
+        // Seed from the point WITHOUT the ablated axis: all four topology
+        // rows of an app must share one RNG stream, or the comparison
+        // would mislabel seed-induced variation as a topology effect.
+        driver::SpecPoint seed_pt = pt;
+        seed_pt.detector.clear();
+        cfg.seed = driver::spec_seed(seed_pt);
+        sim::Machine machine(cfg);
+        return machine.run(app.factory(pt.scale));
+      });
+
+  // One table per app: consecutive chunks of the topology axis.
+  const std::size_t per_app = std::size(topologies);
+  for (std::size_t base = 0; base < results.size(); base += per_app) {
     TableWriter t({"topology", "diameter", "mean CPI", "BBV CoV@15",
                    "DDV CoV@15", "ratio"});
-    for (const Topology topo : {Topology::kHypercube, Topology::kTorus2D,
-                                Topology::kMesh2D, Topology::kRing}) {
-      MachineConfig cfg = default_config(16);
-      cfg.network.topology = topo;
-      cfg.phase.interval_instructions =
-          apps::scaled_interval(app.name, opt.scale);
-      sim::Machine machine(cfg);
-      const auto run = machine.run(app.factory(opt.scale));
+    for (std::size_t k = 0; k < per_app; ++k) {
+      const auto& run = results[base + k];
+      const Topology topo = topology_of(points[base + k]);
       const auto bbv = analysis::bbv_cov_curve(run.procs, cp);
       const auto ddv = analysis::bbv_ddv_cov_curve(run.procs, cp);
       const double b = analysis::cov_at_phases(bbv, 15);
       const double d = analysis::cov_at_phases(ddv, 15);
       double cpi = 0.0;
-      for (unsigned p = 0; p < 16; ++p) cpi += run.cpi(p);
+      for (unsigned p = 0; p < kNodes; ++p) cpi += run.cpi(p);
       t.add_row({topology_name(topo),
                  std::to_string(
-                     net::TopologyModel(topo, 16).diameter()),
-                 TableWriter::fmt(cpi / 16, 3), TableWriter::fmt(b, 3),
+                     net::TopologyModel(topo, kNodes).diameter()),
+                 TableWriter::fmt(cpi / kNodes, 3), TableWriter::fmt(b, 3),
                  TableWriter::fmt(d, 3),
                  TableWriter::fmt(d / std::max(b, 1e-9), 3)});
     }
-    std::printf("-- %s --\n%s\n", app.name.c_str(), t.to_text().c_str());
+    std::printf("-- %s --\n%s\n", points[base].app.c_str(),
+                t.to_text().c_str());
   }
   return 0;
 }

@@ -1,10 +1,12 @@
 #include "bench/bench_util.hpp"
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/log.hpp"
 #include "common/table_writer.hpp"
@@ -21,23 +23,52 @@ std::vector<std::string> split(const std::string& s, char sep) {
   return out;
 }
 
-[[noreturn]] void usage(const char* msg) {
-  std::fprintf(stderr,
-               "error: %s\n"
-               "options:\n"
-               "  --scale=paper|bench|test   workload size (default bench)\n"
-               "  --apps=LU,FMM,Art,Equake   subset of applications\n"
-               "  --nodes=2,8,32             subset of node counts\n"
-               "  --csv=DIR                  dump full-resolution CSV\n"
-               "  --verbose                  progress logging\n",
-               msg);
-  std::exit(2);
+ParseResult fail(ParseResult r, std::string msg) {
+  r.ok = false;
+  r.error = std::move(msg);
+  return r;
 }
+
+// Strict bounded parse: digits only (no sign, so "-1" cannot wrap through
+// strtoul), value in [min, max].
+bool parse_unsigned(const std::string& s, unsigned long min, unsigned long max,
+                    unsigned long& out) {
+  if (s.empty()) return false;
+  for (const char c : s)
+    if (c < '0' || c > '9') return false;
+  errno = 0;
+  char* end = nullptr;
+  out = std::strtoul(s.c_str(), &end, 10);
+  return errno == 0 && *end == '\0' && out >= min && out <= max;
+}
+
+// Each simulated processor is an OS thread; anything past this is a typo,
+// not an experiment.
+constexpr unsigned long kMaxNodes = 4096;
+constexpr unsigned long kMaxThreads = 4096;
 
 }  // namespace
 
-BenchOptions parse_options(int argc, char** argv) {
-  BenchOptions opt;
+const char* usage_text() {
+  return
+      "options:\n"
+      "  --scale=paper|bench|test   workload size (default paper)\n"
+      "  --apps=LU,FMM,Art,Equake   subset of applications\n"
+      "  --nodes=2,8,32             subset of node counts\n"
+      "  --csv=DIR                  dump full-resolution CSV\n"
+      "  --threads=N                sweep worker threads (0 = one per core,\n"
+      "                             default 1)\n"
+      "  --verbose                  progress logging\n";
+}
+
+int usage_error(const ParseResult& r) {
+  std::fprintf(stderr, "error: %s\n%s", r.error.c_str(), usage_text());
+  return 2;
+}
+
+ParseResult parse_options(int argc, char** argv) {
+  ParseResult res;
+  BenchOptions& opt = res.options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&](const char* prefix) {
@@ -48,13 +79,27 @@ BenchOptions parse_options(int argc, char** argv) {
       if (v == "paper") opt.scale = apps::Scale::kPaper;
       else if (v == "bench") opt.scale = apps::Scale::kBench;
       else if (v == "test") opt.scale = apps::Scale::kTest;
-      else usage("unknown --scale value");
+      else return fail(std::move(res), "unknown --scale value: " + v);
+      res.scale_set = true;
     } else if (arg.rfind("--apps=", 0) == 0) {
       opt.app_names = split(value("--apps="), ',');
+      for (const auto& n : opt.app_names)
+        if (apps::find_app(n) == nullptr)
+          return fail(std::move(res),
+                      "unknown app: " + n + " (valid: LU,FMM,Art,Equake)");
     } else if (arg.rfind("--nodes=", 0) == 0) {
-      for (const auto& n : split(value("--nodes="), ','))
-        opt.node_counts.push_back(
-            static_cast<unsigned>(std::strtoul(n.c_str(), nullptr, 10)));
+      for (const auto& n : split(value("--nodes="), ',')) {
+        unsigned long v = 0;
+        if (!parse_unsigned(n, 1, kMaxNodes, v))
+          return fail(std::move(res), "bad --nodes entry: " + n);
+        opt.node_counts.push_back(static_cast<unsigned>(v));
+      }
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      const std::string v = value("--threads=");
+      unsigned long t = 0;
+      if (!parse_unsigned(v, 0, kMaxThreads, t))
+        return fail(std::move(res), "bad --threads value: " + v);
+      opt.threads = static_cast<unsigned>(t);
     } else if (arg.rfind("--csv=", 0) == 0) {
       opt.csv_dir = value("--csv=");
     } else if (arg == "--verbose") {
@@ -63,16 +108,18 @@ BenchOptions parse_options(int argc, char** argv) {
     } else if (arg.rfind("--benchmark", 0) == 0) {
       // google-benchmark flag: not ours, ignore.
     } else {
-      usage(("unknown option: " + arg).c_str());
+      return fail(std::move(res), "unknown option: " + arg);
     }
   }
-  return opt;
+  return res;
 }
 
 sim::RunSummary run_workload(const apps::AppInfo& app, apps::Scale scale,
-                             unsigned nodes, bool verbose) {
+                             unsigned nodes, bool verbose,
+                             std::uint64_t seed) {
   MachineConfig cfg = default_config(nodes);
   cfg.phase.interval_instructions = apps::scaled_interval(app.name, scale);
+  cfg.seed = seed;
   const auto t0 = std::chrono::steady_clock::now();
   sim::Machine machine(cfg);
   sim::RunSummary run = machine.run(app.factory(scale));
@@ -85,6 +132,61 @@ sim::RunSummary run_workload(const apps::AppInfo& app, apps::Scale scale,
                  run.procs[0].intervals.size(), run.cpi(0), dt);
   }
   return run;
+}
+
+std::vector<const apps::AppInfo*> selected_apps(const BenchOptions& opt) {
+  std::vector<const apps::AppInfo*> out;
+  for (const auto& app : apps::paper_apps()) {
+    if (!opt.app_names.empty()) {
+      bool want = false;
+      // Case-insensitive via the registry lookup (parse_options has
+      // already rejected unknown names).
+      for (const auto& n : opt.app_names) want |= (apps::find_app(n) == &app);
+      if (!want) continue;
+    }
+    out.push_back(&app);
+  }
+  return out;
+}
+
+std::vector<const apps::AppInfo*> named_apps(
+    const BenchOptions& opt, const std::vector<std::string>& defaults) {
+  const auto& names = opt.app_names.empty() ? defaults : opt.app_names;
+  std::vector<const apps::AppInfo*> out;
+  for (const auto& n : names) out.push_back(&apps::app_by_name(n));
+  return out;
+}
+
+std::vector<WorkloadResult> run_sweep(
+    const std::vector<const apps::AppInfo*>& apps,
+    const std::vector<unsigned>& nodes, const BenchOptions& opt) {
+  // An empty selection is an empty sweep (the pre-refactor loops printed
+  // zero rows) — never a default "" spec point.
+  if (apps.empty() || nodes.empty()) return {};
+
+  driver::SweepSpec spec;
+  for (const auto* app : apps) spec.apps.push_back(app->name);
+  spec.node_counts = nodes;
+  spec.scale = opt.scale;
+  const auto points = spec.expand();
+
+  const driver::ExperimentRunner runner(opt.threads);
+  return runner.map<WorkloadResult>(
+      points, [&](const driver::SpecPoint& pt) {
+        WorkloadResult r;
+        r.point = pt;
+        r.app = &dsm::apps::app_by_name(pt.app);
+        try {
+          r.run = run_workload(*r.app, pt.scale, pt.nodes, opt.verbose,
+                               driver::spec_seed(pt));
+        } catch (const std::exception& e) {
+          // Name the configuration: in a parallel sweep "which point
+          // failed" is otherwise lost.
+          throw std::runtime_error(driver::spec_label(pt) + ": " +
+                                   e.what());
+        }
+        return r;
+      });
 }
 
 void print_curve(const std::string& title,

@@ -1,14 +1,17 @@
 // bench_util.hpp — shared plumbing for the figure/table harnesses: flag
-// parsing, app runs with properly scaled sampling intervals, and curve
-// printing in a gnuplot-friendly layout.
+// parsing, parallel sweep execution through the experiment driver, and
+// curve printing in a gnuplot-friendly layout.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "analysis/curve.hpp"
 #include "apps/registry.hpp"
 #include "common/config.hpp"
+#include "driver/experiment_runner.hpp"
+#include "driver/sweep_spec.hpp"
 #include "sim/machine.hpp"
 
 namespace dsm::bench {
@@ -18,18 +21,65 @@ struct BenchOptions {
   std::vector<std::string> app_names;  ///< empty = all four paper apps
   std::vector<unsigned> node_counts;   ///< empty = the bench's defaults
   std::string csv_dir;                 ///< when set, also dump CSV files
+  unsigned threads = 1;                ///< sweep workers; 0 = one per core
   bool verbose = false;
 };
 
+/// Outcome of command-line parsing. Mains check `ok` and bail with
+/// usage_error() on failure instead of the library calling exit() — which
+/// kept parse_options untestable and would kill a multi-sweep driver
+/// mid-flight.
+struct ParseResult {
+  BenchOptions options;
+  bool ok = true;
+  bool scale_set = false;  ///< --scale appeared (mains with non-paper
+                           ///< defaults check this before overriding)
+  std::string error;  ///< set when !ok
+};
+
 /// Parses --scale=paper|bench|test, --apps=LU,FMM,..., --nodes=2,8,32,
-/// --csv=DIR, --verbose. Ignores google-benchmark-style flags it does not
-/// know. Exits with a usage message on malformed input.
-BenchOptions parse_options(int argc, char** argv);
+/// --csv=DIR, --threads=N (0 = one per hardware thread), --verbose.
+/// Ignores google-benchmark-style flags it does not know. Never exits;
+/// malformed input comes back as ParseResult{ok=false, error}.
+ParseResult parse_options(int argc, char** argv);
+
+/// The flag reference printed under parse errors.
+const char* usage_text();
+
+/// Prints `r.error` plus usage to stderr; returns the conventional exit
+/// code 2 so mains can `return bench::usage_error(r);`.
+int usage_error(const ParseResult& r);
 
 /// Runs `app` on a Table I machine with `nodes` processors at `scale`,
-/// with the sampling interval scaled to the workload per DESIGN.md.
+/// with the sampling interval scaled to the workload per DESIGN.md and the
+/// machine's RNG streams seeded from `seed` (pass spec_seed(point) inside
+/// sweeps so parallel and serial runs agree bit-for-bit).
 sim::RunSummary run_workload(const apps::AppInfo& app, apps::Scale scale,
-                             unsigned nodes, bool verbose);
+                             unsigned nodes, bool verbose,
+                             std::uint64_t seed);
+
+/// Apps selected by --apps, in Table II order (default: all four).
+std::vector<const apps::AppInfo*> selected_apps(const BenchOptions& opt);
+
+/// Apps in command-line order with per-bench defaults (the ablation
+/// harnesses iterate in the order the user named them).
+std::vector<const apps::AppInfo*> named_apps(
+    const BenchOptions& opt, const std::vector<std::string>& defaults);
+
+/// One completed configuration of an app × nodes sweep, in spec order.
+struct WorkloadResult {
+  driver::SpecPoint point;
+  const apps::AppInfo* app = nullptr;
+  sim::RunSummary run;
+};
+
+/// Expands `apps` × `nodes` into a SweepSpec, simulates every
+/// configuration on opt.threads workers (deterministic per-point seeds),
+/// and returns the results in spec order — the parallel replacement for
+/// the old serial for-app/for-nodes loops.
+std::vector<WorkloadResult> run_sweep(
+    const std::vector<const apps::AppInfo*>& apps,
+    const std::vector<unsigned>& nodes, const BenchOptions& opt);
 
 /// Prints a CoV curve as "phases cov tuning%" rows, subsampled to at most
 /// `max_rows` (the full resolution goes to CSV when enabled).

@@ -7,6 +7,10 @@
 //     node count for every application;
 //   * e.g. paper: LU achieves <10% CoV with ~7 phases at 2P, but ~40% /
 //     ~70% CoV at the same 7 phases on 8P / 32P.
+//
+// The app × nodes sweep runs on the experiment driver (--threads=N);
+// analysis and printing happen serially in spec order afterwards, so the
+// output is identical at any thread count.
 #include <cstdio>
 
 #include "analysis/curve.hpp"
@@ -15,7 +19,9 @@
 
 int main(int argc, char** argv) {
   using namespace dsm;
-  auto opt = bench::parse_options(argc, argv);
+  auto parsed = bench::parse_options(argc, argv);
+  if (!parsed.ok) return bench::usage_error(parsed);
+  auto& opt = parsed.options;
   if (opt.node_counts.empty()) opt.node_counts = {2, 8, 32};
 
   std::printf("== Figure 2: baseline BBV CoV curves (scale: %s) ==\n\n",
@@ -26,29 +32,24 @@ int main(int argc, char** argv) {
   TableWriter headline({"app", "nodes", "CoV@7 phases", "CoV@25 phases",
                         "min phases for CoV<=20%"});
 
-  for (const auto& app : apps::paper_apps()) {
-    if (!opt.app_names.empty()) {
-      bool want = false;
-      for (const auto& n : opt.app_names) want |= (n == app.name);
-      if (!want) continue;
-    }
-    for (const unsigned nodes : opt.node_counts) {
-      const auto run = bench::run_workload(app, opt.scale, nodes,
-                                           opt.verbose);
-      const auto curve = analysis::bbv_cov_curve(run.procs, cp);
-      char title[128];
-      std::snprintf(title, sizeof title, "-- %s CoV curve, BBV, %uP --",
-                    app.name.c_str(), nodes);
-      bench::print_curve(title, curve);
-      bench::maybe_write_csv(opt, "fig2_" + app.name + "_" +
-                                      std::to_string(nodes) + "p",
-                             curve);
-      headline.add_row(
-          {app.name, std::to_string(nodes),
-           TableWriter::fmt(analysis::cov_at_phases(curve, 7.0), 3),
-           TableWriter::fmt(analysis::cov_at_phases(curve, 25.0), 3),
-           TableWriter::fmt(analysis::phases_for_cov(curve, 0.20), 3)});
-    }
+  const auto results =
+      bench::run_sweep(bench::selected_apps(opt), opt.node_counts, opt);
+  for (const auto& res : results) {
+    const auto& app = *res.app;
+    const unsigned nodes = res.point.nodes;
+    const auto curve = analysis::bbv_cov_curve(res.run.procs, cp);
+    char title[128];
+    std::snprintf(title, sizeof title, "-- %s CoV curve, BBV, %uP --",
+                  app.name.c_str(), nodes);
+    bench::print_curve(title, curve);
+    bench::maybe_write_csv(opt, "fig2_" + app.name + "_" +
+                                    std::to_string(nodes) + "p",
+                           curve);
+    headline.add_row(
+        {app.name, std::to_string(nodes),
+         TableWriter::fmt(analysis::cov_at_phases(curve, 7.0), 3),
+         TableWriter::fmt(analysis::cov_at_phases(curve, 25.0), 3),
+         TableWriter::fmt(analysis::phases_for_cov(curve, 0.20), 3)});
   }
 
   std::printf("== Figure 2 headline (paper shape: CoV at fixed phases rises "

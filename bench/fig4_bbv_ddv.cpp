@@ -8,6 +8,11 @@
 //   * headline example (paper): FMM at 32P — BBV reaches 29% CoV with 25
 //     phases, BBV+DDV ~15% at the same 25 phases, and only ~11 phases are
 //     needed to reach BBV's 29%.
+//
+// The app × nodes sweep runs on the experiment driver (--threads=N);
+// analysis and printing happen serially in spec order afterwards, so the
+// output is identical at any thread count.
+#include <algorithm>
 #include <cstdio>
 
 #include "analysis/curve.hpp"
@@ -16,7 +21,9 @@
 
 int main(int argc, char** argv) {
   using namespace dsm;
-  auto opt = bench::parse_options(argc, argv);
+  auto parsed = bench::parse_options(argc, argv);
+  if (!parsed.ok) return bench::usage_error(parsed);
+  auto& opt = parsed.options;
   if (opt.node_counts.empty()) opt.node_counts = {8, 32};
 
   std::printf("== Figure 4: BBV vs BBV+DDV CoV curves (scale: %s) ==\n\n",
@@ -27,45 +34,40 @@ int main(int argc, char** argv) {
   TableWriter headline({"app", "nodes", "BBV CoV@25", "DDV CoV@25",
                         "CoV ratio", "BBV phases@CoV", "DDV phases@CoV"});
 
-  for (const auto& app : apps::paper_apps()) {
-    if (!opt.app_names.empty()) {
-      bool want = false;
-      for (const auto& n : opt.app_names) want |= (n == app.name);
-      if (!want) continue;
-    }
-    for (const unsigned nodes : opt.node_counts) {
-      const auto run = bench::run_workload(app, opt.scale, nodes,
-                                           opt.verbose);
-      const auto bbv = analysis::bbv_cov_curve(run.procs, cp);
-      const auto ddv = analysis::bbv_ddv_cov_curve(run.procs, cp);
+  const auto results =
+      bench::run_sweep(bench::selected_apps(opt), opt.node_counts, opt);
+  for (const auto& res : results) {
+    const auto& app = *res.app;
+    const unsigned nodes = res.point.nodes;
+    const auto bbv = analysis::bbv_cov_curve(res.run.procs, cp);
+    const auto ddv = analysis::bbv_ddv_cov_curve(res.run.procs, cp);
 
-      char title[160];
-      std::snprintf(title, sizeof title, "-- %s, %uP: BBV --",
-                    app.name.c_str(), nodes);
-      bench::print_curve(title, bbv, 10);
-      std::snprintf(title, sizeof title, "-- %s, %uP: BBV+DDV --",
-                    app.name.c_str(), nodes);
-      bench::print_curve(title, ddv, 10);
-      bench::maybe_write_csv(opt, "fig4_" + app.name + "_" +
-                                      std::to_string(nodes) + "p_bbv",
-                             bbv);
-      bench::maybe_write_csv(opt, "fig4_" + app.name + "_" +
-                                      std::to_string(nodes) + "p_ddv",
-                             ddv);
+    char title[160];
+    std::snprintf(title, sizeof title, "-- %s, %uP: BBV --",
+                  app.name.c_str(), nodes);
+    bench::print_curve(title, bbv, 10);
+    std::snprintf(title, sizeof title, "-- %s, %uP: BBV+DDV --",
+                  app.name.c_str(), nodes);
+    bench::print_curve(title, ddv, 10);
+    bench::maybe_write_csv(opt, "fig4_" + app.name + "_" +
+                                    std::to_string(nodes) + "p_bbv",
+                           bbv);
+    bench::maybe_write_csv(opt, "fig4_" + app.name + "_" +
+                                    std::to_string(nodes) + "p_ddv",
+                           ddv);
 
-      const double bbv25 = analysis::cov_at_phases(bbv, 25.0);
-      const double ddv25 = analysis::cov_at_phases(ddv, 25.0);
-      // Phase counts each detector needs to reach the BBV@25 CoV level —
-      // the paper's "tuning savings" view.
-      const double bbv_need = analysis::phases_for_cov(bbv, bbv25);
-      const double ddv_need = analysis::phases_for_cov(ddv, bbv25);
-      headline.add_row({app.name, std::to_string(nodes),
-                        TableWriter::fmt(bbv25, 3),
-                        TableWriter::fmt(ddv25, 3),
-                        TableWriter::fmt(ddv25 / std::max(bbv25, 1e-9), 3),
-                        TableWriter::fmt(bbv_need, 3),
-                        TableWriter::fmt(ddv_need, 3)});
-    }
+    const double bbv25 = analysis::cov_at_phases(bbv, 25.0);
+    const double ddv25 = analysis::cov_at_phases(ddv, 25.0);
+    // Phase counts each detector needs to reach the BBV@25 CoV level —
+    // the paper's "tuning savings" view.
+    const double bbv_need = analysis::phases_for_cov(bbv, bbv25);
+    const double ddv_need = analysis::phases_for_cov(ddv, bbv25);
+    headline.add_row({app.name, std::to_string(nodes),
+                      TableWriter::fmt(bbv25, 3),
+                      TableWriter::fmt(ddv25, 3),
+                      TableWriter::fmt(ddv25 / std::max(bbv25, 1e-9), 3),
+                      TableWriter::fmt(bbv_need, 3),
+                      TableWriter::fmt(ddv_need, 3)});
   }
 
   std::printf("== Figure 4 headline (paper shape: DDV at/below BBV, gap "

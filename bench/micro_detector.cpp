@@ -5,6 +5,7 @@
 // the end-of-interval DDS gather/computation.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.hpp"
 #include "common/config.hpp"
 #include "network/topology.hpp"
 #include "phase/bbv.hpp"
@@ -96,4 +97,15 @@ BENCHMARK(BM_DdvGather)->Arg(2)->Arg(8)->Arg(32);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): google-benchmark consumes its
+// own --benchmark* flags first, then the shared sweep flags (--threads=N
+// and friends) are parsed through bench_util for driver uniformity — a
+// parse error exits with usage instead of being silently ignored.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  const auto parsed = dsm::bench::parse_options(argc, argv);
+  if (!parsed.ok) return dsm::bench::usage_error(parsed);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

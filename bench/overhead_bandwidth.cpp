@@ -10,6 +10,8 @@
 // Two independent derivations are reported: (a) the analytic model with
 // the paper's assumptions, and (b) the DDV traffic actually recorded by
 // the simulator on a real workload, scaled to the paper's interval length.
+// The single measurement run goes through the experiment driver so the
+// harness shares the sweep flags (--threads accepted, trivially).
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
@@ -17,7 +19,9 @@
 
 int main(int argc, char** argv) {
   using namespace dsm;
-  auto opt = bench::parse_options(argc, argv);
+  auto parsed = bench::parse_options(argc, argv);
+  if (!parsed.ok) return bench::usage_error(parsed);
+  const auto& opt = parsed.options;
 
   std::printf("== DDV bandwidth overhead (paper §III-B) ==\n\n");
 
@@ -39,11 +43,14 @@ int main(int argc, char** argv) {
               100.0 * r.fraction_of_controller);
 
   // (b) Simulated: measure DDV bytes on a real run, rescale to the
-  // paper's "real-world" interval length.
-  const auto& app = apps::app_by_name("LU");
+  // paper's "real-world" interval length. Fixed configuration (LU, 32
+  // nodes, test scale) — a one-point sweep on the driver.
   const unsigned nodes = 32;
-  const auto run = bench::run_workload(app, apps::Scale::kTest, nodes,
-                                       opt.verbose);
+  bench::BenchOptions run_opt = opt;
+  run_opt.scale = apps::Scale::kTest;
+  const auto sweep = bench::run_sweep(
+      {&apps::app_by_name("LU")}, {nodes}, run_opt);
+  const auto& run = sweep.front().run;
   const double sim_interval =
       static_cast<double>(run.cfg.interval_per_processor());
   const double gathers =

@@ -8,6 +8,10 @@
 // The interesting comparison: better detectors produce *more stable*
 // phase sequences, which are easier to predict — detection quality and
 // predictability compound.
+//
+// The app × nodes sweep runs on the experiment driver (--threads=N);
+// classification and printing happen serially in spec order afterwards,
+// so the table is byte-identical at any thread count.
 #include <algorithm>
 #include <cstdio>
 #include <memory>
@@ -19,7 +23,9 @@
 
 int main(int argc, char** argv) {
   using namespace dsm;
-  auto opt = bench::parse_options(argc, argv);
+  auto parsed = bench::parse_options(argc, argv);
+  if (!parsed.ok) return bench::usage_error(parsed);
+  auto& opt = parsed.options;
   if (opt.node_counts.empty()) opt.node_counts = {8};
 
   std::printf("== Phase predictors over detected phase sequences "
@@ -29,53 +35,48 @@ int main(int argc, char** argv) {
   TableWriter t({"app", "nodes", "detector", "phases", "last-phase",
                  "markov", "run-length"});
 
-  for (const auto& app : apps::paper_apps()) {
-    if (!opt.app_names.empty() &&
-        std::find(opt.app_names.begin(), opt.app_names.end(), app.name) ==
-            opt.app_names.end())
-      continue;
-    for (const unsigned nodes : opt.node_counts) {
-      const auto run = bench::run_workload(app, opt.scale, nodes,
-                                           opt.verbose);
-      for (const bool use_dds : {false, true}) {
-        // Mid-range thresholds derived per processor, as the examples do.
-        phase::LastPhasePredictor last;
-        phase::MarkovPhasePredictor markov;
-        phase::RunLengthPredictor rl;
-        double phases = 0.0;
-        for (const auto& proc : run.procs) {
-          double lo = 1e300, hi = -1e300;
-          for (const auto& r : proc.intervals) {
-            lo = std::min(lo, r.dds);
-            hi = std::max(hi, r.dds);
-          }
-          phase::Thresholds th;
-          th.bbv = run.cfg.phase.bbv_norm / 8;
-          th.dds = (hi - lo) / 6.0;
-          std::unique_ptr<phase::PhaseDetector> det;
-          if (use_dds)
-            det = std::make_unique<phase::BbvDdvDetector>(
-                run.cfg.phase.footprint_vectors, th);
-          else
-            det = std::make_unique<phase::BbvDetector>(
-                run.cfg.phase.footprint_vectors, th);
-          PhaseId max_phase = 0;
-          for (const auto& rec : proc.intervals) {
-            const auto c = det->classify(rec);
-            max_phase = std::max(max_phase, c.phase);
-            last.observe(c.phase);
-            markov.observe(c.phase);
-            rl.observe(c.phase);
-          }
-          phases += max_phase + 1;
+  const auto results =
+      bench::run_sweep(bench::selected_apps(opt), opt.node_counts, opt);
+  for (const auto& res : results) {
+    const auto& run = res.run;
+    for (const bool use_dds : {false, true}) {
+      // Mid-range thresholds derived per processor, as the examples do.
+      phase::LastPhasePredictor last;
+      phase::MarkovPhasePredictor markov;
+      phase::RunLengthPredictor rl;
+      double phases = 0.0;
+      for (const auto& proc : run.procs) {
+        double lo = 1e300, hi = -1e300;
+        for (const auto& r : proc.intervals) {
+          lo = std::min(lo, r.dds);
+          hi = std::max(hi, r.dds);
         }
-        t.add_row({app.name, std::to_string(nodes),
-                   use_dds ? "BBV+DDV" : "BBV",
-                   TableWriter::fmt(phases / run.procs.size(), 3),
-                   TableWriter::fmt(100.0 * last.accuracy(), 3),
-                   TableWriter::fmt(100.0 * markov.accuracy(), 3),
-                   TableWriter::fmt(100.0 * rl.accuracy(), 3)});
+        phase::Thresholds th;
+        th.bbv = run.cfg.phase.bbv_norm / 8;
+        th.dds = (hi - lo) / 6.0;
+        std::unique_ptr<phase::PhaseDetector> det;
+        if (use_dds)
+          det = std::make_unique<phase::BbvDdvDetector>(
+              run.cfg.phase.footprint_vectors, th);
+        else
+          det = std::make_unique<phase::BbvDetector>(
+              run.cfg.phase.footprint_vectors, th);
+        PhaseId max_phase = 0;
+        for (const auto& rec : proc.intervals) {
+          const auto c = det->classify(rec);
+          max_phase = std::max(max_phase, c.phase);
+          last.observe(c.phase);
+          markov.observe(c.phase);
+          rl.observe(c.phase);
+        }
+        phases += max_phase + 1;
       }
+      t.add_row({res.app->name, std::to_string(res.point.nodes),
+                 use_dds ? "BBV+DDV" : "BBV",
+                 TableWriter::fmt(phases / run.procs.size(), 3),
+                 TableWriter::fmt(100.0 * last.accuracy(), 3),
+                 TableWriter::fmt(100.0 * markov.accuracy(), 3),
+                 TableWriter::fmt(100.0 * rl.accuracy(), 3)});
     }
   }
   std::printf("%s\n(accuracies in %%; phases = mean phase ids issued per "

@@ -1,13 +1,18 @@
 // table1_architecture.cpp — reproduces Table I of the paper ("Summary of
 // simulated architecture") directly from the live configuration structs,
 // and validates the derived quantities every timing model consumes.
+// No simulation runs here; the shared flags are accepted for sweep-driver
+// uniformity but only parsing errors change behavior.
 #include <cstdio>
 
+#include "bench/bench_util.hpp"
 #include "common/config.hpp"
 #include "network/network.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dsm;
+  const auto parsed = bench::parse_options(argc, argv);
+  if (!parsed.ok) return bench::usage_error(parsed);
 
   const MachineConfig cfg = default_config(32);
   std::printf("== Table I: summary of simulated architecture ==\n\n%s\n",

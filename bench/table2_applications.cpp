@@ -3,6 +3,9 @@
 // workload characteristics from a quick 8-processor run of each program,
 // so the reader can verify the models behave like the programs they stand
 // in for (instruction volume, memory intensity, remote-access growth).
+//
+// The four characterization runs execute on the experiment driver
+// (--threads=N); the table is assembled serially in Table II order.
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
@@ -10,10 +13,12 @@
 
 int main(int argc, char** argv) {
   using namespace dsm;
-  auto opt = bench::parse_options(argc, argv);
+  auto parsed = bench::parse_options(argc, argv);
+  if (!parsed.ok) return bench::usage_error(parsed);
+  auto& opt = parsed.options;
   // Default to the reduced scale here: this bench is a characterization
   // table, not a figure reproduction, and kTest keeps it under a minute.
-  if (argc <= 1) opt.scale = apps::Scale::kTest;
+  if (!parsed.scale_set) opt.scale = apps::Scale::kTest;
 
   std::printf("== Table II: applications and input sets ==\n\n");
   TableWriter t2({"Application", "Input Set (paper)"});
@@ -25,13 +30,17 @@ int main(int argc, char** argv) {
               apps::scale_name(opt.scale));
   TableWriter m({"app", "instr/proc (M)", "intervals/proc", "CPI",
                  "mem instr %", "remote frac", "gshare mispred %"});
-  for (const auto& app : apps::paper_apps()) {
-    const auto run = bench::run_workload(app, opt.scale, 8, opt.verbose);
+  // All four apps regardless of --apps: the table documents the full set.
+  std::vector<const apps::AppInfo*> all;
+  for (const auto& app : apps::paper_apps()) all.push_back(&app);
+  const auto results = bench::run_sweep(all, {8}, opt);
+  for (const auto& res : results) {
+    const auto& run = res.run;
     const auto& c = run.coherence[0];
     const double mem_frac =
         static_cast<double>(c.loads + c.stores) /
         static_cast<double>(run.instructions[0]);
-    m.add_row({app.name,
+    m.add_row({res.app->name,
                TableWriter::fmt(static_cast<double>(run.instructions[0]) / 1e6, 3),
                std::to_string(run.procs[0].intervals.size()),
                TableWriter::fmt(run.cpi(0), 3),

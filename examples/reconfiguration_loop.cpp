@@ -19,6 +19,7 @@
 #include <memory>
 
 #include "apps/registry.hpp"
+#include "bench/bench_util.hpp"
 #include "common/config.hpp"
 #include "phase/detector.hpp"
 #include "phase/predictor.hpp"
@@ -96,16 +97,39 @@ LoopResult run_loop(const std::vector<phase::IntervalRecord>& trace,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dsm;
 
-  MachineConfig cfg = default_config(8);
-  cfg.phase.interval_instructions =
-      apps::scaled_interval("Equake", apps::Scale::kBench);
-  std::printf("simulating Equake on %u nodes...\n", cfg.num_nodes);
-  sim::Machine machine(cfg);
-  const auto run =
-      machine.run(apps::app_by_name("Equake").factory(apps::Scale::kBench));
+  // Shared sweep flags (--scale, --nodes, --threads, --verbose) via the
+  // experiment driver; the loop itself stays a single-configuration study.
+  auto parsed = bench::parse_options(argc, argv);
+  if (!parsed.ok) return bench::usage_error(parsed);
+  auto& opt = parsed.options;
+  if (!parsed.scale_set) opt.scale = apps::Scale::kBench;  // historic default
+  if (opt.node_counts.empty()) opt.node_counts = {8};
+
+  // Single-configuration study: first named app (default Equake) on the
+  // first node count. Extra --apps/--nodes entries would be silently
+  // ignored, so reject them rather than mislabel the results.
+  if (opt.app_names.size() > 1 || opt.node_counts.size() > 1) {
+    std::fprintf(stderr, "error: this example studies exactly one "
+                         "app/node-count; pass at most one of each\n");
+    return 2;
+  }
+  if (!opt.csv_dir.empty()) {
+    std::fprintf(stderr,
+                 "error: --csv is not supported by this example\n");
+    return 2;
+  }
+  // Copy the pointer out: the vector named_apps returns is a temporary,
+  // but the AppInfo it points at lives in the registry.
+  const apps::AppInfo* const app = bench::named_apps(opt, {"Equake"}).front();
+
+  std::printf("simulating %s on %u nodes...\n", app->name.c_str(),
+              opt.node_counts[0]);
+  const auto sweep = bench::run_sweep({app}, {opt.node_counts[0]}, opt);
+  const auto& run = sweep.front().run;
+  const MachineConfig& cfg = run.cfg;
   const auto& trace = run.procs[0].intervals;
   std::printf("%zu intervals recorded on proc 0\n\n", trace.size());
 

@@ -118,7 +118,7 @@ const std::vector<AppInfo>& paper_apps() {
   return apps;
 }
 
-const AppInfo& app_by_name(const std::string& name) {
+const AppInfo* find_app(const std::string& name) {
   std::string lower = name;
   std::transform(lower.begin(), lower.end(), lower.begin(),
                  [](unsigned char c) { return std::tolower(c); });
@@ -126,10 +126,15 @@ const AppInfo& app_by_name(const std::string& name) {
     std::string al = a.name;
     std::transform(al.begin(), al.end(), al.begin(),
                    [](unsigned char c) { return std::tolower(c); });
-    if (al == lower) return a;
+    if (al == lower) return &a;
   }
-  DSM_ASSERT_MSG(false, "unknown application name");
-  return paper_apps().front();  // unreachable
+  return nullptr;
+}
+
+const AppInfo& app_by_name(const std::string& name) {
+  const AppInfo* app = find_app(name);
+  DSM_ASSERT_MSG(app != nullptr, "unknown application name");
+  return *app;
 }
 
 const char* scale_name(Scale s) {

@@ -27,6 +27,10 @@ struct AppInfo {
 /// The paper's four applications (Table II order).
 const std::vector<AppInfo>& paper_apps();
 
+/// Lookup by case-insensitive name; nullptr when unknown (for input
+/// validation paths that must not abort).
+const AppInfo* find_app(const std::string& name);
+
 /// Lookup by case-insensitive name; aborts on unknown names.
 const AppInfo& app_by_name(const std::string& name);
 

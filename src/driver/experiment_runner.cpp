@@ -1,0 +1,68 @@
+#include "driver/experiment_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace dsm::driver {
+
+ExperimentRunner::ExperimentRunner(unsigned threads)
+    : threads_(resolve_threads(threads)) {}
+
+unsigned ExperimentRunner::resolve_threads(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void ExperimentRunner::run_indexed(
+    std::size_t count, const std::function<void(std::size_t)>& fn) const {
+  if (count == 0) return;
+
+  if (threads_ <= 1 || count == 1) {
+    // Inline serial path: exceptions propagate naturally.
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  auto worker = [&] {
+    while (!failed.load(std::memory_order_acquire)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_release);
+      }
+    }
+  };
+
+  const unsigned n =
+      static_cast<unsigned>(std::min<std::size_t>(threads_, count));
+  std::vector<std::thread> pool;
+  pool.reserve(n);
+  try {
+    for (unsigned t = 0; t < n; ++t) pool.emplace_back(worker);
+  } catch (...) {
+    // Thread spawn failed (e.g. EAGAIN at a high --threads): stop the
+    // workers that did start, join them, and surface a catchable error
+    // instead of letting ~thread() call std::terminate.
+    failed.store(true, std::memory_order_release);
+    for (auto& t : pool) t.join();
+    throw;
+  }
+  for (auto& t : pool) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace dsm::driver

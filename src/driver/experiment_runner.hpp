@@ -1,0 +1,57 @@
+// experiment_runner.hpp — a std::thread pool over independent experiment
+// configurations.
+//
+// The sweeps in bench/ are embarrassingly parallel: every configuration
+// builds its own Machine, owns its own RNG streams (seeded from the spec
+// point, see sweep_spec.hpp), and shares nothing mutable. The runner fans
+// the expanded spec out over N workers pulling from an atomic work queue
+// and aggregates results in spec order via ResultSink, so output is
+// bit-identical to a serial loop.
+//
+// Failure semantics: the first configuration to throw stops the pool from
+// claiming further work; after all workers have parked, the exception is
+// rethrown on the caller's thread. No deadlock, no std::terminate.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "driver/result_sink.hpp"
+#include "driver/sweep_spec.hpp"
+
+namespace dsm::driver {
+
+class ExperimentRunner {
+ public:
+  /// `threads` = worker count; 0 means one per hardware thread. A runner
+  /// with 1 thread executes everything inline on the caller's thread.
+  explicit ExperimentRunner(unsigned threads = 1);
+
+  /// 0 -> std::thread::hardware_concurrency() (at least 1).
+  static unsigned resolve_threads(unsigned requested);
+
+  unsigned threads() const { return threads_; }
+
+  /// Runs fn(i) for every i in [0, count), blocking until all claimed work
+  /// has finished. Rethrows the first exception after the pool has
+  /// stopped; work not yet claimed at that point is abandoned.
+  void run_indexed(std::size_t count,
+                   const std::function<void(std::size_t)>& fn) const;
+
+  /// Maps fn over the points on the pool; results come back in spec order
+  /// (points[i].index must equal i, as SweepSpec::expand() guarantees).
+  template <typename R>
+  std::vector<R> map(const std::vector<SpecPoint>& points,
+                     const std::function<R(const SpecPoint&)>& fn) const {
+    ResultSink<R> sink(points.size());
+    run_indexed(points.size(),
+                [&](std::size_t i) { sink.put(i, fn(points[i])); });
+    return sink.take();
+  }
+
+ private:
+  unsigned threads_;
+};
+
+}  // namespace dsm::driver

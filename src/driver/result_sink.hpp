@@ -1,0 +1,53 @@
+// result_sink.hpp — spec-order aggregation of per-configuration results.
+//
+// Worker threads complete configurations in arbitrary order; the sink
+// stores each result in the slot of its spec-order index so take() hands
+// back exactly the sequence a serial loop would have produced. This is the
+// piece that makes `--threads=N` output bit-identical to `--threads=1`.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace dsm::driver {
+
+template <typename R>
+class ResultSink {
+ public:
+  explicit ResultSink(std::size_t count) : slots_(count) {}
+
+  /// Stores the result for spec-order position `index`. Thread-safe;
+  /// each slot may be filled at most once.
+  void put(std::size_t index, R value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    DSM_ASSERT(index < slots_.size());
+    DSM_ASSERT(!slots_[index].has_value());
+    slots_[index].emplace(std::move(value));
+  }
+
+  /// Moves all results out in spec order. Every slot must be filled
+  /// (the runner guarantees this on success; on failure it rethrows
+  /// before any caller reaches take()).
+  std::vector<R> take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<R> out;
+    out.reserve(slots_.size());
+    for (auto& slot : slots_) {
+      DSM_ASSERT(slot.has_value());
+      out.push_back(std::move(*slot));
+      slot.reset();
+    }
+    return out;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::optional<R>> slots_;
+};
+
+}  // namespace dsm::driver

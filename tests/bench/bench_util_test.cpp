@@ -1,0 +1,151 @@
+// bench_util_test.cpp — parse_options used to exit() on malformed input,
+// which made it untestable and would kill a multi-sweep driver mid-flight.
+// It now returns a ParseResult; these are the tests that exit() precluded.
+#include "bench/bench_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dsm::bench {
+namespace {
+
+ParseResult parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "bench");
+  return parse_options(static_cast<int>(args.size()),
+                       const_cast<char**>(args.data()));
+}
+
+TEST(ParseOptionsTest, DefaultsWhenNoFlags) {
+  const auto r = parse({});
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.options.scale, apps::Scale::kPaper);
+  EXPECT_TRUE(r.options.app_names.empty());
+  EXPECT_TRUE(r.options.node_counts.empty());
+  EXPECT_EQ(r.options.threads, 1u);
+  EXPECT_FALSE(r.options.verbose);
+}
+
+TEST(ParseOptionsTest, ParsesEveryFlag) {
+  const auto r = parse({"--scale=test", "--apps=LU,FMM", "--nodes=2,8",
+                        "--csv=/tmp/x", "--threads=4"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.options.scale, apps::Scale::kTest);
+  EXPECT_EQ(r.options.app_names,
+            (std::vector<std::string>{"LU", "FMM"}));
+  EXPECT_EQ(r.options.node_counts, (std::vector<unsigned>{2, 8}));
+  EXPECT_EQ(r.options.csv_dir, "/tmp/x");
+  EXPECT_EQ(r.options.threads, 4u);
+}
+
+TEST(ParseOptionsTest, ThreadsZeroMeansAuto) {
+  const auto r = parse({"--threads=0"});
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.options.threads, 0u);
+  EXPECT_GE(driver::ExperimentRunner(r.options.threads).threads(), 1u);
+}
+
+TEST(ParseOptionsTest, UnknownOptionFailsWithoutExiting) {
+  const auto r = parse({"--frobnicate"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("--frobnicate"), std::string::npos);
+}
+
+TEST(ParseOptionsTest, UnknownAppFailsAtParse) {
+  const auto r = parse({"--apps=LU,Equak"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("Equak"), std::string::npos);
+  // Case differences are not errors.
+  EXPECT_TRUE(parse({"--apps=lu,EQUAKE"}).ok);
+}
+
+TEST(ParseOptionsTest, BadScaleFails) {
+  const auto r = parse({"--scale=huge"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("huge"), std::string::npos);
+}
+
+TEST(ParseOptionsTest, BadThreadsValueFails) {
+  EXPECT_FALSE(parse({"--threads=many"}).ok);
+  EXPECT_FALSE(parse({"--threads="}).ok);
+  EXPECT_FALSE(parse({"--threads=4x"}).ok);
+  // Signed and wrapping values must not sneak through strtoul.
+  EXPECT_FALSE(parse({"--threads=-1"}).ok);
+  EXPECT_FALSE(parse({"--threads=99999999999999999999"}).ok);
+  EXPECT_FALSE(parse({"--threads=5000"}).ok);  // past the sanity cap
+}
+
+TEST(ParseOptionsTest, BadNodesEntriesFail) {
+  EXPECT_FALSE(parse({"--nodes=2,zero"}).ok);
+  EXPECT_FALSE(parse({"--nodes=0"}).ok);
+  EXPECT_FALSE(parse({"--nodes=-1"}).ok);
+  EXPECT_FALSE(parse({"--nodes=4294967298"}).ok);  // would truncate to 2
+  EXPECT_FALSE(parse({"--nodes=2,+8"}).ok);
+}
+
+TEST(ParseOptionsTest, ScaleSetReportsExplicitScale) {
+  EXPECT_FALSE(parse({}).scale_set);
+  EXPECT_FALSE(parse({"--threads=2"}).scale_set);
+  EXPECT_TRUE(parse({"--scale=test"}).scale_set);
+}
+
+TEST(ParseOptionsTest, GoogleBenchmarkFlagsAreIgnored) {
+  const auto r = parse({"--benchmark_filter=BM_Bbv", "--threads=2"});
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.options.threads, 2u);
+}
+
+TEST(SelectedAppsTest, DefaultsToAllFourInTableOrder) {
+  BenchOptions opt;
+  const auto apps = selected_apps(opt);
+  ASSERT_EQ(apps.size(), 4u);
+  EXPECT_EQ(apps[0]->name, "LU");
+  EXPECT_EQ(apps[3]->name, "Equake");
+}
+
+TEST(SelectedAppsTest, FilterKeepsTableOrder) {
+  BenchOptions opt;
+  opt.app_names = {"Equake", "LU"};  // order on the command line
+  const auto apps = selected_apps(opt);
+  ASSERT_EQ(apps.size(), 2u);
+  EXPECT_EQ(apps[0]->name, "LU");  // Table II order wins for figures
+  EXPECT_EQ(apps[1]->name, "Equake");
+}
+
+TEST(SelectedAppsTest, MatchesCaseInsensitively) {
+  BenchOptions opt;
+  opt.app_names = {"lu", "EQUAKE"};
+  const auto apps = selected_apps(opt);
+  ASSERT_EQ(apps.size(), 2u);
+  EXPECT_EQ(apps[0]->name, "LU");
+  EXPECT_EQ(apps[1]->name, "Equake");
+}
+
+TEST(RunSweepTest, EmptySelectionYieldsEmptySweep) {
+  BenchOptions opt;
+  opt.app_names = {"NotAnApp"};
+  EXPECT_TRUE(selected_apps(opt).empty());
+  // Must return no results — not expand to a default "" spec point that
+  // would abort inside app_by_name.
+  EXPECT_TRUE(run_sweep(selected_apps(opt), {8}, opt).empty());
+  EXPECT_TRUE(run_sweep({&apps::paper_apps().front()}, {}, opt).empty());
+}
+
+TEST(NamedAppsTest, CommandLineOrderWins) {
+  BenchOptions opt;
+  opt.app_names = {"Equake", "LU"};
+  const auto apps = named_apps(opt, {"FMM"});
+  ASSERT_EQ(apps.size(), 2u);
+  EXPECT_EQ(apps[0]->name, "Equake");
+  EXPECT_EQ(apps[1]->name, "LU");
+}
+
+TEST(NamedAppsTest, DefaultsApplyWhenUnset) {
+  BenchOptions opt;
+  const auto apps = named_apps(opt, {"FMM"});
+  ASSERT_EQ(apps.size(), 1u);
+  EXPECT_EQ(apps[0]->name, "FMM");
+}
+
+}  // namespace
+}  // namespace dsm::bench

@@ -1,0 +1,230 @@
+// experiment_runner_test.cpp — the three contracts the parallel sweep
+// driver must honor: spec-order determinism under many threads, clean
+// failure propagation out of the pool, and bit-identical results between
+// a 1-thread driver run and the hand-rolled serial loop the bench mains
+// used before the refactor (micro workload, test-sized input).
+#include "driver/experiment_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "apps/micro.hpp"
+#include "driver/result_sink.hpp"
+#include "driver/sweep_spec.hpp"
+#include "sim/machine.hpp"
+
+namespace dsm::driver {
+namespace {
+
+TEST(SweepSpecTest, ExpandsAppMajorWithSequentialIndices) {
+  SweepSpec spec;
+  spec.apps = {"LU", "FMM"};
+  spec.node_counts = {2, 8, 32};
+  const auto points = spec.expand();
+  ASSERT_EQ(points.size(), 6u);
+  EXPECT_EQ(points[0].app, "LU");
+  EXPECT_EQ(points[0].nodes, 2u);
+  EXPECT_EQ(points[2].app, "LU");
+  EXPECT_EQ(points[2].nodes, 32u);
+  EXPECT_EQ(points[3].app, "FMM");
+  EXPECT_EQ(points[3].nodes, 2u);
+  for (std::size_t i = 0; i < points.size(); ++i)
+    EXPECT_EQ(points[i].index, i);
+}
+
+TEST(SweepSpecTest, EmptyAxesContributeOneDefaultElement) {
+  SweepSpec spec;  // all axes empty
+  const auto points = spec.expand();
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].app, "");
+  EXPECT_EQ(points[0].nodes, 0u);
+}
+
+TEST(SweepSpecTest, SeedDependsOnContentNotPosition) {
+  SpecPoint a;
+  a.app = "LU";
+  a.nodes = 8;
+  a.index = 0;
+  SpecPoint b = a;
+  b.index = 17;  // position must not matter
+  EXPECT_EQ(spec_seed(a), spec_seed(b));
+
+  SpecPoint c = a;
+  c.nodes = 32;
+  EXPECT_NE(spec_seed(a), spec_seed(c));
+  SpecPoint d = a;
+  d.app = "FMM";
+  EXPECT_NE(spec_seed(a), spec_seed(d));
+  SpecPoint e = a;
+  e.threshold = 0.5;
+  EXPECT_NE(spec_seed(a), spec_seed(e));
+  SpecPoint f = a;
+  f.scale = apps::Scale::kTest;
+  EXPECT_NE(spec_seed(a), spec_seed(f));
+  EXPECT_NE(spec_seed(a), 0u);
+}
+
+TEST(SweepSpecTest, SeedSchemeIsPinned) {
+  // Golden values: every published bench table depends on these seeds.
+  // If this test fails, the seed scheme changed and ALL figure/table
+  // outputs silently shift — bump these constants only as a deliberate,
+  // documented decision.
+  SpecPoint p;
+  p.app = "LU";
+  p.nodes = 8;
+  p.scale = apps::Scale::kBench;
+  EXPECT_EQ(spec_seed(p), 0x7282ca7fbd6f6445ull);
+  SpecPoint q;
+  q.app = "FMM";
+  q.nodes = 32;
+  q.detector = "torus2d";
+  q.threshold = 0.5;
+  q.scale = apps::Scale::kTest;
+  EXPECT_EQ(spec_seed(q), 0x57b3abad0f9c8867ull);
+}
+
+TEST(ExperimentRunnerTest, ResultsArriveInSpecOrderUnderEightThreads) {
+  SweepSpec spec;
+  spec.node_counts = {0};
+  for (int i = 0; i < 64; ++i) spec.thresholds.push_back(i);
+  const auto points = spec.expand();
+
+  const ExperimentRunner runner(8);
+  // Stagger completion: later items finish *earlier* than earlier ones.
+  const auto results = runner.map<int>(points, [](const SpecPoint& pt) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(500 - 5 * static_cast<int>(pt.threshold)));
+    return static_cast<int>(pt.threshold) * 3 + 1;
+  });
+  ASSERT_EQ(results.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(results[i], i * 3 + 1);
+}
+
+TEST(ExperimentRunnerTest, ThrowingConfigurationPropagatesWithoutDeadlock) {
+  SweepSpec spec;
+  for (int i = 0; i < 32; ++i) spec.thresholds.push_back(i);
+  const auto points = spec.expand();
+
+  const ExperimentRunner runner(8);
+  EXPECT_THROW(
+      runner.map<int>(points,
+                      [](const SpecPoint& pt) -> int {
+                        if (static_cast<int>(pt.threshold) == 11)
+                          throw std::runtime_error("config 11 exploded");
+                        return 0;
+                      }),
+      std::runtime_error);
+}
+
+TEST(ExperimentRunnerTest, SerialPathAlsoPropagatesExceptions) {
+  const ExperimentRunner runner(1);
+  EXPECT_THROW(runner.run_indexed(
+                   3, [](std::size_t i) {
+                     if (i == 1) throw std::logic_error("boom");
+                   }),
+               std::logic_error);
+}
+
+TEST(ExperimentRunnerTest, ZeroThreadsResolvesToHardware) {
+  EXPECT_GE(ExperimentRunner::resolve_threads(0), 1u);
+  EXPECT_EQ(ExperimentRunner::resolve_threads(3), 3u);
+}
+
+TEST(ResultSinkTest, TakeReturnsSpecOrderRegardlessOfPutOrder) {
+  ResultSink<int> sink(4);
+  sink.put(2, 20);
+  sink.put(0, 0);
+  sink.put(3, 30);
+  sink.put(1, 10);
+  const auto out = sink.take();
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[1], 10);
+  EXPECT_EQ(out[2], 20);
+  EXPECT_EQ(out[3], 30);
+}
+
+// The workhorse equivalence check: the driver with 1 thread must produce
+// exactly what a plain serial for-loop over the same per-point run body
+// produces (the shape the pre-refactor bench mains had), and the driver
+// with 8 threads must match the driver with 1 thread bit-for-bit. Note
+// the *numbers* intentionally differ from the seed=1 pre-refactor
+// baseline — configurations are now seeded by spec_seed(point); the
+// SeedSchemeIsPinned golden below guards that scheme against silent
+// drift. Runs the micro two-phase workload at a test-sized input on 4
+// nodes across a small parameter sweep.
+sim::RunSummary run_micro(const SpecPoint& pt) {
+  MachineConfig cfg = default_config(4);
+  cfg.seed = spec_seed(pt);
+  apps::MicroParams p;
+  p.repeats = 2;
+  p.iters_per_segment = 300 + static_cast<unsigned>(pt.threshold);
+  cfg.phase.interval_instructions = 80'000;
+  sim::Machine machine(cfg);
+  return machine.run(apps::make_two_phase(p));
+}
+
+void expect_identical(const sim::RunSummary& a, const sim::RunSummary& b) {
+  ASSERT_EQ(a.procs.size(), b.procs.size());
+  ASSERT_EQ(a.final_cycles, b.final_cycles);
+  ASSERT_EQ(a.instructions, b.instructions);
+  ASSERT_EQ(a.barrier_episodes, b.barrier_episodes);
+  for (std::size_t p = 0; p < a.procs.size(); ++p) {
+    const auto& ia = a.procs[p].intervals;
+    const auto& ib = b.procs[p].intervals;
+    ASSERT_EQ(ia.size(), ib.size());
+    for (std::size_t k = 0; k < ia.size(); ++k) {
+      EXPECT_EQ(ia[k].bbv, ib[k].bbv);
+      EXPECT_EQ(ia[k].f, ib[k].f);
+      EXPECT_EQ(ia[k].c, ib[k].c);
+      EXPECT_EQ(ia[k].cycles, ib[k].cycles);
+      EXPECT_EQ(ia[k].instructions, ib[k].instructions);
+      // Bit-level equality, deliberately: determinism is the contract.
+      EXPECT_EQ(ia[k].dds, ib[k].dds);
+      EXPECT_EQ(ia[k].cpi, ib[k].cpi);
+    }
+  }
+}
+
+TEST(ExperimentRunnerTest, OneThreadMatchesSerialLoopOnMicroAtTestScale) {
+  SweepSpec spec;
+  spec.thresholds = {0.0, 100.0, 200.0};
+  const auto points = spec.expand();
+
+  // Pre-refactor shape: a plain serial loop over the configurations.
+  std::vector<sim::RunSummary> serial;
+  for (const auto& pt : points) serial.push_back(run_micro(pt));
+
+  const ExperimentRunner one(1);
+  const auto driven =
+      one.map<sim::RunSummary>(points, [](const SpecPoint& pt) {
+        return run_micro(pt);
+      });
+
+  ASSERT_EQ(driven.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    expect_identical(serial[i], driven[i]);
+}
+
+TEST(ExperimentRunnerTest, EightThreadsMatchesOneThreadOnMicro) {
+  SweepSpec spec;
+  spec.thresholds = {0.0, 100.0, 200.0, 300.0};
+  const auto points = spec.expand();
+
+  const ExperimentRunner one(1);
+  const ExperimentRunner eight(8);
+  const auto a = one.map<sim::RunSummary>(
+      points, [](const SpecPoint& pt) { return run_micro(pt); });
+  const auto b = eight.map<sim::RunSummary>(
+      points, [](const SpecPoint& pt) { return run_micro(pt); });
+
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) expect_identical(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace dsm::driver
