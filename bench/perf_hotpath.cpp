@@ -1,0 +1,222 @@
+// perf_hotpath.cpp — driver-native throughput harness for the per-access
+// hot path: CoherenceFabric::access -> Network::message_latency ->
+// TopologyModel::route -> LinkContentionTracker, timed as raw accesses/sec
+// per (topology × node count) configuration.
+//
+// Unlike the figure/table harnesses this does not run an application; it
+// drives the memory system directly with a deterministic synthetic stream
+// (streaming private misses, a read-mostly shared set, and a small
+// contended write set) so the measurement isolates the fabric + network +
+// cache path that every simulated memory op pays.
+//
+// Output: a human-readable table plus BENCH_hotpath.json (override with
+// --json=PATH) so perf PRs leave a machine-readable trajectory. The
+// `total_latency` / message/byte counts per configuration are simulated
+// results and must be bit-identical across optimization PRs — only the
+// wall-clock columns may change.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "coherence/fabric.hpp"
+#include "common/bitops.hpp"
+#include "common/rng.hpp"
+#include "common/table_writer.hpp"
+#include "memory/home_map.hpp"
+#include "network/network.hpp"
+
+namespace {
+
+using namespace dsm;
+
+struct HotConfig {
+  Topology topo;
+  unsigned nodes;
+};
+
+struct HotResult {
+  HotConfig cfg{};
+  std::uint64_t accesses = 0;
+  double seconds = 0.0;
+  // Deterministic simulation checksums — identical before/after any
+  // mechanical strength-reduction of the hot path.
+  std::uint64_t total_latency = 0;
+  std::uint64_t net_messages = 0;
+  std::uint64_t net_bytes = 0;
+
+  double ops_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(accesses) / seconds : 0.0;
+  }
+  double ns_per_access() const {
+    return accesses > 0 ? seconds * 1e9 / static_cast<double>(accesses) : 0.0;
+  }
+};
+
+// The per-topology node counts exercised by default (hypercube needs a
+// power of two, mesh/torus a square; fabric caps at 64). --nodes filters.
+const std::vector<HotConfig>& default_configs() {
+  static const std::vector<HotConfig> kConfigs = {
+      {Topology::kHypercube, 2},  {Topology::kHypercube, 8},
+      {Topology::kHypercube, 32}, {Topology::kMesh2D, 4},
+      {Topology::kMesh2D, 16},    {Topology::kTorus2D, 4},
+      {Topology::kTorus2D, 16},   {Topology::kRing, 8},
+      {Topology::kRing, 32},
+  };
+  return kConfigs;
+}
+
+std::uint64_t accesses_for(apps::Scale scale) {
+  switch (scale) {
+    case apps::Scale::kTest: return 200'000;
+    case apps::Scale::kBench: return 2'000'000;
+    case apps::Scale::kPaper: return 10'000'000;
+  }
+  return 200'000;
+}
+
+HotResult time_config(const HotConfig& hc, std::uint64_t accesses) {
+  MachineConfig cfg = default_config(hc.nodes);
+  cfg.network.topology = hc.topo;
+  net::Network network(cfg);
+  mem::HomeMap home_map(hc.nodes, cfg.memory.page_bytes,
+                        mem::Placement::kRoundRobin);
+  coh::CoherenceFabric fabric(cfg, network, home_map);
+
+  Rng rng(hash_combine(static_cast<std::uint64_t>(hc.topo) + 1, hc.nodes));
+  const Addr line = cfg.l2.line_bytes;
+  // Per-node private streams twice the L2 so the steady state is
+  // miss + evict; a shared read-mostly set; a small contended write set.
+  const std::uint64_t priv_lines =
+      2 * cfg.l2.size_bytes / cfg.l2.line_bytes;
+  const Addr shared_base = Addr{1} << 32;
+  const Addr priv_base = Addr{1} << 36;
+  constexpr std::uint64_t kSharedLines = 256;
+  constexpr std::uint64_t kHotLines = 16;
+  std::vector<std::uint64_t> priv_pos(hc.nodes, 0);
+
+  HotResult res;
+  res.cfg = hc;
+  res.accesses = accesses;
+  Cycle now = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < accesses; ++i) {
+    const NodeId node = static_cast<NodeId>(i % hc.nodes);
+    const std::uint64_t r = rng.next_u64();
+    const unsigned pick = static_cast<unsigned>(r % 100);
+    Addr a;
+    bool write;
+    if (pick < 50) {
+      // Streaming private access: mostly misses once warm.
+      a = priv_base + (Addr{node} << 30) +
+          (priv_pos[node]++ % priv_lines) * line;
+      write = ((r >> 32) & 3) == 0;
+    } else if (pick < 85) {
+      // Read-mostly shared set: L1/L2 hits and shared fills.
+      a = shared_base + ((r >> 8) % kSharedLines) * line;
+      write = false;
+    } else {
+      // Contended write set: upgrades + invalidation fan-out.
+      a = shared_base + ((r >> 8) % kHotLines) * line;
+      write = true;
+    }
+    const auto out = fabric.access(node, a, write, now);
+    res.total_latency += out.latency;
+    now += 4 + (out.latency >> 3);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  res.seconds = std::chrono::duration<double>(t1 - t0).count();
+  res.net_messages = network.total_messages();
+  res.net_bytes = network.total_bytes();
+  return res;
+}
+
+void write_json(const std::string& path, apps::Scale scale,
+                std::uint64_t accesses, const std::vector<HotResult>& results) {
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  f << "{\n";
+  f << "  \"bench\": \"perf_hotpath\",\n";
+  f << "  \"scale\": \"" << apps::scale_name(scale) << "\",\n";
+  f << "  \"accesses_per_config\": " << accesses << ",\n";
+  f << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"topology\": \"%s\", \"nodes\": %u, "
+                  "\"ops_per_sec\": %.0f, \"ns_per_access\": %.1f, "
+                  "\"total_latency\": %llu, \"net_messages\": %llu, "
+                  "\"net_bytes\": %llu}%s\n",
+                  topology_name(r.cfg.topo), r.cfg.nodes, r.ops_per_sec(),
+                  r.ns_per_access(),
+                  static_cast<unsigned long long>(r.total_latency),
+                  static_cast<unsigned long long>(r.net_messages),
+                  static_cast<unsigned long long>(r.net_bytes),
+                  i + 1 < results.size() ? "," : "");
+    f << buf;
+  }
+  f << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dsm;
+  // --json=PATH is ours; everything else goes through the shared parser.
+  std::string json_path = "BENCH_hotpath.json";
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0)
+      json_path = argv[i] + 7;
+    else
+      args.push_back(argv[i]);
+  }
+  auto res = bench::parse_options(static_cast<int>(args.size()), args.data());
+  if (!res.ok) return bench::usage_error(res);
+  const bench::BenchOptions& opt = res.options;
+  // Throughput timing wants an idle machine per config; the driver still
+  // fans configurations out when --threads is raised (numbers then measure
+  // aggregate throughput, not per-config latency).
+  const std::uint64_t accesses = accesses_for(opt.scale);
+
+  std::vector<HotConfig> configs;
+  for (const auto& c : default_configs()) {
+    if (!opt.node_counts.empty()) {
+      bool want = false;
+      for (const unsigned n : opt.node_counts) want |= (n == c.nodes);
+      if (!want) continue;
+    }
+    configs.push_back(c);
+  }
+
+  const driver::ExperimentRunner runner(opt.threads);
+  std::vector<HotResult> results(configs.size());
+  runner.run_indexed(configs.size(), [&](std::size_t i) {
+    results[i] = time_config(configs[i], accesses);
+  });
+
+  TableWriter t({"topology", "nodes", "Maccess/s", "ns/access",
+                 "total_latency", "messages"});
+  for (const auto& r : results) {
+    t.add_row({topology_name(r.cfg.topo), std::to_string(r.cfg.nodes),
+               TableWriter::fmt(r.ops_per_sec() / 1e6, 3),
+               TableWriter::fmt(r.ns_per_access(), 4),
+               std::to_string(r.total_latency),
+               std::to_string(r.net_messages)});
+  }
+  std::printf("perf_hotpath (%s scale, %llu accesses/config)\n%s\n",
+              apps::scale_name(opt.scale),
+              static_cast<unsigned long long>(accesses),
+              t.to_text().c_str());
+  write_json(json_path, opt.scale, accesses, results);
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

@@ -2,24 +2,85 @@
 
 #include <bit>
 
+#include "common/assert.hpp"
+#include "common/bitops.hpp"
+
 namespace dsm::coh {
+
+namespace {
+/// Initial slot count per slice: small enough to be free at 64 nodes,
+/// large enough that short runs never rebuild.
+constexpr std::size_t kInitialSlots = 1024;
+}  // namespace
 
 unsigned DirEntry::sharer_count() const {
   return static_cast<unsigned>(std::popcount(sharers));
 }
 
+Directory::Directory(NodeId home)
+    : home_(home),
+      slots_(kInitialSlots) {}
+
+DirEntry& Directory::entry(Addr line_addr) {
+  // Keep load below 1/2 before probing so the returned reference is not
+  // invalidated by this call's own insert.
+  if ((size_ + 1) * 2 > slots_.size()) rebuild(slots_.size() * 2);
+  std::size_t i = slot_of(line_addr);
+  const std::size_t mask = slots_.size() - 1;
+  while (slots_[i].used) {
+    if (slots_[i].key == line_addr) return slots_[i].e;
+    i = (i + 1) & mask;
+  }
+  Slot& s = slots_[i];
+  s.used = true;
+  s.key = line_addr;
+  s.e = DirEntry{};
+  ++size_;
+  return s.e;
+}
+
 DirEntry Directory::peek(Addr line_addr) const {
-  const auto it = entries_.find(line_addr);
-  return it == entries_.end() ? DirEntry{} : it->second;
+  std::size_t i = slot_of(line_addr);
+  const std::size_t mask = slots_.size() - 1;
+  while (slots_[i].used) {
+    if (slots_[i].key == line_addr) return slots_[i].e;
+    i = (i + 1) & mask;
+  }
+  return DirEntry{};
+}
+
+void Directory::rebuild(std::size_t new_cap) {
+  DSM_ASSERT(is_pow2(new_cap) && new_cap >= size_ * 2);
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(new_cap, Slot{});
+  const std::size_t mask = new_cap - 1;
+  for (const Slot& s : old) {
+    if (!s.used) continue;
+    std::size_t i = slot_of(s.key);
+    while (slots_[i].used) i = (i + 1) & mask;
+    slots_[i] = s;
+  }
 }
 
 void Directory::compact() {
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->second.state == DirEntry::State::kUncached && !it->second.sharers)
-      it = entries_.erase(it);
-    else
-      ++it;
+  // Drop dead (Uncached, no sharers) entries, then rebuild: open
+  // addressing cannot erase in place without breaking probe chains.
+  std::size_t live = 0;
+  for (Slot& s : slots_) {
+    if (!s.used) continue;
+    if (s.e.state == DirEntry::State::kUncached && s.e.sharers == 0) {
+      s.used = false;
+      --size_;
+    } else {
+      ++live;
+    }
   }
+  // Shrink only when hugely sparse (target ≤ 25% load with another 2x of
+  // insert headroom) so a compact near the grow threshold cannot thrash
+  // between halving and immediately re-doubling.
+  std::size_t cap = slots_.size();
+  while (cap > kInitialSlots && live * 8 <= cap) cap /= 2;
+  rebuild(cap);
 }
 
 }  // namespace dsm::coh

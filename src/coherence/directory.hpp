@@ -1,10 +1,18 @@
 // directory.hpp — per-home-node full-map directory state for the MESI
 // protocol (one directory slice per node of the DSM, as in DASH/Origin-
 // style machines the paper's simulated architecture follows).
+//
+// The slice is a flat open-addressing hash table (linear probing,
+// power-of-two capacity, multiplicative hashing): the directory lookup sits
+// on the miss path of every simulated access, and profiling showed the old
+// node-based std::unordered_map — hash-bucket pointer chasing plus one
+// malloc/free per tracked line — dominating the whole simulator.
 #pragma once
 
+#include <bit>
+#include <cstddef>
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -32,24 +40,46 @@ struct DirEntry {
 /// an absent entry means kUncached.
 class Directory {
  public:
-  explicit Directory(NodeId home) : home_(home) {}
+  explicit Directory(NodeId home);
 
   NodeId home() const { return home_; }
 
-  /// Mutable entry (creating an Uncached one on demand).
-  DirEntry& entry(Addr line_addr) { return entries_[line_addr]; }
+  /// Mutable entry (creating an Uncached one on demand). The reference is
+  /// invalidated by the next entry() or compact() on this slice (the table
+  /// may resize/rebuild) — don't hold it across either.
+  DirEntry& entry(Addr line_addr);
 
   /// Read-only lookup; returns a value copy (Uncached default if absent).
   DirEntry peek(Addr line_addr) const;
 
-  /// Drops entries that returned to kUncached (bounds memory in long runs).
+  /// Drops entries that returned to kUncached (bounds memory in long
+  /// runs). O(capacity): rebuilds the table around the survivors.
   void compact();
 
-  std::size_t tracked_lines() const { return entries_.size(); }
+  std::size_t tracked_lines() const { return size_; }
 
  private:
+  struct Slot {
+    Addr key = 0;
+    bool used = false;
+    DirEntry e;
+  };
+
+  std::size_t slot_of(Addr key) const {
+    // Fibonacci hash: line addresses share their low (offset) zeros, so
+    // spread via the top bits of key * golden-ratio. Locality-preserving
+    // variants (sequential lines -> sequential slots) were tried and lose:
+    // dense per-page runs collide into long linear-probe chains.
+    return static_cast<std::size_t>(
+               (key * 0x9e3779b97f4a7c15ull) >>
+               (64 - static_cast<unsigned>(
+                         std::countr_zero(slots_.size()))));
+  }
+  void rebuild(std::size_t new_cap);
+
   NodeId home_;
-  std::unordered_map<Addr, DirEntry> entries_;
+  std::size_t size_ = 0;  ///< used slots (live + not-yet-compacted)
+  std::vector<Slot> slots_;
 };
 
 }  // namespace dsm::coh

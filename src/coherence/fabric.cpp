@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "common/bitops.hpp"
 
 namespace dsm::coh {
 
@@ -64,17 +65,19 @@ AccessOutcome CoherenceFabric::access(NodeId node, Addr addr, bool is_write,
   out.home = home_map_->home_of(line, node);
   if (is_write) ++me.stats.stores; else ++me.stats.loads;
 
-  // ---- L1 ----
-  const Mesi s1 = me.l1.state(line);
+  // ---- L1: one tag walk, reused below ----
+  const mem::Cache::LineRef w1 = me.l1.lookup(line);
+  const Mesi s1 = me.l1.state_of(w1);
   if (s1 != Mesi::kInvalid) {
     const bool writable = (s1 == Mesi::kModified || s1 == Mesi::kExclusive);
     if (!is_write || writable) {
-      me.l1.access(line);
+      me.l1.touch(w1);
       if (is_write && s1 == Mesi::kExclusive) {
         // Silent E->M upgrade, mirrored in the (inclusive) L2.
-        me.l1.set_state(line, Mesi::kModified);
-        DSM_ASSERT(me.l2.probe(line));
-        me.l2.set_state(line, Mesi::kModified);
+        me.l1.set_state(w1, Mesi::kModified);
+        const mem::Cache::LineRef w2 = me.l2.lookup(line);
+        DSM_ASSERT(w2);
+        me.l2.set_state(w2, Mesi::kModified);
       }
       ++me.stats.l1_hits;
       out.l1_hit = true;
@@ -85,50 +88,55 @@ AccessOutcome CoherenceFabric::access(NodeId node, Addr addr, bool is_write,
     // L1 hit in S but we need write permission: fall through to the
     // directory upgrade path. Count the tag probe, not a hit.
   } else {
-    me.l1.access(line);  // records the L1 miss
+    me.l1.record_miss();
   }
 
   Cycle lat = cfg_.l1.latency_cycles;
 
-  // ---- L2 ----
-  const Mesi s2 = me.l2.state(line);
+  // ---- L2: one tag walk, reused below ----
+  const mem::Cache::LineRef w2 = me.l2.lookup(line);
+  const Mesi s2 = me.l2.state_of(w2);
   const bool l2_has_data = (s2 != Mesi::kInvalid);
   const bool l2_writable = (s2 == Mesi::kModified || s2 == Mesi::kExclusive);
   lat += cfg_.l2.latency_cycles;
   if (l2_has_data && (!is_write || l2_writable)) {
-    me.l2.access(line);
+    me.l2.touch(w2);
     ++me.stats.l2_hits;
     Mesi grant = s2;
     if (is_write) {
       grant = Mesi::kModified;
-      me.l2.set_state(line, Mesi::kModified);
+      me.l2.set_state(w2, Mesi::kModified);
     }
-    // Refill L1 from L2 (s1 may be S on a read after L1 conflict miss).
-    if (me.l1.probe(line)) {
-      me.l1.access(line);
-      me.l1.set_state(line, grant);
+    // Refill L1 from L2 (w1 may be a resident S way on a read after an L1
+    // conflict miss).
+    if (w1) {
+      me.l1.touch(w1);
+      me.l1.set_state(w1, grant);
     } else {
       const auto v1 = me.l1.fill(line, grant);
       if (v1 && v1->state == Mesi::kModified) {
-        DSM_ASSERT_MSG(me.l2.probe(v1->line_addr), "L1/L2 inclusion broken");
-        me.l2.set_state(v1->line_addr, Mesi::kModified);
+        const mem::Cache::LineRef wv = me.l2.lookup(v1->line_addr);
+        DSM_ASSERT_MSG(wv, "L1/L2 inclusion broken");
+        me.l2.set_state(wv, Mesi::kModified);
       }
     }
     out.latency = lat;
     out.source = DataSource::kL2;
     return out;
   }
-  if (l2_has_data) me.l2.access(line);  // S-upgrade: data present, touch LRU
+  if (l2_has_data) me.l2.touch(w2);  // S-upgrade: data present, touch LRU
 
   // ---- Directory ----
-  lat += directory_request(node, line, is_write, now + lat, out);
+  lat += directory_request(node, line, is_write, now + lat, out, w1, w2);
   out.latency = lat;
   return out;
 }
 
 Cycle CoherenceFabric::directory_request(NodeId requestor, Addr line,
                                          bool is_write, Cycle now,
-                                         AccessOutcome& out) {
+                                         AccessOutcome& out,
+                                         mem::Cache::LineRef l1_ref,
+                                         mem::Cache::LineRef l2_ref) {
   Node& me = *nodes_[requestor];
   const NodeId home = out.home;
   Node& h = *nodes_[home];
@@ -140,7 +148,7 @@ Cycle CoherenceFabric::directory_request(NodeId requestor, Addr line,
   lat += cfg_.memory.directory_latency_cycles;
 
   DirEntry& e = h.dir.entry(line);
-  const bool requestor_had_data = me.l2.probe(line);
+  const bool requestor_had_data = static_cast<bool>(l2_ref);
   Mesi grant;
 
   switch (e.state) {
@@ -163,22 +171,25 @@ Cycle CoherenceFabric::directory_request(NodeId requestor, Addr line,
     case DirEntry::State::kShared: {
       if (is_write) {
         // Invalidate every other sharer; acks return in parallel, so the
-        // cost is the slowest round trip.
+        // cost is the slowest round trip. Bit-scanning the sharer set
+        // visits the same nodes in the same ascending order as a full
+        // 0..nodes scan, in O(popcount).
         Cycle max_inval = 0;
-        for (NodeId q = 0; q < nodes_.size(); ++q) {
-          if (q == requestor || !e.is_sharer(q)) continue;
-          Cycle t = network_.message_latency(home, q, control_bytes(),
-                                             now + lat,
-                                             TrafficClass::kCoherence);
-          nodes_[q]->l1.invalidate(line);
-          nodes_[q]->l2.invalidate(line);
-          t += network_.message_latency(q, home, control_bytes(),
-                                        now + lat + t,
-                                        TrafficClass::kCoherence);
-          max_inval = std::max(max_inval, t);
-          ++me.stats.invalidations_sent;
-          ++out.invalidations;
-        }
+        for_each_set_bit(
+            e.sharers & ~(std::uint64_t{1} << requestor), [&](unsigned qb) {
+              const NodeId q = static_cast<NodeId>(qb);
+              Cycle t = network_.message_latency(home, q, control_bytes(),
+                                                 now + lat,
+                                                 TrafficClass::kCoherence);
+              nodes_[q]->l1.invalidate(line);
+              nodes_[q]->l2.invalidate(line);
+              t += network_.message_latency(q, home, control_bytes(),
+                                            now + lat + t,
+                                            TrafficClass::kCoherence);
+              max_inval = std::max(max_inval, t);
+              ++me.stats.invalidations_sent;
+              ++out.invalidations;
+            });
         lat += max_inval;
         if (requestor_had_data) {
           // Upgrade: permission only, no data transfer.
@@ -222,16 +233,18 @@ Cycle CoherenceFabric::directory_request(NodeId requestor, Addr line,
       // Forward the request to the current owner.
       lat += network_.message_latency(home, q, control_bytes(), now + lat,
                                       TrafficClass::kCoherence);
-      const Mesi owner_l1 = owner.l1.state(line);
-      const Mesi owner_l2 = owner.l2.state(line);
+      const mem::Cache::LineRef ow1 = owner.l1.lookup(line);
+      const mem::Cache::LineRef ow2 = owner.l2.lookup(line);
+      const Mesi owner_l1 = owner.l1.state_of(ow1);
+      const Mesi owner_l2 = owner.l2.state_of(ow2);
       DSM_ASSERT_MSG(owner_l2 == Mesi::kExclusive ||
                          owner_l2 == Mesi::kModified,
                      "directory owner must hold the line E or M");
       const bool was_dirty =
           owner_l1 == Mesi::kModified || owner_l2 == Mesi::kModified;
       if (is_write) {
-        owner.l1.invalidate(line);
-        owner.l2.invalidate(line);
+        owner.l1.invalidate(ow1);
+        owner.l2.invalidate(ow2);
         ++me.stats.invalidations_sent;
         ++out.invalidations;
         e.sharers = 0;
@@ -239,8 +252,8 @@ Cycle CoherenceFabric::directory_request(NodeId requestor, Addr line,
         e.owner = requestor;
         grant = Mesi::kModified;
       } else {
-        owner.l1.downgrade(line);
-        owner.l2.downgrade(line);
+        owner.l1.downgrade(ow1);
+        owner.l2.downgrade(ow2);
         if (was_dirty) {
           // Sharing writeback: the home's memory is refreshed off the
           // requestor's critical path, but the controller is occupied.
@@ -263,18 +276,20 @@ Cycle CoherenceFabric::directory_request(NodeId requestor, Addr line,
     }
   }
 
-  // Install / upgrade locally.
+  // Install / upgrade locally. The cached tag-walk handles are still valid:
+  // everything above only touched other nodes' caches.
   if (out.source == DataSource::kUpgrade) {
-    DSM_ASSERT(me.l2.probe(line));
-    me.l2.set_state(line, Mesi::kModified);
-    if (me.l1.probe(line)) {
-      me.l1.set_state(line, Mesi::kModified);
-      me.l1.access(line);
+    DSM_ASSERT(l2_ref);
+    me.l2.set_state(l2_ref, Mesi::kModified);
+    if (l1_ref) {
+      me.l1.set_state(l1_ref, Mesi::kModified);
+      me.l1.touch(l1_ref);
     } else {
       const auto v1 = me.l1.fill(line, Mesi::kModified);
       if (v1 && v1->state == Mesi::kModified) {
-        DSM_ASSERT(me.l2.probe(v1->line_addr));
-        me.l2.set_state(v1->line_addr, Mesi::kModified);
+        const mem::Cache::LineRef wv = me.l2.lookup(v1->line_addr);
+        DSM_ASSERT(wv);
+        me.l2.set_state(wv, Mesi::kModified);
       }
     }
   } else {
@@ -287,13 +302,15 @@ Cycle CoherenceFabric::fill_hierarchy(NodeId requestor, Addr line, Mesi st,
                                       Cycle now) {
   Node& me = *nodes_[requestor];
   Cycle lat = 0;
-  DSM_ASSERT_MSG(!me.l2.probe(line), "fill_hierarchy expects an L2 miss");
+  // fill() itself asserts the line is absent, so no extra probe here: the
+  // refill path pays exactly one associative search per cache level.
   const auto v2 = me.l2.fill(line, st);
   if (v2) lat += handle_l2_eviction(requestor, *v2, now);
   const auto v1 = me.l1.fill(line, st);
   if (v1 && v1->state == Mesi::kModified) {
-    DSM_ASSERT_MSG(me.l2.probe(v1->line_addr), "L1/L2 inclusion broken");
-    me.l2.set_state(v1->line_addr, Mesi::kModified);
+    const mem::Cache::LineRef wv = me.l2.lookup(v1->line_addr);
+    DSM_ASSERT_MSG(wv, "L1/L2 inclusion broken");
+    me.l2.set_state(wv, Mesi::kModified);
   }
   return lat;
 }
@@ -307,7 +324,8 @@ Cycle CoherenceFabric::handle_l2_eviction(NodeId evictor, const mem::Victim& v,
       v.state == Mesi::kModified || l1_state == Mesi::kModified;
 
   const NodeId vhome = home_map_->home_of(v.line_addr, evictor);
-  DirEntry& e = nodes_[vhome]->dir.entry(v.line_addr);
+  Node& h = *nodes_[vhome];
+  DirEntry& e = h.dir.entry(v.line_addr);
 
   if (dirty) {
     // Dirty writeback: buffered off the critical path; the traffic and the
@@ -316,10 +334,11 @@ Cycle CoherenceFabric::handle_l2_eviction(NodeId evictor, const mem::Victim& v,
     const Cycle arrive =
         now + network_.message_latency(evictor, vhome, data_bytes(), now,
                                        TrafficClass::kData);
-    nodes_[vhome]->ctrl.request(v.line_addr, arrive, data_bytes(), evictor);
+    h.ctrl.request(v.line_addr, arrive, data_bytes(), evictor);
     e.state = DirEntry::State::kUncached;
     e.sharers = 0;
     e.owner = kNoNode;
+    note_uncached(h);  // last statement: may erase the entry behind `e`
     return 0;
   }
 
@@ -329,10 +348,25 @@ Cycle CoherenceFabric::handle_l2_eviction(NodeId evictor, const mem::Victim& v,
     e.state = DirEntry::State::kUncached;
     e.owner = kNoNode;
     e.sharers = 0;
+    note_uncached(h);  // last statement: may erase the entry behind `e`
   } else if (e.sharer_count() == 0) {
     e.state = DirEntry::State::kUncached;
+    note_uncached(h);  // last statement: may erase the entry behind `e`
   }
   return 0;
+}
+
+void CoherenceFabric::note_uncached(Node& home) {
+  // Amortization: a compact() walk is O(tracked_lines), so in addition to
+  // the kCompactEveryUncached floor require at least tracked/2 transitions
+  // since the last walk. That caps the walk at O(1) amortized per eviction
+  // while still bounding a slice at ~2x its live entry count.
+  if (++home.uncached_since_compact < kCompactEveryUncached) return;
+  if (static_cast<std::size_t>(home.uncached_since_compact) * 2 <
+      home.dir.tracked_lines())
+    return;
+  home.uncached_since_compact = 0;
+  home.dir.compact();
 }
 
 void CoherenceFabric::flush_all() {

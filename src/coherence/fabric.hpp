@@ -63,6 +63,12 @@ struct NodeCoherenceStats {
 
 class CoherenceFabric {
  public:
+  /// A directory slice is compacted (entries back in kUncached dropped)
+  /// after this many evictions-to-Uncached at that home, so long runs do
+  /// not accumulate dead entries. Compaction is pure memory hygiene: it
+  /// never changes simulated timing or protocol state.
+  static constexpr unsigned kCompactEveryUncached = 1024;
+
   CoherenceFabric(const MachineConfig& cfg, net::Network& network,
                   mem::HomeMap& home_map);
 
@@ -96,12 +102,24 @@ class CoherenceFabric {
     Directory dir;
     mem::MemController ctrl;
     NodeCoherenceStats stats;
+    unsigned uncached_since_compact = 0;  ///< see kCompactEveryUncached
     Node(const MachineConfig& cfg, NodeId id);
   };
 
+  /// Counts one entry-to-Uncached transition at `home`; compacts its
+  /// directory slice every kCompactEveryUncached transitions. Call only
+  /// when no DirEntry references into that slice are still live.
+  void note_uncached(Node& home);
+
   /// Serves a miss/upgrade at the directory; returns added latency.
+  /// `l1_ref`/`l2_ref` are the requestor's cached tag-walk results from
+  /// access() (l2_ref valid ⇔ the L2 holds the line, i.e. an upgrade);
+  /// they stay valid here because the directory path only mutates *other*
+  /// nodes' caches before the local install.
   Cycle directory_request(NodeId requestor, Addr line, bool is_write,
-                          Cycle now, AccessOutcome& out);
+                          Cycle now, AccessOutcome& out,
+                          mem::Cache::LineRef l1_ref,
+                          mem::Cache::LineRef l2_ref);
 
   /// Installs `line` into requestor's L2+L1 with state `st`, handling
   /// inclusion victims and dirty writebacks. Returns added latency.

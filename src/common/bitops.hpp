@@ -28,6 +28,17 @@ constexpr unsigned popcount64(std::uint64_t v) noexcept {
   return static_cast<unsigned>(std::popcount(v));
 }
 
+/// Calls fn(index) for every set bit of `bits` in ascending order — a
+/// ctz loop, so iterating a sharer bitset costs O(popcount) instead of a
+/// full O(nodes) scan.
+template <typename Fn>
+constexpr void for_each_set_bit(std::uint64_t bits, Fn&& fn) {
+  while (bits != 0) {
+    fn(static_cast<unsigned>(std::countr_zero(bits)));
+    bits &= bits - 1;  // clear lowest set bit
+  }
+}
+
 /// Hamming distance between two node ids — the hop count on a hypercube.
 constexpr unsigned hamming(std::uint32_t a, std::uint32_t b) noexcept {
   return static_cast<unsigned>(std::popcount(a ^ b));

@@ -43,6 +43,26 @@ const Cache::Way* Cache::find(Addr addr) const {
   return const_cast<Cache*>(this)->find(addr);
 }
 
+Cache::LineRef Cache::lookup(Addr addr) { return LineRef(find(addr)); }
+
+Mesi Cache::state_of(LineRef ref) const {
+  return ref.way_ ? ref.way_->state : Mesi::kInvalid;
+}
+
+void Cache::touch(LineRef ref) {
+  DSM_ASSERT_MSG(ref.way_ != nullptr, "touch of absent line");
+  ref.way_->lru = ++tick_;
+  ++hits_;
+}
+
+void Cache::record_miss() { ++misses_; }
+
+void Cache::set_state(LineRef ref, Mesi s) {
+  DSM_ASSERT_MSG(ref.way_ != nullptr, "set_state on absent line");
+  DSM_ASSERT(s != Mesi::kInvalid);
+  ref.way_->state = s;
+}
+
 bool Cache::probe(Addr addr) const { return find(addr) != nullptr; }
 
 Mesi Cache::state(Addr addr) const {
@@ -93,8 +113,10 @@ std::optional<Victim> Cache::fill(Addr addr, Mesi s) {
   return out;
 }
 
-Mesi Cache::invalidate(Addr addr) {
-  Way* w = find(addr);
+Mesi Cache::invalidate(Addr addr) { return invalidate(lookup(addr)); }
+
+Mesi Cache::invalidate(LineRef ref) {
+  Way* w = ref.way_;
   if (w == nullptr) return Mesi::kInvalid;
   const Mesi prior = w->state;
   w->state = Mesi::kInvalid;
@@ -102,8 +124,10 @@ Mesi Cache::invalidate(Addr addr) {
   return prior;
 }
 
-Mesi Cache::downgrade(Addr addr) {
-  Way* w = find(addr);
+Mesi Cache::downgrade(Addr addr) { return downgrade(lookup(addr)); }
+
+Mesi Cache::downgrade(LineRef ref) {
+  Way* w = ref.way_;
   if (w == nullptr) return Mesi::kInvalid;
   const Mesi prior = w->state;
   if (prior == Mesi::kExclusive || prior == Mesi::kModified)

@@ -28,7 +28,25 @@ struct Victim {
 };
 
 class Cache {
+  struct Way;  // tag/state/LRU of one way; defined privately below
+
  public:
+  /// Handle to a resident way, produced by one lookup() tag walk so callers
+  /// can chain state reads, LRU touches, and state writes without paying
+  /// the associative search again. Invalidated by any subsequent fill(),
+  /// invalidate(), or flush() on this cache (those may reuse the way).
+  class LineRef {
+   public:
+    LineRef() = default;
+    /// True when the line was resident (any valid state).
+    explicit operator bool() const { return way_ != nullptr; }
+
+   private:
+    friend class Cache;
+    explicit LineRef(Way* way) : way_(way) {}
+    Way* way_ = nullptr;
+  };
+
   explicit Cache(const CacheConfig& cfg);
 
   unsigned line_bytes() const { return cfg_.line_bytes; }
@@ -38,6 +56,26 @@ class Cache {
 
   /// Line-aligns a byte address.
   Addr line_of(Addr a) const { return a & ~static_cast<Addr>(cfg_.line_bytes - 1); }
+
+  /// Combined lookup: ONE tag walk, no LRU movement, no hit/miss counting.
+  /// The returned handle is falsy when the line is absent. Pair with
+  /// state_of()/touch()/set_state(LineRef)/record_miss() to express the
+  /// old probe()/state()/access()/set_state(Addr) sequences with a single
+  /// associative search.
+  LineRef lookup(Addr addr);
+
+  /// Present-line state via a handle (kInvalid for a falsy handle).
+  Mesi state_of(LineRef ref) const;
+
+  /// Marks a resident line most-recently-used and counts a hit — the
+  /// handle form of a hitting access().
+  void touch(LineRef ref);
+
+  /// Counts a miss — the handle form of a missing access().
+  void record_miss();
+
+  /// Updates the state behind a valid handle (handle form of set_state).
+  void set_state(LineRef ref, Mesi s);
 
   /// True when the line is present in any valid state. Does not touch LRU.
   bool probe(Addr addr) const;
@@ -61,8 +99,14 @@ class Cache {
   /// its prior state (kInvalid when it was absent).
   Mesi invalidate(Addr addr);
 
+  /// Handle form: invalidates the way behind `ref` (falsy → kInvalid).
+  Mesi invalidate(LineRef ref);
+
   /// Downgrades Exclusive/Modified to Shared; returns prior state.
   Mesi downgrade(Addr addr);
+
+  /// Handle form: downgrades the way behind `ref` (falsy → kInvalid).
+  Mesi downgrade(LineRef ref);
 
   /// Drops every line (used between application runs).
   void flush();

@@ -1,13 +1,17 @@
 #include "memory/home_map.hpp"
 
 #include "common/assert.hpp"
+#include "common/bitops.hpp"
 
 namespace dsm::mem {
 
 HomeMap::HomeMap(unsigned nodes, std::uint64_t page_bytes, Placement policy,
                  std::uint64_t block_pages)
-    : nodes_(nodes), page_bytes_(page_bytes), policy_(policy),
-      block_pages_(block_pages) {
+    : nodes_(nodes), page_bytes_(page_bytes),
+      page_shift_(is_pow2(page_bytes)
+                      ? static_cast<int>(log2_exact(page_bytes))
+                      : -1),
+      policy_(policy), block_pages_(block_pages) {
   DSM_ASSERT(nodes_ > 0);
   DSM_ASSERT(page_bytes_ > 0);
   DSM_ASSERT(block_pages_ > 0);
@@ -27,8 +31,12 @@ NodeId HomeMap::policy_home(std::uint64_t page) const {
 
 NodeId HomeMap::home_of(Addr addr, NodeId accessor) {
   const std::uint64_t page = page_of(addr);
-  if (const auto it = explicit_.find(page); it != explicit_.end())
-    return it->second;
+  // Skip the hash probe entirely while no page has an explicit binding —
+  // on pure-policy runs this keeps the per-access path hash-free.
+  if (!explicit_.empty()) {
+    if (const auto it = explicit_.find(page); it != explicit_.end())
+      return it->second;
+  }
   const NodeId policy_node = policy_home(page);
   if (policy_node != kNoNode) return policy_node;
   // First touch: bind now.

@@ -46,11 +46,16 @@ class HomeMap {
   std::size_t bound_pages() const { return explicit_.size(); }
 
  private:
-  std::uint64_t page_of(Addr addr) const { return addr / page_bytes_; }
+  /// Called on every simulated access: shift when page_bytes is a power of
+  /// two (the common case), divide otherwise.
+  std::uint64_t page_of(Addr addr) const {
+    return page_shift_ >= 0 ? addr >> page_shift_ : addr / page_bytes_;
+  }
   NodeId policy_home(std::uint64_t page) const;
 
   unsigned nodes_;
   std::uint64_t page_bytes_;
+  int page_shift_;  ///< log2(page_bytes) when a power of two, else -1
   Placement policy_;
   std::uint64_t block_pages_;
   std::unordered_map<std::uint64_t, NodeId> explicit_;

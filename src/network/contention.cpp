@@ -6,9 +6,12 @@
 
 namespace dsm::net {
 
-LinkContentionTracker::LinkContentionTracker(Cycle epoch_cycles,
+LinkContentionTracker::LinkContentionTracker(std::size_t num_links,
+                                             Cycle epoch_cycles,
                                              double capacity_flits)
-    : epoch_cycles_(epoch_cycles), capacity_flits_(capacity_flits) {
+    : epoch_cycles_(epoch_cycles),
+      capacity_flits_(capacity_flits),
+      links_(num_links) {
   DSM_ASSERT(epoch_cycles_ > 0);
   DSM_ASSERT(capacity_flits_ > 0.0);
 }
@@ -25,15 +28,32 @@ void LinkContentionTracker::roll(LinkState& s, std::uint64_t epoch_now) const {
 }
 
 void LinkContentionTracker::record(LinkId link, Cycle now, double flits) {
-  auto& s = links_[link];
+  DSM_ASSERT(link < links_.size());
+  LinkState& s = links_[link];
   roll(s, now / epoch_cycles_);
   s.current += flits;
 }
 
+double LinkContentionTracker::delay_and_record_path(
+    std::span<const LinkId> links, Cycle now, double alpha, double flits) {
+  const std::uint64_t epoch_now = now / epoch_cycles_;
+  double total = 0.0;
+  for (const LinkId link : links) {
+    DSM_ASSERT(link < links_.size());
+    LinkState& s = links_[link];
+    roll(s, epoch_now);
+    // min(min(u, 1.0), 0.90) == the utilization() + queueing_delay() caps.
+    const double u =
+        std::min(std::min(s.previous / capacity_flits_, 1.0), 0.90);
+    total += alpha * u / (1.0 - u);
+    s.current += flits;
+  }
+  return total;
+}
+
 double LinkContentionTracker::utilization(LinkId link, Cycle now) const {
-  const auto it = links_.find(link);
-  if (it == links_.end()) return 0.0;
-  auto& s = it->second;
+  DSM_ASSERT(link < links_.size());
+  LinkState& s = links_[link];
   roll(s, now / epoch_cycles_);
   return std::min(s.previous / capacity_flits_, 1.0);
 }

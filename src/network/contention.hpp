@@ -7,10 +7,14 @@
 // an M/M/1-style queueing term for messages crossing that link now. This
 // captures the first-order effect the paper's DDV needs: traffic focused on
 // one home node slows everyone routing toward it.
+//
+// Link ids are dense (from * nodes + to, see topology.hpp), so the state
+// lives in one flat vector indexed by LinkId — no hashing on the per-hop
+// path and no allocation after construction.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "common/types.hpp"
@@ -20,12 +24,21 @@ namespace dsm::net {
 
 class LinkContentionTracker {
  public:
-  /// `epoch_cycles`: epoch length in core cycles. `capacity_flits`: flits a
-  /// link can carry per epoch (router cycles in the epoch).
-  LinkContentionTracker(Cycle epoch_cycles, double capacity_flits);
+  /// `num_links`: size of the dense LinkId space (nodes^2 for the
+  /// TopologyModel keying). `epoch_cycles`: epoch length in core cycles.
+  /// `capacity_flits`: flits a link can carry per epoch (router cycles in
+  /// the epoch).
+  LinkContentionTracker(std::size_t num_links, Cycle epoch_cycles,
+                        double capacity_flits);
 
   /// Records that `flits` crossed `link` at time `now`.
   void record(LinkId link, Cycle now, double flits);
+
+  /// Fused hot-path walk for one message: sums queueing_delay over `links`
+  /// and records `flits` on each, rolling every link's epoch exactly once.
+  /// Identical arithmetic to the queueing_delay-then-record sequence.
+  double delay_and_record_path(std::span<const LinkId> links, Cycle now,
+                               double alpha, double flits);
 
   /// Utilization (0..~1) of `link` during the last completed epoch.
   double utilization(LinkId link, Cycle now) const;
@@ -48,7 +61,9 @@ class LinkContentionTracker {
 
   Cycle epoch_cycles_;
   double capacity_flits_;
-  mutable std::unordered_map<LinkId, LinkState> links_;
+  /// Dense per-link state; `mutable` because reads at a later time roll the
+  /// epoch window forward (same observable values either way).
+  mutable std::vector<LinkState> links_;
 };
 
 }  // namespace dsm::net

@@ -16,7 +16,8 @@ Network::Network(const MachineConfig& cfg)
       per_hop_cycles_(cfg.network.pin_to_pin_ns * cfg.cycles_per_ns()),
       capacity_flits_(static_cast<double>(cfg.network.contention_epoch_cycles) /
                       core_cycles_per_router_cycle_),
-      tracker_(cfg.network.contention_epoch_cycles, capacity_flits_) {}
+      tracker_(topo_.num_links(), cfg.network.contention_epoch_cycles,
+               capacity_flits_) {}
 
 unsigned Network::flits_for(unsigned payload_bytes) const {
   return cfg_.network.header_flits +
@@ -37,17 +38,15 @@ Cycle Network::zero_load_latency(NodeId src, NodeId dst,
   return static_cast<Cycle>(std::ceil(cycles));
 }
 
-double Network::contention_cycles(NodeId src, NodeId dst, Cycle now,
-                                  bool record, unsigned flits) {
-  if (src == dst) return 0.0;
+double Network::contention_cycles(NodeId src, NodeId dst, Cycle now) const {
   // The header flit pays the queueing delay at each hop; body flits
   // pipeline behind it (their serialization is already charged once in
   // zero_load_latency).
+  if (src == dst) return 0.0;
   double queue_router_cycles = 0.0;
   for (const LinkId link : topo_.route(src, dst)) {
     queue_router_cycles +=
         tracker_.queueing_delay(link, now, cfg_.network.contention_alpha);
-    if (record) tracker_.record(link, now, flits);
   }
   return queue_router_cycles * core_cycles_per_router_cycle_;
 }
@@ -60,10 +59,19 @@ Cycle Network::message_latency(NodeId src, NodeId dst, unsigned payload_bytes,
   byte_count_[idx] += payload_bytes;
   if (src == dst) return 0;
   const unsigned flits = flits_for(payload_bytes);
+  // One route fetch serves both the zero-load term (hops == link count)
+  // and the per-link contention walk; same arithmetic as
+  // zero_load_latency + contention_cycles, ceil'd separately.
+  const auto path = topo_.route(src, dst);
+  const double zero_load =
+      static_cast<double>(path.size()) * per_hop_cycles_ +
+      (flits - 1) * core_cycles_per_router_cycle_;
+  const double queue_router_cycles = tracker_.delay_and_record_path(
+      path, now, cfg_.network.contention_alpha, flits);
   const Cycle lat =
-      zero_load_latency(src, dst, payload_bytes) +
+      static_cast<Cycle>(std::ceil(zero_load)) +
       static_cast<Cycle>(
-          std::ceil(contention_cycles(src, dst, now, /*record=*/true, flits)));
+          std::ceil(queue_router_cycles * core_cycles_per_router_cycle_));
   latency_stat_.add(static_cast<double>(lat));
   return lat;
 }
@@ -71,11 +79,8 @@ Cycle Network::message_latency(NodeId src, NodeId dst, unsigned payload_bytes,
 Cycle Network::probe_latency(NodeId src, NodeId dst, unsigned payload_bytes,
                              Cycle now) const {
   if (src == dst) return 0;
-  const unsigned flits = flits_for(payload_bytes);
-  auto* self = const_cast<Network*>(this);
   return zero_load_latency(src, dst, payload_bytes) +
-         static_cast<Cycle>(std::ceil(self->contention_cycles(
-             src, dst, now, /*record=*/false, flits)));
+         static_cast<Cycle>(std::ceil(contention_cycles(src, dst, now)));
 }
 
 std::uint64_t Network::messages_sent(TrafficClass cls) const {

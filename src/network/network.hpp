@@ -65,8 +65,9 @@ class Network {
 
  private:
   unsigned flits_for(unsigned payload_bytes) const;
-  double contention_cycles(NodeId src, NodeId dst, Cycle now,
-                           bool record, unsigned flits);
+  /// Queueing term along the route without recording traffic (const: for
+  /// what-if probes; message_latency records inline on its own walk).
+  double contention_cycles(NodeId src, NodeId dst, Cycle now) const;
 
   const MachineConfig& cfg_;
   TopologyModel topo_;

@@ -3,9 +3,17 @@
 // The paper's machine uses a hypercube (Table I); the DDV's distance matrix
 // D is "a matrix of pre-programmed constants" derived from the topology.
 // We also provide mesh/torus/ring so ablations can vary D's structure.
+//
+// Routing is fully deterministic, so routes are precomputed at construction
+// into one flat arena (CSR layout: per-(src,dst) offsets into a shared link
+// array) and `route()` hands out non-allocating views. At the fabric's
+// 64-node ceiling that is at most 4096 routes × diameter links — a few
+// hundred kB — and it removes the per-message heap allocation that used to
+// sit on the simulator's hottest path.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/config.hpp"
@@ -24,6 +32,11 @@ using LinkId = std::uint32_t;
 /// orders matching classic wormhole designs.
 class TopologyModel {
  public:
+  /// Node counts up to this bound get the precomputed route table (the
+  /// coherence fabric's full-map directory caps the machine at 64 nodes).
+  /// Larger standalone models fall back to computing routes on demand.
+  static constexpr unsigned kPrecomputeMaxNodes = 64;
+
   TopologyModel(Topology kind, unsigned nodes);
 
   Topology kind() const { return kind_; }
@@ -41,8 +54,16 @@ class TopologyModel {
   double mean_hops() const;
 
   /// The sequence of directed links the deterministic route traverses.
-  /// Empty when src == dst.
-  std::vector<LinkId> route(NodeId src, NodeId dst) const;
+  /// Empty when src == dst. Allocation-free: a view into the route table
+  /// built at construction, valid for the model's lifetime. (Above
+  /// kPrecomputeMaxNodes the route is computed into a per-model scratch
+  /// buffer instead; that fallback is not safe to call concurrently.)
+  std::span<const LinkId> route(NodeId src, NodeId dst) const;
+
+  /// Reference implementation: walks the routing algorithm step by step and
+  /// returns a fresh vector. This is what the constructor tabulates; it
+  /// stays public so tests can check table/walk equivalence.
+  std::vector<LinkId> compute_route(NodeId src, NodeId dst) const;
 
   /// The paper's D matrix entry: topological distance, with D[i][i] == 1
   /// ("1 if i = j"), so local accesses carry unit weight in the DDS.
@@ -52,12 +73,19 @@ class TopologyModel {
   std::vector<std::uint32_t> ddv_distance_matrix() const;
 
  private:
-  unsigned mesh_side() const;
+  unsigned mesh_side() const { return mesh_side_; }
   LinkId link_id(NodeId from, NodeId to) const;
 
   Topology kind_;
   unsigned nodes_;
+  unsigned mesh_side_;  ///< cached: sqrt(nodes) for mesh/torus, else 0
   std::size_t links_;
+  /// CSR route table: the route src->dst occupies
+  /// route_arena_[route_offsets_[src*nodes+dst] ..
+  ///              route_offsets_[src*nodes+dst+1]).
+  std::vector<std::uint32_t> route_offsets_;
+  std::vector<LinkId> route_arena_;
+  mutable std::vector<LinkId> route_scratch_;  ///< >64-node fallback only
 };
 
 }  // namespace dsm::net

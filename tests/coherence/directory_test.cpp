@@ -1,0 +1,106 @@
+#include "coherence/directory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+namespace dsm::coh {
+namespace {
+
+TEST(DirectoryTest, AbsentEntryPeeksUncached) {
+  Directory d(0);
+  const DirEntry e = d.peek(0x1000);
+  EXPECT_EQ(e.state, DirEntry::State::kUncached);
+  EXPECT_EQ(e.sharers, 0u);
+  EXPECT_EQ(d.tracked_lines(), 0u);
+}
+
+TEST(DirectoryTest, EntryCreatesAndPersists) {
+  Directory d(3);
+  DirEntry& e = d.entry(0x2000);
+  e.state = DirEntry::State::kExclusive;
+  e.add_sharer(5);
+  e.owner = 5;
+  EXPECT_EQ(d.tracked_lines(), 1u);
+  const DirEntry p = d.peek(0x2000);
+  EXPECT_EQ(p.state, DirEntry::State::kExclusive);
+  EXPECT_EQ(p.owner, 5u);
+  EXPECT_TRUE(p.is_sharer(5));
+}
+
+TEST(DirectoryTest, CompactDropsOnlyDeadEntries) {
+  Directory d(0);
+  for (Addr a = 0; a < 100; ++a) {
+    DirEntry& e = d.entry(a * 32);
+    if (a % 2 == 0) {
+      e.state = DirEntry::State::kShared;
+      e.add_sharer(1);
+    }  // odd lines stay kUncached with no sharers: dead
+  }
+  EXPECT_EQ(d.tracked_lines(), 100u);
+  d.compact();
+  EXPECT_EQ(d.tracked_lines(), 50u);
+  for (Addr a = 0; a < 100; ++a) {
+    const DirEntry p = d.peek(a * 32);
+    if (a % 2 == 0) {
+      EXPECT_EQ(p.state, DirEntry::State::kShared);
+      EXPECT_TRUE(p.is_sharer(1));
+    } else {
+      EXPECT_EQ(p.state, DirEntry::State::kUncached);
+    }
+  }
+}
+
+// Randomized model check: the flat open-addressing slice must behave like
+// a plain map through inserts, mutations, growth, and compaction.
+TEST(DirectoryTest, RandomizedLockstepAgainstMapModel) {
+  Directory d(0);
+  std::unordered_map<Addr, DirEntry> model;
+  std::uint64_t x = 0xD1B54A32D192ED03ull;  // xorshift64
+  auto rnd = [&x]() {
+    x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+    return x;
+  };
+  for (int i = 0; i < 50000; ++i) {
+    // Two dense regions plus a sparse tail to stress probe chains.
+    const std::uint64_t sel = rnd() % 3;
+    const Addr a = sel == 0 ? (rnd() % 4096) * 32
+                 : sel == 1 ? (Addr{1} << 32) + (rnd() % 4096) * 32
+                            : (rnd() % (Addr{1} << 40)) & ~Addr{31};
+    const unsigned op = rnd() % 8;
+    if (op < 5) {
+      DirEntry& e = d.entry(a);
+      DirEntry& m = model[a];
+      const auto st = static_cast<DirEntry::State>(rnd() % 3);
+      const std::uint64_t sharers = rnd();
+      e.state = st; e.sharers = sharers;
+      m.state = st; m.sharers = sharers;
+    } else if (op < 7) {
+      const DirEntry p = d.peek(a);
+      const auto it = model.find(a);
+      const DirEntry m = it == model.end() ? DirEntry{} : it->second;
+      ASSERT_EQ(p.state, m.state);
+      ASSERT_EQ(p.sharers, m.sharers);
+    } else {
+      d.compact();
+      for (auto it = model.begin(); it != model.end();) {
+        if (it->second.state == DirEntry::State::kUncached &&
+            it->second.sharers == 0)
+          it = model.erase(it);
+        else
+          ++it;
+      }
+      ASSERT_EQ(d.tracked_lines(), model.size());
+    }
+  }
+  ASSERT_EQ(d.tracked_lines(), model.size());
+  for (const auto& [addr, m] : model) {
+    const DirEntry p = d.peek(addr);
+    ASSERT_EQ(p.state, m.state) << addr;
+    ASSERT_EQ(p.sharers, m.sharers) << addr;
+  }
+}
+
+}  // namespace
+}  // namespace dsm::coh

@@ -231,5 +231,35 @@ TEST(FabricTest, RandomizedInvariantFuzz) {
   r.fabric.check_invariants();
 }
 
+// The fabric must periodically compact directory slices: a long streaming
+// run leaves most tracked lines in kUncached, and without compaction the
+// slice grows with every distinct line ever touched.
+TEST(FabricTest, DirectoryCompactionBoundsTrackedLines) {
+  MachineConfig cfg = default_config(1);
+  cfg.l2.size_bytes = 64 * 1024;  // 2048 lines -> evictions come quickly
+  net::Network network(cfg);
+  mem::HomeMap home_map(1, cfg.memory.page_bytes, mem::Placement::kRoundRobin);
+  CoherenceFabric fabric(cfg, network, home_map);
+
+  const unsigned live_lines =
+      static_cast<unsigned>(cfg.l2.size_bytes / cfg.l2.line_bytes);
+  const unsigned distinct = 8 * live_lines;
+  std::size_t peak = 0;
+  std::size_t after_peak_min = SIZE_MAX;
+  for (unsigned i = 0; i < distinct; ++i) {
+    fabric.access(0, Addr{i} * cfg.l2.line_bytes, false, i * 4);
+    const std::size_t tracked = fabric.directory(0).tracked_lines();
+    if (tracked > peak) peak = tracked;
+    else after_peak_min = std::min(after_peak_min, tracked);
+  }
+  // Streaming evictions outnumber live lines 7:1, so compaction must have
+  // fired: tracked_lines shrank below its peak and stays far below the
+  // distinct-line count an uncompacted slice would hold.
+  EXPECT_LT(after_peak_min, peak);
+  EXPECT_LT(fabric.directory(0).tracked_lines(), distinct / 2);
+  EXPECT_GE(fabric.directory(0).tracked_lines(), live_lines);
+  fabric.check_invariants();
+}
+
 }  // namespace
 }  // namespace dsm::coh

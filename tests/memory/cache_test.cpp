@@ -161,5 +161,88 @@ INSTANTIATE_TEST_SUITE_P(
                       CacheParam{64, 8, 32},   // L2-like, shrunk
                       CacheParam{4, 16, 32})); // high associativity
 
+// ---- combined lookup() equivalence with the address-based sequences ----
+
+TEST(CacheLookupTest, HandleMirrorsAddressApi) {
+  Cache c(small_cache(2));
+  // Absent line: falsy handle, kInvalid state, miss counting matches
+  // a missing access().
+  EXPECT_FALSE(c.lookup(0x100));
+  EXPECT_EQ(c.state_of(c.lookup(0x100)), Mesi::kInvalid);
+  c.record_miss();
+  EXPECT_EQ(c.misses(), 1u);
+  // Present line: truthy handle, state/touch/set_state agree with the
+  // address forms.
+  c.fill(0x100, Mesi::kShared);
+  const auto h = c.lookup(0x11f);  // same 32-byte line
+  ASSERT_TRUE(h);
+  EXPECT_EQ(c.state_of(h), c.state(0x100));
+  c.touch(h);
+  EXPECT_EQ(c.hits(), 1u);
+  c.set_state(h, Mesi::kModified);
+  EXPECT_EQ(c.state(0x100), Mesi::kModified);
+  EXPECT_EQ(c.invalidate(c.lookup(0x100)), Mesi::kModified);
+  EXPECT_FALSE(c.probe(0x100));
+}
+
+TEST(CacheLookupTest, RandomizedLockstepAgainstOldSequences) {
+  // Drive two identical caches with the same operation stream — one
+  // through the old probe()/state()/access()/set_state(Addr) calls, one
+  // through a single lookup() plus the handle forms — and require
+  // identical hits/misses/evictions/LRU behavior and contents throughout.
+  const CacheConfig cfg = small_cache(4);
+  Cache old_api(cfg);
+  Cache new_api(cfg);
+  std::uint64_t x = 0x2545F4914F6CDD1Dull;  // xorshift64
+  auto rnd = [&x]() {
+    x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+    return x;
+  };
+  for (int i = 0; i < 20000; ++i) {
+    const Addr a = (rnd() % 128) * cfg.line_bytes;
+    const unsigned op = rnd() % 5;
+    if (op == 0) {
+      // Old: state + access (+ set_state on a hit) — the L1 hit pattern.
+      const Mesi so = old_api.state(a);
+      const bool write = rnd() & 1;
+      const auto h = new_api.lookup(a);
+      ASSERT_EQ(new_api.state_of(h), so);
+      if (so != Mesi::kInvalid) {
+        old_api.access(a);
+        new_api.touch(h);
+        if (write) {
+          old_api.set_state(a, Mesi::kModified);
+          new_api.set_state(h, Mesi::kModified);
+        }
+      } else {
+        old_api.access(a);
+        new_api.record_miss();
+      }
+    } else if (op == 1) {
+      if (!old_api.probe(a)) {
+        old_api.fill(a, Mesi::kExclusive);
+        new_api.fill(a, Mesi::kExclusive);
+      }
+    } else if (op == 2) {
+      ASSERT_EQ(old_api.invalidate(a), new_api.invalidate(new_api.lookup(a)));
+    } else if (op == 3) {
+      ASSERT_EQ(old_api.downgrade(a), new_api.downgrade(new_api.lookup(a)));
+    } else {
+      ASSERT_EQ(old_api.probe(a), static_cast<bool>(new_api.lookup(a)));
+    }
+    ASSERT_EQ(old_api.hits(), new_api.hits());
+    ASSERT_EQ(old_api.misses(), new_api.misses());
+    ASSERT_EQ(old_api.evictions(), new_api.evictions());
+    ASSERT_EQ(old_api.invalidations_received(),
+              new_api.invalidations_received());
+  }
+  // Same resident lines and states at the end (LRU stayed in lockstep).
+  const auto ra = old_api.resident_lines();
+  const auto rb = new_api.resident_lines();
+  ASSERT_EQ(ra.size(), rb.size());
+  for (const Addr line : ra) EXPECT_EQ(old_api.state(line),
+                                       new_api.state(line));
+}
+
 }  // namespace
 }  // namespace dsm::mem

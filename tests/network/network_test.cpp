@@ -2,8 +2,30 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "common/config.hpp"
 #include "network/contention.hpp"
+
+// Global operator new/delete replacements that count allocations, so the
+// "zero per-message heap allocations on the message_latency path" property
+// is a regression-tested invariant, not a code-review promise.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t sz) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(sz ? sz : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t sz) { return ::operator new(sz); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace dsm::net {
 namespace {
@@ -86,8 +108,24 @@ TEST(NetworkTest, ProbeDoesNotRecordTraffic) {
   EXPECT_EQ(n.total_messages(), before);
 }
 
+TEST(NetworkTest, MessageLatencyPathIsAllocationFree) {
+  // Route tables and contention state are preallocated at construction;
+  // after that, message_latency must never touch the heap.
+  auto cfg = cfg32();
+  Network n(cfg);
+  const std::uint64_t before =
+      g_alloc_count.load(std::memory_order_relaxed);
+  Cycle now = 0;
+  for (NodeId src = 0; src < 32; ++src)
+    for (NodeId dst = 0; dst < 32; ++dst) {
+      now += n.message_latency(src, dst, 32, now, TrafficClass::kData);
+      n.probe_latency(src, dst, 32, now);
+    }
+  EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed), before);
+}
+
 TEST(LinkContentionTrackerTest, UtilizationIsPreviousEpoch) {
-  LinkContentionTracker t(1000, 100.0);
+  LinkContentionTracker t(/*num_links=*/128, 1000, 100.0);
   t.record(7, 500, 50.0);  // epoch 0
   EXPECT_EQ(t.utilization(7, 900), 0.0);   // still epoch 0: previous empty
   EXPECT_DOUBLE_EQ(t.utilization(7, 1500), 0.5);  // epoch 1 sees epoch 0
@@ -95,7 +133,7 @@ TEST(LinkContentionTrackerTest, UtilizationIsPreviousEpoch) {
 }
 
 TEST(LinkContentionTrackerTest, QueueingDelayShape) {
-  LinkContentionTracker t(1000, 100.0);
+  LinkContentionTracker t(/*num_links=*/128, 1000, 100.0);
   t.record(1, 100, 50.0);
   // u = 0.5 -> alpha * 0.5/0.5 = alpha.
   EXPECT_DOUBLE_EQ(t.queueing_delay(1, 1500, 2.0), 2.0);
@@ -104,7 +142,7 @@ TEST(LinkContentionTrackerTest, QueueingDelayShape) {
 }
 
 TEST(LinkContentionTrackerTest, UtilizationCapBoundsDelay) {
-  LinkContentionTracker t(1000, 100.0);
+  LinkContentionTracker t(/*num_links=*/128, 1000, 100.0);
   t.record(1, 100, 1e6);  // absurd overload
   // Cap at 0.90 -> delay = alpha * 9.
   EXPECT_DOUBLE_EQ(t.queueing_delay(1, 1500, 1.0), 9.0);

@@ -90,6 +90,60 @@ TEST_P(TopologyPropertyTest, RouteLengthEqualsHopsEverywhere) {
   }
 }
 
+TEST_P(TopologyPropertyTest, RouteTableMatchesOnTheFlyWalk) {
+  // The constructor tabulates compute_route(); the table view handed out
+  // by route() must reproduce the reference walk link-for-link.
+  const auto [kind, nodes] = GetParam();
+  TopologyModel t(kind, nodes);
+  for (NodeId s = 0; s < nodes; ++s) {
+    for (NodeId d = 0; d < nodes; ++d) {
+      const auto table = t.route(s, d);
+      const auto walk = t.compute_route(s, d);
+      ASSERT_EQ(table.size(), walk.size())
+          << topology_name(kind) << " " << s << "->" << d;
+      for (std::size_t i = 0; i < walk.size(); ++i)
+        EXPECT_EQ(table[i], walk[i])
+            << topology_name(kind) << " " << s << "->" << d << " hop " << i;
+    }
+  }
+}
+
+TEST_P(TopologyPropertyTest, RouteIsAdjacentChainFromSrcToDst) {
+  // Every route must be a chain of valid directed links: each link leaves
+  // the node the previous one entered, starting at src and ending at dst.
+  const auto [kind, nodes] = GetParam();
+  TopologyModel t(kind, nodes);
+  for (NodeId s = 0; s < nodes; ++s) {
+    for (NodeId d = 0; d < nodes; ++d) {
+      NodeId cur = s;
+      for (const LinkId link : t.route(s, d)) {
+        const NodeId from = link / nodes;
+        const NodeId to = link % nodes;
+        EXPECT_EQ(from, cur);
+        EXPECT_EQ(t.hops(from, to), 1u);  // links join adjacent routers
+        cur = to;
+      }
+      EXPECT_EQ(cur, d);
+    }
+  }
+}
+
+TEST(TopologyTest, RouteFallbackAboveTableLimitMatchesWalk) {
+  // Above kPrecomputeMaxNodes the table is skipped and route() computes
+  // into scratch; it must still agree with the reference walk.
+  TopologyModel t(Topology::kRing, TopologyModel::kPrecomputeMaxNodes + 9);
+  const unsigned n = t.nodes();
+  for (NodeId s = 0; s < n; s += 7) {
+    for (NodeId d = 0; d < n; d += 5) {
+      const auto table = t.route(s, d);
+      const auto walk = t.compute_route(s, d);
+      ASSERT_EQ(table.size(), walk.size());
+      for (std::size_t i = 0; i < walk.size(); ++i)
+        EXPECT_EQ(table[i], walk[i]);
+    }
+  }
+}
+
 TEST_P(TopologyPropertyTest, HopsSymmetricAndTriangleInequality) {
   const auto [kind, nodes] = GetParam();
   TopologyModel t(kind, nodes);
@@ -115,13 +169,17 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(TopoParam{Topology::kHypercube, 2},
                       TopoParam{Topology::kHypercube, 8},
                       TopoParam{Topology::kHypercube, 32},
+                      TopoParam{Topology::kHypercube, 64},
                       TopoParam{Topology::kMesh2D, 4},
                       TopoParam{Topology::kMesh2D, 16},
+                      TopoParam{Topology::kMesh2D, 64},
                       TopoParam{Topology::kTorus2D, 16},
                       TopoParam{Topology::kTorus2D, 25},
+                      TopoParam{Topology::kTorus2D, 64},
                       TopoParam{Topology::kRing, 2},
                       TopoParam{Topology::kRing, 7},
-                      TopoParam{Topology::kRing, 16}));
+                      TopoParam{Topology::kRing, 16},
+                      TopoParam{Topology::kRing, 64}));
 
 }  // namespace
 }  // namespace dsm::net
