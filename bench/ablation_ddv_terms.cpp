@@ -6,8 +6,10 @@
 // execution with ablated DDS variants (full F*D*C, F*D, F*C, F alone) and
 // reports the achievable CoV at fixed phase budgets.
 //
-// Simulations run on the experiment driver (--threads=N); the variant
-// replays are pure analysis over the recorded traces and stay serial.
+// Simulations run on the experiment driver (--threads=N, --shard=i/N,
+// --shards=N); the variant replays execute inside the worker right after
+// the simulation, so the recorded traces are reduced to table rows (and
+// optional CSV curves) before anything leaves the worker.
 #include <cstdio>
 
 #include "analysis/curve.hpp"
@@ -16,55 +18,106 @@
 #include "common/table_writer.hpp"
 #include "network/topology.hpp"
 
+namespace {
+
+using namespace dsm;
+
+constexpr analysis::DdsVariant kVariants[] = {
+    analysis::DdsVariant::kFull,
+    analysis::DdsVariant::kNoContention,
+    analysis::DdsVariant::kNoDistance,
+    analysis::DdsVariant::kFrequencyOnly,
+};
+constexpr std::size_t kNumVariants = std::size(kVariants);
+
+struct CovRow {
+  double cov10 = 0.0;
+  double cov25 = 0.0;
+  double phases20 = 0.0;
+};
+
+CovRow cov_row(const std::vector<analysis::CurvePoint>& curve) {
+  return {analysis::cov_at_phases(curve, 10),
+          analysis::cov_at_phases(curve, 25),
+          analysis::phases_for_cov(curve, 0.20)};
+}
+
+struct DdsAblation {
+  CovRow baseline;                 ///< BBV only
+  CovRow variant[kNumVariants];
+  /// Full-resolution variant curves, kept only when CSV output is on
+  /// (the consume step writes the files).
+  std::vector<std::vector<analysis::CurvePoint>> csv_curves;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace dsm;
   auto parsed = bench::parse_options(argc, argv);
   if (!parsed.ok) return bench::usage_error(parsed);
+  if (const auto rc = bench::maybe_orchestrate(argc, argv, parsed))
+    return *rc;
   auto& opt = parsed.options;
   if (opt.node_counts.empty()) opt.node_counts = {32};
+  const bool stream = bench::stream_mode(opt);
 
-  std::printf("== Ablation: DDS term contributions (scale: %s) ==\n\n",
-              apps::scale_name(opt.scale));
+  if (!stream)
+    std::printf("== Ablation: DDS term contributions (scale: %s) ==\n\n",
+                apps::scale_name(opt.scale));
 
   analysis::CurveParams cp;
-  const analysis::DdsVariant variants[] = {
-      analysis::DdsVariant::kFull,
-      analysis::DdsVariant::kNoContention,
-      analysis::DdsVariant::kNoDistance,
-      analysis::DdsVariant::kFrequencyOnly,
-  };
+  const bool keep_csv = !opt.csv_dir.empty() && !stream;
 
-  const auto results = bench::run_sweep(
-      bench::named_apps(opt, {"LU", "Equake"}), opt.node_counts, opt);
-  for (const auto& res : results) {
-    const auto& app = *res.app;
-    const unsigned nodes = res.point.nodes;
-    const net::TopologyModel topo(res.run.cfg.network.topology, nodes);
-
-    TableWriter t({"DDS variant", "CoV@10 phases", "CoV@25 phases",
-                   "phases for CoV<=20%"});
-    // Baseline row: BBV only.
-    const auto bbv = analysis::bbv_cov_curve(res.run.procs, cp);
-    t.add_row({"(BBV baseline)",
-               TableWriter::fmt(analysis::cov_at_phases(bbv, 10), 3),
-               TableWriter::fmt(analysis::cov_at_phases(bbv, 25), 3),
-               TableWriter::fmt(analysis::phases_for_cov(bbv, 0.20), 3)});
-    for (const auto v : variants) {
-      const auto procs = analysis::with_dds_variant(res.run.procs, topo, v);
-      const auto curve = analysis::bbv_ddv_cov_curve(procs, cp);
-      t.add_row({dds_variant_name(v),
-                 TableWriter::fmt(analysis::cov_at_phases(curve, 10), 3),
-                 TableWriter::fmt(analysis::cov_at_phases(curve, 25), 3),
-                 TableWriter::fmt(analysis::phases_for_cov(curve, 0.20),
-                                  3)});
-      bench::maybe_write_csv(opt,
-                             "ablation_dds_" + app.name + "_" +
-                                 std::to_string(nodes) + "p_" +
-                                 std::to_string(static_cast<int>(v)),
-                             curve);
-    }
-    std::printf("-- %s, %uP --\n%s\n", app.name.c_str(), nodes,
-                t.to_text().c_str());
-  }
+  bench::run_reduced_sweep<DdsAblation>(
+      bench::named_apps(opt, {"LU", "Equake"}), opt.node_counts, opt,
+      "ablation_ddv_terms",
+      [&](const driver::SpecPoint& pt, sim::RunSummary&& run) {
+        const net::TopologyModel topo(run.cfg.network.topology, pt.nodes);
+        DdsAblation out;
+        out.baseline = cov_row(analysis::bbv_cov_curve(run.procs, cp));
+        for (std::size_t i = 0; i < kNumVariants; ++i) {
+          const auto procs =
+              analysis::with_dds_variant(run.procs, topo, kVariants[i]);
+          auto curve = analysis::bbv_ddv_cov_curve(procs, cp);
+          out.variant[i] = cov_row(curve);
+          if (keep_csv) out.csv_curves.push_back(std::move(curve));
+        }
+        return out;
+      },
+      [](const driver::SpecPoint&, const DdsAblation& r) {
+        shard::JsonObject o;
+        o.add("bbv_cov10", r.baseline.cov10)
+            .add("bbv_cov25", r.baseline.cov25);
+        for (std::size_t i = 0; i < kNumVariants; ++i) {
+          const std::string tag = dds_variant_name(kVariants[i]);
+          o.add(tag + "_cov10", r.variant[i].cov10)
+              .add(tag + "_cov25", r.variant[i].cov25)
+              .add(tag + "_phases20", r.variant[i].phases20);
+        }
+        return o.str();
+      },
+      [&](const driver::SpecPoint& pt, DdsAblation&& r) {
+        TableWriter t({"DDS variant", "CoV@10 phases", "CoV@25 phases",
+                       "phases for CoV<=20%"});
+        // Baseline row: BBV only.
+        t.add_row({"(BBV baseline)", TableWriter::fmt(r.baseline.cov10, 3),
+                   TableWriter::fmt(r.baseline.cov25, 3),
+                   TableWriter::fmt(r.baseline.phases20, 3)});
+        for (std::size_t i = 0; i < kNumVariants; ++i) {
+          t.add_row({dds_variant_name(kVariants[i]),
+                     TableWriter::fmt(r.variant[i].cov10, 3),
+                     TableWriter::fmt(r.variant[i].cov25, 3),
+                     TableWriter::fmt(r.variant[i].phases20, 3)});
+          if (keep_csv)
+            bench::maybe_write_csv(
+                opt,
+                "ablation_dds_" + pt.app + "_" +
+                    std::to_string(pt.nodes) + "p_" +
+                    std::to_string(static_cast<int>(kVariants[i])),
+                r.csv_curves[i]);
+        }
+        std::printf("-- %s, %uP --\n%s\n", pt.app.c_str(), pt.nodes,
+                    t.to_text().c_str());
+      });
   return 0;
 }

@@ -4,42 +4,84 @@
 // show where capacity stops limiting either detector (a pure hardware-
 // sizing question: no re-simulation needed).
 //
-// Simulations run on the experiment driver (--threads=N); the capacity
-// replays are pure analysis over the recorded traces and stay serial.
+// Simulations run on the experiment driver (--threads=N, --shard=i/N,
+// --shards=N); the capacity replays execute inside the worker, reducing
+// each recorded run to its table rows before anything leaves the worker.
+#include <array>
 #include <cstdio>
 
 #include "analysis/curve.hpp"
 #include "bench/bench_util.hpp"
 #include "common/table_writer.hpp"
 
+namespace {
+
+constexpr unsigned kCapacities[] = {8u, 16u, 32u, 64u, 128u};
+constexpr std::size_t kNumCapacities = std::size(kCapacities);
+
+struct CapacityRow {
+  double bbv10 = 0.0;
+  double ddv10 = 0.0;
+  double bbv25 = 0.0;
+  double ddv25 = 0.0;
+};
+
+using CapacityRows = std::array<CapacityRow, kNumCapacities>;
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace dsm;
   auto parsed = bench::parse_options(argc, argv);
   if (!parsed.ok) return bench::usage_error(parsed);
+  if (const auto rc = bench::maybe_orchestrate(argc, argv, parsed))
+    return *rc;
   auto& opt = parsed.options;
   if (opt.node_counts.empty()) opt.node_counts = {32};
+  const bool stream = bench::stream_mode(opt);
 
-  std::printf("== Ablation: footprint-table capacity (scale: %s) ==\n\n",
-              apps::scale_name(opt.scale));
+  if (!stream)
+    std::printf("== Ablation: footprint-table capacity (scale: %s) ==\n\n",
+                apps::scale_name(opt.scale));
 
-  const auto results =
-      bench::run_sweep(bench::named_apps(opt, {"FMM"}), opt.node_counts, opt);
-  for (const auto& res : results) {
-    TableWriter t({"footprint vectors", "BBV CoV@10", "DDV CoV@10",
-                   "BBV CoV@25", "DDV CoV@25"});
-    for (const unsigned capacity : {8u, 16u, 32u, 64u, 128u}) {
-      analysis::CurveParams cp;
-      cp.footprint_capacity = capacity;
-      const auto bbv = analysis::bbv_cov_curve(res.run.procs, cp);
-      const auto ddv = analysis::bbv_ddv_cov_curve(res.run.procs, cp);
-      t.add_row({std::to_string(capacity),
-                 TableWriter::fmt(analysis::cov_at_phases(bbv, 10), 3),
-                 TableWriter::fmt(analysis::cov_at_phases(ddv, 10), 3),
-                 TableWriter::fmt(analysis::cov_at_phases(bbv, 25), 3),
-                 TableWriter::fmt(analysis::cov_at_phases(ddv, 25), 3)});
-    }
-    std::printf("-- %s, %uP --\n%s\n", res.app->name.c_str(),
-                res.point.nodes, t.to_text().c_str());
-  }
+  bench::run_reduced_sweep<CapacityRows>(
+      bench::named_apps(opt, {"FMM"}), opt.node_counts, opt,
+      "ablation_footprint",
+      [](const driver::SpecPoint&, sim::RunSummary&& run) {
+        CapacityRows rows{};
+        for (std::size_t i = 0; i < kNumCapacities; ++i) {
+          analysis::CurveParams cp;
+          cp.footprint_capacity = kCapacities[i];
+          const auto bbv = analysis::bbv_cov_curve(run.procs, cp);
+          const auto ddv = analysis::bbv_ddv_cov_curve(run.procs, cp);
+          rows[i] = {analysis::cov_at_phases(bbv, 10),
+                     analysis::cov_at_phases(ddv, 10),
+                     analysis::cov_at_phases(bbv, 25),
+                     analysis::cov_at_phases(ddv, 25)};
+        }
+        return rows;
+      },
+      [](const driver::SpecPoint&, const CapacityRows& rows) {
+        shard::JsonObject o;
+        for (std::size_t i = 0; i < kNumCapacities; ++i) {
+          const std::string tag = "c" + std::to_string(kCapacities[i]);
+          o.add(tag + "_bbv_cov25", rows[i].bbv25)
+              .add(tag + "_ddv_cov25", rows[i].ddv25);
+        }
+        return o.str();
+      },
+      [&](const driver::SpecPoint& pt, CapacityRows&& rows) {
+        TableWriter t({"footprint vectors", "BBV CoV@10", "DDV CoV@10",
+                       "BBV CoV@25", "DDV CoV@25"});
+        for (std::size_t i = 0; i < kNumCapacities; ++i) {
+          t.add_row({std::to_string(kCapacities[i]),
+                     TableWriter::fmt(rows[i].bbv10, 3),
+                     TableWriter::fmt(rows[i].ddv10, 3),
+                     TableWriter::fmt(rows[i].bbv25, 3),
+                     TableWriter::fmt(rows[i].ddv25, 3)});
+        }
+        std::printf("-- %s, %uP --\n%s\n", pt.app.c_str(), pt.nodes,
+                    t.to_text().c_str());
+      });
   return 0;
 }

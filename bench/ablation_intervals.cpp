@@ -5,8 +5,9 @@
 // operating points move.
 //
 // The app × nodes × factor product runs on the experiment driver
-// (--threads=N) with the factor carried on the SweepSpec's numeric axis;
-// each point builds its own Machine with the rescaled interval.
+// (--threads=N, --shard=i/N, --shards=N) with the factor carried on the
+// SweepSpec's numeric axis; each point builds its own Machine with the
+// rescaled interval and is reduced to one table row inside the worker.
 #include <cstdio>
 
 #include "analysis/curve.hpp"
@@ -14,16 +15,43 @@
 #include "common/table_writer.hpp"
 #include "sim/machine.hpp"
 
+namespace {
+
+using namespace dsm;
+
+struct IntervalRow {
+  InstrCount interval = 0;
+  std::uint64_t intervals_per_proc = 0;
+  double bbv10 = 0.0;
+  double ddv10 = 0.0;
+  double bbv25 = 0.0;
+  double ddv25 = 0.0;
+};
+
+// Seed from the point WITHOUT the ablated axis: every interval-length row
+// of an (app, nodes) pair shares one RNG stream so the rows differ only
+// by the sampling interval under study.
+std::uint64_t interval_seed(const driver::SpecPoint& pt) {
+  driver::SpecPoint seed_pt = pt;
+  seed_pt.threshold = 0.0;
+  return driver::spec_seed(seed_pt);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace dsm;
   auto parsed = bench::parse_options(argc, argv);
   if (!parsed.ok) return bench::usage_error(parsed);
+  if (const auto rc = bench::maybe_orchestrate(argc, argv, parsed))
+    return *rc;
   auto& opt = parsed.options;
   if (opt.app_names.empty()) opt.app_names = {"LU"};
   if (opt.node_counts.empty()) opt.node_counts = {8};
+  const bool stream = bench::stream_mode(opt);
 
-  std::printf("== Ablation: sampling-interval length (scale: %s) ==\n\n",
-              apps::scale_name(opt.scale));
+  if (!stream)
+    std::printf("== Ablation: sampling-interval length (scale: %s) ==\n\n",
+                apps::scale_name(opt.scale));
   analysis::CurveParams cp;
 
   driver::SweepSpec spec;
@@ -31,52 +59,62 @@ int main(int argc, char** argv) {
   spec.node_counts = opt.node_counts;
   spec.thresholds = {0.5, 1.0, 2.0, 4.0};  // interval-length factors
   spec.scale = opt.scale;
-  const auto points = spec.expand();
+  const std::size_t factors = spec.thresholds.size();
 
-  struct PointResult {
-    InstrCount interval = 0;
-    sim::RunSummary run;
-  };
-  const driver::ExperimentRunner runner(opt.threads);
-  const auto results = runner.map<PointResult>(
-      points, [&](const driver::SpecPoint& pt) {
+  // One table per (app, nodes): consecutive chunks of the factor axis,
+  // assembled as rows stream in (spec order makes the chunks contiguous).
+  TableWriter t({"interval (1P basis)", "intervals/proc", "BBV CoV@10",
+                 "DDV CoV@10", "BBV CoV@25", "DDV CoV@25"});
+  bench::sharded_sweep<sim::RunSummary, IntervalRow>(
+      spec.expand(), opt, "ablation_intervals",
+      [](const driver::SpecPoint& pt) {
         const auto& app = apps::app_by_name(pt.app);
         const InstrCount base = apps::scaled_interval(app.name, pt.scale);
         MachineConfig cfg = default_config(pt.nodes);
         cfg.phase.interval_instructions = static_cast<InstrCount>(
             static_cast<double>(base) * pt.threshold);
-        // Seed from the point WITHOUT the ablated axis: every interval-
-        // length row of an (app, nodes) pair shares one RNG stream so the
-        // rows differ only by the sampling interval under study.
-        driver::SpecPoint seed_pt = pt;
-        seed_pt.threshold = 0.0;
-        cfg.seed = driver::spec_seed(seed_pt);
+        cfg.seed = interval_seed(pt);
         sim::Machine machine(cfg);
-        PointResult r;
-        r.interval = cfg.phase.interval_instructions;
-        r.run = machine.run(app.factory(pt.scale));
-        return r;
+        return machine.run(app.factory(pt.scale));
+      },
+      [&cp](const driver::SpecPoint& pt, sim::RunSummary&& run) {
+        const auto bbv = analysis::bbv_cov_curve(run.procs, cp);
+        const auto ddv = analysis::bbv_ddv_cov_curve(run.procs, cp);
+        IntervalRow row;
+        row.interval = run.cfg.phase.interval_instructions;
+        row.intervals_per_proc = run.procs[0].intervals.size();
+        row.bbv10 = analysis::cov_at_phases(bbv, 10);
+        row.ddv10 = analysis::cov_at_phases(ddv, 10);
+        row.bbv25 = analysis::cov_at_phases(bbv, 25);
+        row.ddv25 = analysis::cov_at_phases(ddv, 25);
+        (void)pt;
+        return row;
+      },
+      interval_seed,
+      [](const driver::SpecPoint&, const IntervalRow& row) {
+        return shard::JsonObject()
+            .add("interval", static_cast<std::uint64_t>(row.interval))
+            .add("intervals_per_proc", row.intervals_per_proc)
+            .add("bbv_cov10", row.bbv10)
+            .add("ddv_cov10", row.ddv10)
+            .add("bbv_cov25", row.bbv25)
+            .add("ddv_cov25", row.ddv25)
+            .str();
+      },
+      [&](const driver::SpecPoint& pt, IntervalRow&& row) {
+        t.add_row({TableWriter::fmt(static_cast<double>(row.interval), 4),
+                   std::to_string(row.intervals_per_proc),
+                   TableWriter::fmt(row.bbv10, 3),
+                   TableWriter::fmt(row.ddv10, 3),
+                   TableWriter::fmt(row.bbv25, 3),
+                   TableWriter::fmt(row.ddv25, 3)});
+        if ((pt.index + 1) % factors == 0) {
+          std::printf("-- %s, %uP --\n%s\n", pt.app.c_str(), pt.nodes,
+                      t.to_text().c_str());
+          t = TableWriter({"interval (1P basis)", "intervals/proc",
+                           "BBV CoV@10", "DDV CoV@10", "BBV CoV@25",
+                           "DDV CoV@25"});
+        }
       });
-
-  // One table per (app, nodes): consecutive chunks of the factor axis.
-  const std::size_t factors = spec.thresholds.size();
-  for (std::size_t base = 0; base < results.size(); base += factors) {
-    TableWriter t({"interval (1P basis)", "intervals/proc", "BBV CoV@10",
-                   "DDV CoV@10", "BBV CoV@25", "DDV CoV@25"});
-    for (std::size_t k = 0; k < factors; ++k) {
-      const auto& res = results[base + k];
-      const auto bbv = analysis::bbv_cov_curve(res.run.procs, cp);
-      const auto ddv = analysis::bbv_ddv_cov_curve(res.run.procs, cp);
-      t.add_row({TableWriter::fmt(static_cast<double>(res.interval), 4),
-                 std::to_string(res.run.procs[0].intervals.size()),
-                 TableWriter::fmt(analysis::cov_at_phases(bbv, 10), 3),
-                 TableWriter::fmt(analysis::cov_at_phases(ddv, 10), 3),
-                 TableWriter::fmt(analysis::cov_at_phases(bbv, 25), 3),
-                 TableWriter::fmt(analysis::cov_at_phases(ddv, 25), 3)});
-    }
-    const auto& pt = points[base];
-    std::printf("-- %s, %uP --\n%s\n", pt.app.c_str(), pt.nodes,
-                t.to_text().c_str());
-  }
   return 0;
 }

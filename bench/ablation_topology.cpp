@@ -5,8 +5,9 @@
 // and with it D's structure and the machine's latency spread — shifts
 // both detectors' operating points.
 //
-// The app × topology product runs on the experiment driver (--threads=N)
-// with the topology carried on the SweepSpec's variant axis.
+// The app × topology product runs on the experiment driver (--threads=N,
+// --shard=i/N, --shards=N) with the topology carried on the SweepSpec's
+// variant axis; each run is reduced to one table row inside the worker.
 #include <algorithm>
 #include <cstdio>
 #include <stdexcept>
@@ -17,79 +18,112 @@
 #include "common/table_writer.hpp"
 #include "sim/machine.hpp"
 
+namespace {
+
+using namespace dsm;
+
+constexpr unsigned kNodes = 16;
+constexpr Topology kTopologies[] = {Topology::kHypercube, Topology::kTorus2D,
+                                    Topology::kMesh2D, Topology::kRing};
+constexpr std::size_t kNumTopologies = std::size(kTopologies);
+
+// The variant axis carries the topology by name; map it back rather
+// than inferring from the point's index.
+Topology topology_of(const driver::SpecPoint& pt) {
+  for (const Topology topo : kTopologies)
+    if (pt.detector == topology_name(topo)) return topo;
+  throw std::runtime_error("unknown topology variant: " + pt.detector);
+}
+
+// Seed from the point WITHOUT the ablated axis: all four topology rows of
+// an app must share one RNG stream, or the comparison would mislabel
+// seed-induced variation as a topology effect.
+std::uint64_t topology_seed(const driver::SpecPoint& pt) {
+  driver::SpecPoint seed_pt = pt;
+  seed_pt.detector.clear();
+  return driver::spec_seed(seed_pt);
+}
+
+struct TopologyRow {
+  unsigned diameter = 0;
+  double mean_cpi = 0.0;
+  double bbv15 = 0.0;
+  double ddv15 = 0.0;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace dsm;
   auto parsed = bench::parse_options(argc, argv);
   if (!parsed.ok) return bench::usage_error(parsed);
+  if (const auto rc = bench::maybe_orchestrate(argc, argv, parsed))
+    return *rc;
   auto& opt = parsed.options;
   if (opt.app_names.empty()) opt.app_names = {"LU"};
-  constexpr unsigned kNodes = 16;
+  const bool stream = bench::stream_mode(opt);
 
-  std::printf("== Ablation: interconnect topology (16 nodes, scale: %s) "
-              "==\n\n",
-              apps::scale_name(opt.scale));
+  if (!stream)
+    std::printf("== Ablation: interconnect topology (16 nodes, scale: %s) "
+                "==\n\n",
+                apps::scale_name(opt.scale));
   analysis::CurveParams cp;
-
-  const Topology topologies[] = {Topology::kHypercube, Topology::kTorus2D,
-                                 Topology::kMesh2D, Topology::kRing};
 
   driver::SweepSpec spec;
   spec.apps = opt.app_names;
   spec.node_counts = {kNodes};
-  for (const Topology topo : topologies)
+  for (const Topology topo : kTopologies)
     spec.detectors.push_back(topology_name(topo));
   spec.scale = opt.scale;
-  const auto points = spec.expand();
 
-  // The variant axis carries the topology by name; map it back rather
-  // than inferring from the point's index.
-  auto topology_of = [&](const driver::SpecPoint& pt) {
-    for (const Topology topo : topologies)
-      if (pt.detector == topology_name(topo)) return topo;
-    throw std::runtime_error("unknown topology variant: " + pt.detector);
-  };
-
-  const driver::ExperimentRunner runner(opt.threads);
-  const auto results = runner.map<sim::RunSummary>(
-      points, [&](const driver::SpecPoint& pt) {
+  // One table per app: consecutive chunks of the topology axis, assembled
+  // as rows stream in (spec order keeps the chunks contiguous).
+  TableWriter t({"topology", "diameter", "mean CPI", "BBV CoV@15",
+                 "DDV CoV@15", "ratio"});
+  bench::sharded_sweep<sim::RunSummary, TopologyRow>(
+      spec.expand(), opt, "ablation_topology",
+      [](const driver::SpecPoint& pt) {
         const auto& app = apps::app_by_name(pt.app);
         MachineConfig cfg = default_config(pt.nodes);
         cfg.network.topology = topology_of(pt);
         cfg.phase.interval_instructions =
             apps::scaled_interval(app.name, pt.scale);
-        // Seed from the point WITHOUT the ablated axis: all four topology
-        // rows of an app must share one RNG stream, or the comparison
-        // would mislabel seed-induced variation as a topology effect.
-        driver::SpecPoint seed_pt = pt;
-        seed_pt.detector.clear();
-        cfg.seed = driver::spec_seed(seed_pt);
+        cfg.seed = topology_seed(pt);
         sim::Machine machine(cfg);
         return machine.run(app.factory(pt.scale));
+      },
+      [&cp](const driver::SpecPoint& pt, sim::RunSummary&& run) {
+        const auto bbv = analysis::bbv_cov_curve(run.procs, cp);
+        const auto ddv = analysis::bbv_ddv_cov_curve(run.procs, cp);
+        TopologyRow row;
+        row.diameter = net::TopologyModel(topology_of(pt), kNodes).diameter();
+        row.bbv15 = analysis::cov_at_phases(bbv, 15);
+        row.ddv15 = analysis::cov_at_phases(ddv, 15);
+        double cpi = 0.0;
+        for (unsigned p = 0; p < kNodes; ++p) cpi += run.cpi(p);
+        row.mean_cpi = cpi / kNodes;
+        return row;
+      },
+      topology_seed,
+      [](const driver::SpecPoint&, const TopologyRow& row) {
+        return shard::JsonObject()
+            .add("diameter", static_cast<std::uint64_t>(row.diameter))
+            .add("mean_cpi", row.mean_cpi)
+            .add("bbv_cov15", row.bbv15)
+            .add("ddv_cov15", row.ddv15)
+            .str();
+      },
+      [&](const driver::SpecPoint& pt, TopologyRow&& row) {
+        t.add_row({pt.detector, std::to_string(row.diameter),
+                   TableWriter::fmt(row.mean_cpi, 3),
+                   TableWriter::fmt(row.bbv15, 3),
+                   TableWriter::fmt(row.ddv15, 3),
+                   TableWriter::fmt(row.ddv15 / std::max(row.bbv15, 1e-9),
+                                    3)});
+        if ((pt.index + 1) % kNumTopologies == 0) {
+          std::printf("-- %s --\n%s\n", pt.app.c_str(), t.to_text().c_str());
+          t = TableWriter({"topology", "diameter", "mean CPI", "BBV CoV@15",
+                           "DDV CoV@15", "ratio"});
+        }
       });
-
-  // One table per app: consecutive chunks of the topology axis.
-  const std::size_t per_app = std::size(topologies);
-  for (std::size_t base = 0; base < results.size(); base += per_app) {
-    TableWriter t({"topology", "diameter", "mean CPI", "BBV CoV@15",
-                   "DDV CoV@15", "ratio"});
-    for (std::size_t k = 0; k < per_app; ++k) {
-      const auto& run = results[base + k];
-      const Topology topo = topology_of(points[base + k]);
-      const auto bbv = analysis::bbv_cov_curve(run.procs, cp);
-      const auto ddv = analysis::bbv_ddv_cov_curve(run.procs, cp);
-      const double b = analysis::cov_at_phases(bbv, 15);
-      const double d = analysis::cov_at_phases(ddv, 15);
-      double cpi = 0.0;
-      for (unsigned p = 0; p < kNodes; ++p) cpi += run.cpi(p);
-      t.add_row({topology_name(topo),
-                 std::to_string(
-                     net::TopologyModel(topo, kNodes).diameter()),
-                 TableWriter::fmt(cpi / kNodes, 3), TableWriter::fmt(b, 3),
-                 TableWriter::fmt(d, 3),
-                 TableWriter::fmt(d / std::max(b, 1e-9), 3)});
-    }
-    std::printf("-- %s --\n%s\n", points[base].app.c_str(),
-                t.to_text().c_str());
-  }
   return 0;
 }

@@ -1,14 +1,13 @@
 #include "bench/bench_util.hpp"
 
-#include <cerrno>
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <stdexcept>
 
 #include "common/log.hpp"
+#include "common/parse.hpp"
 #include "common/table_writer.hpp"
 
 namespace dsm::bench {
@@ -29,19 +28,6 @@ ParseResult fail(ParseResult r, std::string msg) {
   return r;
 }
 
-// Strict bounded parse: digits only (no sign, so "-1" cannot wrap through
-// strtoul), value in [min, max].
-bool parse_unsigned(const std::string& s, unsigned long min, unsigned long max,
-                    unsigned long& out) {
-  if (s.empty()) return false;
-  for (const char c : s)
-    if (c < '0' || c > '9') return false;
-  errno = 0;
-  char* end = nullptr;
-  out = std::strtoul(s.c_str(), &end, 10);
-  return errno == 0 && *end == '\0' && out >= min && out <= max;
-}
-
 // Each simulated processor is an OS thread; anything past this is a typo,
 // not an experiment.
 constexpr unsigned long kMaxNodes = 4096;
@@ -58,6 +44,10 @@ const char* usage_text() {
       "  --csv=DIR                  dump full-resolution CSV\n"
       "  --threads=N                sweep worker threads (0 = one per core,\n"
       "                             default 1)\n"
+      "  --shards=N                 fork N shard workers of this binary and\n"
+      "                             merge their NDJSON streams (spec order)\n"
+      "  --shard=i/N                run shard i of N only, emitting NDJSON\n"
+      "                             records instead of tables (worker mode)\n"
       "  --verbose                  progress logging\n";
 }
 
@@ -100,6 +90,20 @@ ParseResult parse_options(int argc, char** argv) {
       if (!parse_unsigned(v, 0, kMaxThreads, t))
         return fail(std::move(res), "bad --threads value: " + v);
       opt.threads = static_cast<unsigned>(t);
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      const std::string v = value("--shards=");
+      unsigned long n = 0;
+      if (!parse_unsigned(v, 1, shard::kMaxShards, n))
+        return fail(std::move(res), "bad --shards value: " + v);
+      opt.shards = static_cast<unsigned>(n);
+    } else if (arg.rfind("--shard=", 0) == 0) {
+      const std::string v = value("--shard=");
+      const auto plan = shard::parse_shard(v);
+      if (!plan)
+        return fail(std::move(res),
+                    "bad --shard value (want i/N with 0 <= i < N): " + v);
+      opt.shard = *plan;
+      opt.shard_set = true;
     } else if (arg.rfind("--csv=", 0) == 0) {
       opt.csv_dir = value("--csv=");
     } else if (arg == "--verbose") {
@@ -111,7 +115,30 @@ ParseResult parse_options(int argc, char** argv) {
       return fail(std::move(res), "unknown option: " + arg);
     }
   }
+  if (opt.shard_set && opt.shards > 0)
+    return fail(std::move(res),
+                "--shard (worker) and --shards (orchestrator) are mutually "
+                "exclusive");
+  // CSV curves are written by the harnesses' table-printing path, which
+  // stream mode replaces with NDJSON records; silently producing no files
+  // would be worse than refusing.
+  if (!opt.csv_dir.empty() && (opt.shard_set || opt.shards > 0))
+    return fail(std::move(res),
+                "--csv is not available in sharded runs (stream records "
+                "replace table/CSV output)");
   return res;
+}
+
+std::optional<int> maybe_orchestrate(int argc, char** argv,
+                                     const ParseResult& parsed) {
+  if (!parsed.ok || parsed.options.shards == 0) return std::nullopt;
+  shard::OrchestratorOptions o;
+  o.binary = shard::self_exe(argc > 0 ? argv[0] : nullptr);
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--shards=", 9) != 0)
+      o.args.push_back(argv[i]);
+  o.shards = parsed.options.shards;
+  return shard::run_sharded(o, stdout);
 }
 
 sim::RunSummary run_workload(const apps::AppInfo& app, apps::Scale scale,

@@ -1,9 +1,36 @@
 // bench_util.hpp — shared plumbing for the figure/table harnesses: flag
-// parsing, parallel sweep execution through the experiment driver, and
-// curve printing in a gnuplot-friendly layout.
+// parsing, parallel/sharded sweep execution through the experiment driver,
+// and curve printing in a gnuplot-friendly layout.
+//
+// Every harness runs its sweep through sharded_sweep()/run_reduced_sweep()
+// and therefore supports three execution modes from one code path:
+//
+//   * default            — in-process sweep on --threads=N workers; the
+//                          harness's consume callback prints the human
+//                          tables in spec order (byte-identical to the
+//                          old buffered-vector loops at any thread count).
+//   * --shard=i/N        — shard worker: runs only its round-robin slice
+//                          of the spec and writes one NDJSON record per
+//                          completed configuration to stdout (spec order,
+//                          flushed per record); human output is suppressed.
+//   * --shards=N         — orchestrator: forks N workers of this binary
+//                          with --shard=i/N, merges their streams in spec
+//                          order onto stdout. Merged output is
+//                          byte-identical to `--shards=1` (and to
+//                          `--shard=0/1`): records carry only
+//                          configuration-content-derived, deterministic
+//                          values.
+//
+// The in-worker reducer is the memory story: each RunSummary (which holds
+// every interval record of every processor) is collapsed to the harness's
+// curve/table rows on the worker that simulated it and destroyed there —
+// nothing downstream ever holds a raw trace.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -12,6 +39,9 @@
 #include "common/config.hpp"
 #include "driver/experiment_runner.hpp"
 #include "driver/sweep_spec.hpp"
+#include "shard/orchestrator.hpp"
+#include "shard/shard_plan.hpp"
+#include "shard/stream_sink.hpp"
 #include "sim/machine.hpp"
 
 namespace dsm::bench {
@@ -23,7 +53,16 @@ struct BenchOptions {
   std::string csv_dir;                 ///< when set, also dump CSV files
   unsigned threads = 1;                ///< sweep workers; 0 = one per core
   bool verbose = false;
+  shard::ShardPlan shard;              ///< --shard=i/N (worker mode)
+  bool shard_set = false;              ///< --shard appeared: stream mode
+  unsigned shards = 0;                 ///< --shards=N (orchestrator); 0 = off
 };
+
+/// True when this invocation is a shard worker: the sweep emits NDJSON
+/// records to stdout and the harness must suppress its human output
+/// (headers, tables, CSV) — a merged multi-process stream has no place
+/// for per-worker prose.
+inline bool stream_mode(const BenchOptions& opt) { return opt.shard_set; }
 
 /// Outcome of command-line parsing. Mains check `ok` and bail with
 /// usage_error() on failure instead of the library calling exit() — which
@@ -38,9 +77,10 @@ struct ParseResult {
 };
 
 /// Parses --scale=paper|bench|test, --apps=LU,FMM,..., --nodes=2,8,32,
-/// --csv=DIR, --threads=N (0 = one per hardware thread), --verbose.
-/// Ignores google-benchmark-style flags it does not know. Never exits;
-/// malformed input comes back as ParseResult{ok=false, error}.
+/// --csv=DIR, --threads=N (0 = one per hardware thread), --shard=i/N,
+/// --shards=N, --verbose. Ignores google-benchmark-style flags it does
+/// not know. Never exits; malformed input comes back as
+/// ParseResult{ok=false, error}.
 ParseResult parse_options(int argc, char** argv);
 
 /// The flag reference printed under parse errors.
@@ -49,6 +89,16 @@ const char* usage_text();
 /// Prints `r.error` plus usage to stderr; returns the conventional exit
 /// code 2 so mains can `return bench::usage_error(r);`.
 int usage_error(const ParseResult& r);
+
+/// Orchestrator entry point, called by every main straight after parsing:
+/// when --shards=N was given, re-invokes this binary N times with
+/// --shard=i/N (forwarding every other flag verbatim), merges the
+/// workers' NDJSON streams in spec order onto stdout, and returns the
+/// exit code for main to return. Returns nullopt when not in
+/// orchestrator mode. Workers inherit --threads: total parallelism is
+/// shards × threads.
+std::optional<int> maybe_orchestrate(int argc, char** argv,
+                                     const ParseResult& parsed);
 
 /// Runs `app` on a Table I machine with `nodes` processors at `scale`,
 /// with the sampling interval scaled to the workload per DESIGN.md and the
@@ -75,11 +125,92 @@ struct WorkloadResult {
 
 /// Expands `apps` × `nodes` into a SweepSpec, simulates every
 /// configuration on opt.threads workers (deterministic per-point seeds),
-/// and returns the results in spec order — the parallel replacement for
-/// the old serial for-app/for-nodes loops.
+/// and returns the buffered results in spec order. Retained for callers
+/// that genuinely need whole RunSummaries side by side; sweeping
+/// harnesses use run_reduced_sweep() instead, which never buffers raw
+/// traces and gains --shard/--shards for free.
 std::vector<WorkloadResult> run_sweep(
     const std::vector<const apps::AppInfo*>& apps,
     const std::vector<unsigned>& nodes, const BenchOptions& opt);
+
+/// The generic sharded, streaming sweep core. `run` simulates one point
+/// and `reduce` collapses the raw result, both on a pool worker (the raw
+/// result is destroyed in the worker — this is the Reducer hook that
+/// bounds per-configuration memory). Then, in spec order:
+///   * stream mode: one NDJSON record per point — key spec_label(pt),
+///     seed seed_of(pt), metrics metrics(pt, reduced) — onto stdout;
+///   * otherwise: consume(pt, reduced), where the harness prints.
+/// Only this shard's slice of `points` executes; in the default 0/1 plan
+/// that is the whole sweep. Template arguments are explicit at call
+/// sites (lambdas do not deduce through std::function).
+template <typename Raw, typename R>
+void sharded_sweep(
+    const std::vector<driver::SpecPoint>& points, const BenchOptions& opt,
+    const char* bench_name,
+    const std::function<Raw(const driver::SpecPoint&)>& run,
+    const std::function<R(const driver::SpecPoint&, Raw&&)>& reduce,
+    const std::function<std::uint64_t(const driver::SpecPoint&)>& seed_of,
+    const std::function<std::string(const driver::SpecPoint&, const R&)>&
+        metrics,
+    const std::function<void(const driver::SpecPoint&, R&&)>& consume) {
+  const auto local = opt.shard.select(points);
+  const driver::ExperimentRunner runner(opt.threads);
+  const std::function<Raw(const driver::SpecPoint&)> guarded =
+      [&](const driver::SpecPoint& pt) -> Raw {
+    try {
+      return run(pt);
+    } catch (const std::exception& e) {
+      // Name the configuration: in a parallel sweep "which point failed"
+      // is otherwise lost.
+      throw std::runtime_error(driver::spec_label(pt) + ": " + e.what());
+    }
+  };
+  if (stream_mode(opt)) {
+    shard::StreamSink sink(stdout, bench_name);
+    runner.map_reduce<Raw, R>(
+        local, guarded, reduce, [&](const driver::SpecPoint& pt, R&& r) {
+          shard::StreamRecord rec;
+          rec.spec_index = pt.index;
+          rec.key = driver::spec_label(pt);
+          rec.seed = seed_of(pt);
+          rec.metrics = metrics(pt, r);
+          sink.emit(rec);
+        });
+  } else {
+    runner.map_reduce<Raw, R>(local, guarded, reduce, consume);
+  }
+}
+
+/// sharded_sweep specialization for the standard app × nodes product on
+/// Table I machines: bench_util supplies the run step (run_workload with
+/// spec_seed seeds); the harness supplies only its reducer and printers.
+template <typename R>
+void run_reduced_sweep(
+    const std::vector<const apps::AppInfo*>& apps_selected,
+    const std::vector<unsigned>& nodes, const BenchOptions& opt,
+    const char* bench_name,
+    const std::function<R(const driver::SpecPoint&, sim::RunSummary&&)>&
+        reduce,
+    const std::function<std::string(const driver::SpecPoint&, const R&)>&
+        metrics,
+    const std::function<void(const driver::SpecPoint&, R&&)>& consume) {
+  // An empty selection is an empty sweep (the pre-refactor loops printed
+  // zero rows) — never a default "" spec point.
+  if (apps_selected.empty() || nodes.empty()) return;
+  driver::SweepSpec spec;
+  for (const auto* app : apps_selected) spec.apps.push_back(app->name);
+  spec.node_counts = nodes;
+  spec.scale = opt.scale;
+  sharded_sweep<sim::RunSummary, R>(
+      spec.expand(), opt, bench_name,
+      [&opt](const driver::SpecPoint& pt) {
+        return run_workload(apps::app_by_name(pt.app), pt.scale, pt.nodes,
+                            opt.verbose, driver::spec_seed(pt));
+      },
+      reduce,
+      [](const driver::SpecPoint& pt) { return driver::spec_seed(pt); },
+      metrics, consume);
+}
 
 /// Prints a CoV curve as "phases cov tuning%" rows, subsampled to at most
 /// `max_rows` (the full resolution goes to CSV when enabled).
@@ -88,7 +219,8 @@ void print_curve(const std::string& title,
                  std::size_t max_rows = 16);
 
 /// Writes the full-resolution curve to `<csv_dir>/<name>.csv` when the
-/// option is set.
+/// option is set (parse_options rejects --csv in sharded runs, where the
+/// table/CSV printing path is replaced by stream records).
 void maybe_write_csv(const BenchOptions& opt, const std::string& name,
                      const std::vector<analysis::CurvePoint>& curve);
 

@@ -8,9 +8,11 @@
 //   * e.g. paper: LU achieves <10% CoV with ~7 phases at 2P, but ~40% /
 //     ~70% CoV at the same 7 phases on 8P / 32P.
 //
-// The app × nodes sweep runs on the experiment driver (--threads=N);
-// analysis and printing happen serially in spec order afterwards, so the
-// output is identical at any thread count.
+// The app × nodes sweep runs on the experiment driver (--threads=N,
+// --shard=i/N, --shards=N); each RunSummary is reduced to its CoV curve
+// inside the worker (the raw interval traces never leave it), and
+// printing happens in spec order as results stream in, so the output is
+// identical at any thread count.
 #include <cstdio>
 
 #include "analysis/curve.hpp"
@@ -21,39 +23,54 @@ int main(int argc, char** argv) {
   using namespace dsm;
   auto parsed = bench::parse_options(argc, argv);
   if (!parsed.ok) return bench::usage_error(parsed);
+  if (const auto rc = bench::maybe_orchestrate(argc, argv, parsed))
+    return *rc;
   auto& opt = parsed.options;
   if (opt.node_counts.empty()) opt.node_counts = {2, 8, 32};
+  const bool stream = bench::stream_mode(opt);
 
-  std::printf("== Figure 2: baseline BBV CoV curves (scale: %s) ==\n\n",
-              apps::scale_name(opt.scale));
+  if (!stream)
+    std::printf("== Figure 2: baseline BBV CoV curves (scale: %s) ==\n\n",
+                apps::scale_name(opt.scale));
 
   analysis::CurveParams cp;  // 32-entry BBV, 32-vector footprint, 200 thr.
 
   TableWriter headline({"app", "nodes", "CoV@7 phases", "CoV@25 phases",
                         "min phases for CoV<=20%"});
 
-  const auto results =
-      bench::run_sweep(bench::selected_apps(opt), opt.node_counts, opt);
-  for (const auto& res : results) {
-    const auto& app = *res.app;
-    const unsigned nodes = res.point.nodes;
-    const auto curve = analysis::bbv_cov_curve(res.run.procs, cp);
-    char title[128];
-    std::snprintf(title, sizeof title, "-- %s CoV curve, BBV, %uP --",
-                  app.name.c_str(), nodes);
-    bench::print_curve(title, curve);
-    bench::maybe_write_csv(opt, "fig2_" + app.name + "_" +
-                                    std::to_string(nodes) + "p",
-                           curve);
-    headline.add_row(
-        {app.name, std::to_string(nodes),
-         TableWriter::fmt(analysis::cov_at_phases(curve, 7.0), 3),
-         TableWriter::fmt(analysis::cov_at_phases(curve, 25.0), 3),
-         TableWriter::fmt(analysis::phases_for_cov(curve, 0.20), 3)});
-  }
+  using Curve = std::vector<analysis::CurvePoint>;
+  bench::run_reduced_sweep<Curve>(
+      bench::selected_apps(opt), opt.node_counts, opt, "fig2_bbv_baseline",
+      [&cp](const driver::SpecPoint&, sim::RunSummary&& run) {
+        return analysis::bbv_cov_curve(run.procs, cp);
+      },
+      [](const driver::SpecPoint&, const Curve& curve) {
+        return shard::JsonObject()
+            .add("cov_at_7", analysis::cov_at_phases(curve, 7.0))
+            .add("cov_at_25", analysis::cov_at_phases(curve, 25.0))
+            .add("phases_for_cov20", analysis::phases_for_cov(curve, 0.20))
+            .add("curve_points", static_cast<std::uint64_t>(curve.size()))
+            .str();
+      },
+      [&](const driver::SpecPoint& pt, Curve&& curve) {
+        const unsigned nodes = pt.nodes;
+        char title[128];
+        std::snprintf(title, sizeof title, "-- %s CoV curve, BBV, %uP --",
+                      pt.app.c_str(), nodes);
+        bench::print_curve(title, curve);
+        bench::maybe_write_csv(
+            opt, "fig2_" + pt.app + "_" + std::to_string(nodes) + "p",
+            curve);
+        headline.add_row(
+            {pt.app, std::to_string(nodes),
+             TableWriter::fmt(analysis::cov_at_phases(curve, 7.0), 3),
+             TableWriter::fmt(analysis::cov_at_phases(curve, 25.0), 3),
+             TableWriter::fmt(analysis::phases_for_cov(curve, 0.20), 3)});
+      });
 
-  std::printf("== Figure 2 headline (paper shape: CoV at fixed phases rises "
-              "with node count) ==\n%s\n",
-              headline.to_text().c_str());
+  if (!stream)
+    std::printf("== Figure 2 headline (paper shape: CoV at fixed phases "
+                "rises with node count) ==\n%s\n",
+                headline.to_text().c_str());
   return 0;
 }

@@ -9,9 +9,11 @@
 //     phases, BBV+DDV ~15% at the same 25 phases, and only ~11 phases are
 //     needed to reach BBV's 29%.
 //
-// The app × nodes sweep runs on the experiment driver (--threads=N);
-// analysis and printing happen serially in spec order afterwards, so the
-// output is identical at any thread count.
+// The app × nodes sweep runs on the experiment driver (--threads=N,
+// --shard=i/N, --shards=N); both curves are computed from the RunSummary
+// inside the worker (raw interval traces are dropped there) and printing
+// happens in spec order as results stream in, so the output is identical
+// at any thread count.
 #include <algorithm>
 #include <cstdio>
 
@@ -19,59 +21,85 @@
 #include "bench/bench_util.hpp"
 #include "common/table_writer.hpp"
 
+namespace {
+
+struct Fig4Curves {
+  std::vector<dsm::analysis::CurvePoint> bbv;
+  std::vector<dsm::analysis::CurvePoint> ddv;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace dsm;
   auto parsed = bench::parse_options(argc, argv);
   if (!parsed.ok) return bench::usage_error(parsed);
+  if (const auto rc = bench::maybe_orchestrate(argc, argv, parsed))
+    return *rc;
   auto& opt = parsed.options;
   if (opt.node_counts.empty()) opt.node_counts = {8, 32};
+  const bool stream = bench::stream_mode(opt);
 
-  std::printf("== Figure 4: BBV vs BBV+DDV CoV curves (scale: %s) ==\n\n",
-              apps::scale_name(opt.scale));
+  if (!stream)
+    std::printf("== Figure 4: BBV vs BBV+DDV CoV curves (scale: %s) ==\n\n",
+                apps::scale_name(opt.scale));
 
   analysis::CurveParams cp;
 
   TableWriter headline({"app", "nodes", "BBV CoV@25", "DDV CoV@25",
                         "CoV ratio", "BBV phases@CoV", "DDV phases@CoV"});
 
-  const auto results =
-      bench::run_sweep(bench::selected_apps(opt), opt.node_counts, opt);
-  for (const auto& res : results) {
-    const auto& app = *res.app;
-    const unsigned nodes = res.point.nodes;
-    const auto bbv = analysis::bbv_cov_curve(res.run.procs, cp);
-    const auto ddv = analysis::bbv_ddv_cov_curve(res.run.procs, cp);
+  bench::run_reduced_sweep<Fig4Curves>(
+      bench::selected_apps(opt), opt.node_counts, opt, "fig4_bbv_ddv",
+      [&cp](const driver::SpecPoint&, sim::RunSummary&& run) {
+        Fig4Curves c;
+        c.bbv = analysis::bbv_cov_curve(run.procs, cp);
+        c.ddv = analysis::bbv_ddv_cov_curve(run.procs, cp);
+        return c;
+      },
+      [](const driver::SpecPoint&, const Fig4Curves& c) {
+        const double bbv25 = analysis::cov_at_phases(c.bbv, 25.0);
+        const double ddv25 = analysis::cov_at_phases(c.ddv, 25.0);
+        return shard::JsonObject()
+            .add("bbv_cov_at_25", bbv25)
+            .add("ddv_cov_at_25", ddv25)
+            .add("bbv_phases_at_cov", analysis::phases_for_cov(c.bbv, bbv25))
+            .add("ddv_phases_at_cov", analysis::phases_for_cov(c.ddv, bbv25))
+            .str();
+      },
+      [&](const driver::SpecPoint& pt, Fig4Curves&& c) {
+        const unsigned nodes = pt.nodes;
+        char title[160];
+        std::snprintf(title, sizeof title, "-- %s, %uP: BBV --",
+                      pt.app.c_str(), nodes);
+        bench::print_curve(title, c.bbv, 10);
+        std::snprintf(title, sizeof title, "-- %s, %uP: BBV+DDV --",
+                      pt.app.c_str(), nodes);
+        bench::print_curve(title, c.ddv, 10);
+        bench::maybe_write_csv(opt, "fig4_" + pt.app + "_" +
+                                        std::to_string(nodes) + "p_bbv",
+                               c.bbv);
+        bench::maybe_write_csv(opt, "fig4_" + pt.app + "_" +
+                                        std::to_string(nodes) + "p_ddv",
+                               c.ddv);
 
-    char title[160];
-    std::snprintf(title, sizeof title, "-- %s, %uP: BBV --",
-                  app.name.c_str(), nodes);
-    bench::print_curve(title, bbv, 10);
-    std::snprintf(title, sizeof title, "-- %s, %uP: BBV+DDV --",
-                  app.name.c_str(), nodes);
-    bench::print_curve(title, ddv, 10);
-    bench::maybe_write_csv(opt, "fig4_" + app.name + "_" +
-                                    std::to_string(nodes) + "p_bbv",
-                           bbv);
-    bench::maybe_write_csv(opt, "fig4_" + app.name + "_" +
-                                    std::to_string(nodes) + "p_ddv",
-                           ddv);
+        const double bbv25 = analysis::cov_at_phases(c.bbv, 25.0);
+        const double ddv25 = analysis::cov_at_phases(c.ddv, 25.0);
+        // Phase counts each detector needs to reach the BBV@25 CoV level —
+        // the paper's "tuning savings" view.
+        const double bbv_need = analysis::phases_for_cov(c.bbv, bbv25);
+        const double ddv_need = analysis::phases_for_cov(c.ddv, bbv25);
+        headline.add_row({pt.app, std::to_string(nodes),
+                          TableWriter::fmt(bbv25, 3),
+                          TableWriter::fmt(ddv25, 3),
+                          TableWriter::fmt(ddv25 / std::max(bbv25, 1e-9), 3),
+                          TableWriter::fmt(bbv_need, 3),
+                          TableWriter::fmt(ddv_need, 3)});
+      });
 
-    const double bbv25 = analysis::cov_at_phases(bbv, 25.0);
-    const double ddv25 = analysis::cov_at_phases(ddv, 25.0);
-    // Phase counts each detector needs to reach the BBV@25 CoV level —
-    // the paper's "tuning savings" view.
-    const double bbv_need = analysis::phases_for_cov(bbv, bbv25);
-    const double ddv_need = analysis::phases_for_cov(ddv, bbv25);
-    headline.add_row({app.name, std::to_string(nodes),
-                      TableWriter::fmt(bbv25, 3),
-                      TableWriter::fmt(ddv25, 3),
-                      TableWriter::fmt(ddv25 / std::max(bbv25, 1e-9), 3),
-                      TableWriter::fmt(bbv_need, 3),
-                      TableWriter::fmt(ddv_need, 3)});
-  }
-
-  std::printf("== Figure 4 headline (paper shape: DDV at/below BBV, gap "
-              "widening with nodes) ==\n%s\n",
-              headline.to_text().c_str());
+  if (!stream)
+    std::printf("== Figure 4 headline (paper shape: DDV at/below BBV, gap "
+                "widening with nodes) ==\n%s\n",
+                headline.to_text().c_str());
   return 0;
 }

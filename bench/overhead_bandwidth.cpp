@@ -11,74 +11,124 @@
 // the paper's assumptions, and (b) the DDV traffic actually recorded by
 // the simulator on a real workload, scaled to the paper's interval length.
 // The single measurement run goes through the experiment driver so the
-// harness shares the sweep flags (--threads accepted, trivially).
+// harness shares the sweep flags (--threads, --shard, --shards) — its
+// one-point "sweep" reduces to the four DDV traffic counters in-worker.
 #include <cstdio>
+#include <optional>
 
 #include "bench/bench_util.hpp"
 #include "phase/traffic_model.hpp"
 
+namespace {
+
+using namespace dsm;
+
+constexpr unsigned kNodes = 32;
+
+struct DdvTraffic {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t sim_interval = 0;
+  std::uint64_t frequency_hz = 0;
+
+  double bytes_per_gather() const {
+    const double gathers =
+        static_cast<double>(messages) / (2.0 * (kNodes - 1));
+    return static_cast<double>(bytes) / gathers;
+  }
+  /// Per-processor traffic at the paper's "real-world" interval: at IPC=1
+  /// a 100M-instruction interval takes 100M cycles; x2 because the node's
+  /// interface also serves every peer's gather (responder role), matching
+  /// the analytic model's accounting.
+  double node_rate() const {
+    const double interval_seconds =
+        100e6 / static_cast<double>(frequency_hz);
+    return 2.0 * bytes_per_gather() / interval_seconds;
+  }
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace dsm;
   auto parsed = bench::parse_options(argc, argv);
   if (!parsed.ok) return bench::usage_error(parsed);
+  if (const auto rc = bench::maybe_orchestrate(argc, argv, parsed))
+    return *rc;
   const auto& opt = parsed.options;
+  const bool stream = bench::stream_mode(opt);
 
-  std::printf("== DDV bandwidth overhead (paper §III-B) ==\n\n");
+  if (!stream) std::printf("== DDV bandwidth overhead (paper §III-B) ==\n\n");
 
   // (a) Analytic, with the paper's assumptions.
   phase::DdvTrafficParams pp;  // 32 procs, 2 GHz, IPC 1, 100M-instr interval
   const auto r = ddv_traffic(pp);
-  std::printf("analytic (paper assumptions):\n");
-  std::printf("  interval ends per second per proc: %.1f\n",
-              r.intervals_per_second);
-  std::printf("  bytes exchanged per interval end : %llu\n",
-              static_cast<unsigned long long>(r.bytes_per_gather));
-  std::printf("  per-processor traffic            : %.1f kB/s  "
-              "(paper: ~160 kB/s for the mechanism)\n",
-              r.node_bytes_per_second / 1e3);
-  std::printf("  system-wide traffic              : %.2f MB/s\n",
-              r.system_bytes_per_second / 1e6);
-  std::printf("  fraction of a 1.5 GB/s controller: %.4f%%  "
-              "(paper: under 0.15%%)\n\n",
-              100.0 * r.fraction_of_controller);
+  if (!stream) {
+    std::printf("analytic (paper assumptions):\n");
+    std::printf("  interval ends per second per proc: %.1f\n",
+                r.intervals_per_second);
+    std::printf("  bytes exchanged per interval end : %llu\n",
+                static_cast<unsigned long long>(r.bytes_per_gather));
+    std::printf("  per-processor traffic            : %.1f kB/s  "
+                "(paper: ~160 kB/s for the mechanism)\n",
+                r.node_bytes_per_second / 1e3);
+    std::printf("  system-wide traffic              : %.2f MB/s\n",
+                r.system_bytes_per_second / 1e6);
+    std::printf("  fraction of a 1.5 GB/s controller: %.4f%%  "
+                "(paper: under 0.15%%)\n\n",
+                100.0 * r.fraction_of_controller);
+  }
 
   // (b) Simulated: measure DDV bytes on a real run, rescale to the
   // paper's "real-world" interval length. Fixed configuration (LU, 32
-  // nodes, test scale) — a one-point sweep on the driver.
-  const unsigned nodes = 32;
+  // nodes, test scale) — a one-point sweep on the driver. The reduce
+  // step captures the counters for the claim check, which runs in every
+  // mode (a shard that does not own the point skips it and exits 0; the
+  // owning worker's status carries the verdict through the orchestrator).
   bench::BenchOptions run_opt = opt;
   run_opt.scale = apps::Scale::kTest;
-  const auto sweep = bench::run_sweep(
-      {&apps::app_by_name("LU")}, {nodes}, run_opt);
-  const auto& run = sweep.front().run;
-  const double sim_interval =
-      static_cast<double>(run.cfg.interval_per_processor());
-  const double gathers =
-      static_cast<double>(run.net_messages[3]) / (2.0 * (nodes - 1));
-  const double bytes_per_gather =
-      static_cast<double>(run.net_bytes[3]) / gathers;
-  // At IPC=1 and 2 GHz, a 100M-instruction per-processor interval (the
-  // paper's "real-world" length) takes 100M cycles = 50 ms.
-  const double interval_seconds =
-      100e6 / static_cast<double>(run.cfg.core.frequency_hz);
-  // x2: the node's interface also serves every peer's gather (responder
-  // role), matching the analytic model's accounting.
-  const double node_rate = 2.0 * bytes_per_gather / interval_seconds;
-  std::printf("simulated (LU, %u nodes; %0.f-instr intervals rescaled to "
-              "the paper's 100M):\n",
-              nodes, sim_interval);
-  std::printf("  DDV messages recorded            : %llu (%llu bytes)\n",
-              static_cast<unsigned long long>(run.net_messages[3]),
-              static_cast<unsigned long long>(run.net_bytes[3]));
-  std::printf("  bytes per gather                 : %.0f\n", bytes_per_gather);
-  std::printf("  per-processor traffic            : %.1f kB/s\n",
-              node_rate / 1e3);
-  std::printf("  fraction of a 1.5 GB/s controller: %.4f%%\n",
-              100.0 * node_rate / 1.5e9);
+  std::optional<DdvTraffic> measured;
+  bench::run_reduced_sweep<DdvTraffic>(
+      {&apps::app_by_name("LU")}, {kNodes}, run_opt, "overhead_bandwidth",
+      [&measured](const driver::SpecPoint&, sim::RunSummary&& run) {
+        DdvTraffic m;
+        m.messages = run.net_messages[3];
+        m.bytes = run.net_bytes[3];
+        m.sim_interval = run.cfg.interval_per_processor();
+        m.frequency_hz = run.cfg.core.frequency_hz;
+        measured = m;
+        return m;
+      },
+      [](const driver::SpecPoint&, const DdvTraffic& m) {
+        return shard::JsonObject()
+            .add("ddv_messages", m.messages)
+            .add("ddv_bytes", m.bytes)
+            .add("bytes_per_gather", m.bytes_per_gather())
+            .add("node_rate_bytes_per_s", m.node_rate())
+            .add("claim_holds",
+                 std::uint64_t{m.node_rate() / 1.5e9 < 0.0015})
+            .str();
+      },
+      [&](const driver::SpecPoint&, DdvTraffic&& m) {
+        std::printf("simulated (LU, %u nodes; %llu-instr intervals rescaled "
+                    "to the paper's 100M):\n",
+                    kNodes, static_cast<unsigned long long>(m.sim_interval));
+        std::printf("  DDV messages recorded            : %llu (%llu "
+                    "bytes)\n",
+                    static_cast<unsigned long long>(m.messages),
+                    static_cast<unsigned long long>(m.bytes));
+        std::printf("  bytes per gather                 : %.0f\n",
+                    m.bytes_per_gather());
+        std::printf("  per-processor traffic            : %.1f kB/s\n",
+                    m.node_rate() / 1e3);
+        std::printf("  fraction of a 1.5 GB/s controller: %.4f%%\n",
+                    100.0 * m.node_rate() / 1.5e9);
+      });
 
+  if (!measured) return 0;  // shard worker that does not own the point
   const bool ok = r.fraction_of_controller < 0.0015 &&
-                  node_rate / 1.5e9 < 0.0015;
-  std::printf("\npaper claim (<0.15%% of controller bandwidth): %s\n",
-              ok ? "HOLDS" : "VIOLATED");
+                  measured->node_rate() / 1.5e9 < 0.0015;
+  if (!stream)
+    std::printf("\npaper claim (<0.15%% of controller bandwidth): %s\n",
+                ok ? "HOLDS" : "VIOLATED");
   return ok ? 0 : 1;
 }

@@ -13,7 +13,9 @@
 // --json=PATH) so perf PRs leave a machine-readable trajectory. The
 // `total_latency` / message/byte counts per configuration are simulated
 // results and must be bit-identical across optimization PRs — only the
-// wall-clock columns may change.
+// wall-clock columns may change. Stream records (--shard/--shards) carry
+// the deterministic checksums only, never wall-clock, so merged sharded
+// output byte-compares against the serial stream.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -78,6 +80,10 @@ std::uint64_t accesses_for(apps::Scale scale) {
   return 200'000;
 }
 
+std::uint64_t stream_seed(const HotConfig& hc) {
+  return hash_combine(static_cast<std::uint64_t>(hc.topo) + 1, hc.nodes);
+}
+
 HotResult time_config(const HotConfig& hc, std::uint64_t accesses) {
   MachineConfig cfg = default_config(hc.nodes);
   cfg.network.topology = hc.topo;
@@ -86,7 +92,7 @@ HotResult time_config(const HotConfig& hc, std::uint64_t accesses) {
                         mem::Placement::kRoundRobin);
   coh::CoherenceFabric fabric(cfg, network, home_map);
 
-  Rng rng(hash_combine(static_cast<std::uint64_t>(hc.topo) + 1, hc.nodes));
+  Rng rng(stream_seed(hc));
   const Addr line = cfg.l2.line_bytes;
   // Per-node private streams twice the L2 so the steady state is
   // miss + evict; a shared read-mostly set; a small contended write set.
@@ -171,20 +177,36 @@ int main(int argc, char** argv) {
   using namespace dsm;
   // --json=PATH is ours; everything else goes through the shared parser.
   std::string json_path = "BENCH_hotpath.json";
+  bool json_set = false;
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc));
   for (int i = 0; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--json=", 7) == 0)
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
-    else
+      json_set = true;
+    } else {
       args.push_back(argv[i]);
+    }
   }
   auto res = bench::parse_options(static_cast<int>(args.size()), args.data());
   if (!res.ok) return bench::usage_error(res);
+  if (json_set && (res.options.shard_set || res.options.shards > 0)) {
+    // Sharded runs emit NDJSON records instead of the table/JSON outputs;
+    // accepting --json and then writing nothing would silently break the
+    // perf-trajectory contract the file documents.
+    std::fprintf(stderr, "error: --json is not available in sharded runs "
+                         "(the NDJSON stream carries the deterministic "
+                         "counters)\n");
+    return 2;
+  }
+  if (const auto rc = bench::maybe_orchestrate(
+          static_cast<int>(args.size()), args.data(), res))
+    return *rc;
   const bench::BenchOptions& opt = res.options;
+  const bool stream = bench::stream_mode(opt);
   // Throughput timing wants an idle machine per config; the driver still
   // fans configurations out when --threads is raised (numbers then measure
-  // aggregate throughput, not per-config latency).
+  // aggregate throughput, not per-config latency — same for --shards).
   const std::uint64_t accesses = accesses_for(opt.scale);
 
   std::vector<HotConfig> configs;
@@ -197,11 +219,42 @@ int main(int argc, char** argv) {
     configs.push_back(c);
   }
 
-  const driver::ExperimentRunner runner(opt.threads);
-  std::vector<HotResult> results(configs.size());
-  runner.run_indexed(configs.size(), [&](std::size_t i) {
-    results[i] = time_config(configs[i], accesses);
-  });
+  // One spec point per configuration; the topology rides the variant
+  // label so the config key reads "run/8p/Hypercube".
+  std::vector<driver::SpecPoint> points;
+  for (const auto& c : configs) {
+    driver::SpecPoint pt;
+    pt.nodes = c.nodes;
+    pt.detector = topology_name(c.topo);
+    pt.scale = opt.scale;
+    pt.index = points.size();
+    points.push_back(std::move(pt));
+  }
+
+  std::vector<HotResult> results;
+  bench::sharded_sweep<HotResult, HotResult>(
+      points, opt, "perf_hotpath",
+      [&](const driver::SpecPoint& pt) {
+        return time_config(configs[pt.index], accesses);
+      },
+      [](const driver::SpecPoint&, HotResult&& r) { return r; },
+      [&](const driver::SpecPoint& pt) {
+        return stream_seed(configs[pt.index]);
+      },
+      [](const driver::SpecPoint&, const HotResult& r) {
+        // Deterministic checksums only: wall-clock would break the
+        // merged-vs-serial byte comparison.
+        return shard::JsonObject()
+            .add("accesses", r.accesses)
+            .add("total_latency", r.total_latency)
+            .add("net_messages", r.net_messages)
+            .add("net_bytes", r.net_bytes)
+            .str();
+      },
+      [&](const driver::SpecPoint&, HotResult&& r) {
+        results.push_back(std::move(r));
+      });
+  if (stream) return 0;
 
   TableWriter t({"topology", "nodes", "Maccess/s", "ns/access",
                  "total_latency", "messages"});

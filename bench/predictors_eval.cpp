@@ -9,9 +9,10 @@
 // phase sequences, which are easier to predict — detection quality and
 // predictability compound.
 //
-// The app × nodes sweep runs on the experiment driver (--threads=N);
-// classification and printing happen serially in spec order afterwards,
-// so the table is byte-identical at any thread count.
+// The app × nodes sweep runs on the experiment driver (--threads=N,
+// --shard=i/N, --shards=N); classification runs inside the worker (the
+// raw traces are dropped there) and the table is assembled in spec order
+// as results stream in, so it is byte-identical at any thread count.
 #include <algorithm>
 #include <cstdio>
 #include <memory>
@@ -21,66 +22,111 @@
 #include "phase/detector.hpp"
 #include "phase/predictor.hpp"
 
+namespace {
+
+struct PredictorRow {
+  double phases = 0.0;
+  double last_pct = 0.0;
+  double markov_pct = 0.0;
+  double run_length_pct = 0.0;
+};
+
+struct PredictorRows {
+  PredictorRow bbv;
+  PredictorRow ddv;
+};
+
+PredictorRow evaluate(const dsm::sim::RunSummary& run, bool use_dds) {
+  using namespace dsm;
+  // Mid-range thresholds derived per processor, as the examples do.
+  phase::LastPhasePredictor last;
+  phase::MarkovPhasePredictor markov;
+  phase::RunLengthPredictor rl;
+  double phases = 0.0;
+  for (const auto& proc : run.procs) {
+    double lo = 1e300, hi = -1e300;
+    for (const auto& r : proc.intervals) {
+      lo = std::min(lo, r.dds);
+      hi = std::max(hi, r.dds);
+    }
+    phase::Thresholds th;
+    th.bbv = run.cfg.phase.bbv_norm / 8;
+    th.dds = (hi - lo) / 6.0;
+    std::unique_ptr<phase::PhaseDetector> det;
+    if (use_dds)
+      det = std::make_unique<phase::BbvDdvDetector>(
+          run.cfg.phase.footprint_vectors, th);
+    else
+      det = std::make_unique<phase::BbvDetector>(
+          run.cfg.phase.footprint_vectors, th);
+    PhaseId max_phase = 0;
+    for (const auto& rec : proc.intervals) {
+      const auto c = det->classify(rec);
+      max_phase = std::max(max_phase, c.phase);
+      last.observe(c.phase);
+      markov.observe(c.phase);
+      rl.observe(c.phase);
+    }
+    phases += max_phase + 1;
+  }
+  PredictorRow row;
+  row.phases = phases / run.procs.size();
+  row.last_pct = 100.0 * last.accuracy();
+  row.markov_pct = 100.0 * markov.accuracy();
+  row.run_length_pct = 100.0 * rl.accuracy();
+  return row;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace dsm;
   auto parsed = bench::parse_options(argc, argv);
   if (!parsed.ok) return bench::usage_error(parsed);
+  if (const auto rc = bench::maybe_orchestrate(argc, argv, parsed))
+    return *rc;
   auto& opt = parsed.options;
   if (opt.node_counts.empty()) opt.node_counts = {8};
+  const bool stream = bench::stream_mode(opt);
 
-  std::printf("== Phase predictors over detected phase sequences "
-              "(scale: %s) ==\n\n",
-              apps::scale_name(opt.scale));
+  if (!stream)
+    std::printf("== Phase predictors over detected phase sequences "
+                "(scale: %s) ==\n\n",
+                apps::scale_name(opt.scale));
 
   TableWriter t({"app", "nodes", "detector", "phases", "last-phase",
                  "markov", "run-length"});
 
-  const auto results =
-      bench::run_sweep(bench::selected_apps(opt), opt.node_counts, opt);
-  for (const auto& res : results) {
-    const auto& run = res.run;
-    for (const bool use_dds : {false, true}) {
-      // Mid-range thresholds derived per processor, as the examples do.
-      phase::LastPhasePredictor last;
-      phase::MarkovPhasePredictor markov;
-      phase::RunLengthPredictor rl;
-      double phases = 0.0;
-      for (const auto& proc : run.procs) {
-        double lo = 1e300, hi = -1e300;
-        for (const auto& r : proc.intervals) {
-          lo = std::min(lo, r.dds);
-          hi = std::max(hi, r.dds);
+  bench::run_reduced_sweep<PredictorRows>(
+      bench::selected_apps(opt), opt.node_counts, opt, "predictors_eval",
+      [](const driver::SpecPoint&, sim::RunSummary&& run) {
+        PredictorRows rows;
+        rows.bbv = evaluate(run, /*use_dds=*/false);
+        rows.ddv = evaluate(run, /*use_dds=*/true);
+        return rows;
+      },
+      [](const driver::SpecPoint&, const PredictorRows& rows) {
+        return shard::JsonObject()
+            .add("bbv_phases", rows.bbv.phases)
+            .add("bbv_markov_pct", rows.bbv.markov_pct)
+            .add("ddv_phases", rows.ddv.phases)
+            .add("ddv_markov_pct", rows.ddv.markov_pct)
+            .str();
+      },
+      [&](const driver::SpecPoint& pt, PredictorRows&& rows) {
+        for (const bool use_dds : {false, true}) {
+          const PredictorRow& row = use_dds ? rows.ddv : rows.bbv;
+          t.add_row({pt.app, std::to_string(pt.nodes),
+                     use_dds ? "BBV+DDV" : "BBV",
+                     TableWriter::fmt(row.phases, 3),
+                     TableWriter::fmt(row.last_pct, 3),
+                     TableWriter::fmt(row.markov_pct, 3),
+                     TableWriter::fmt(row.run_length_pct, 3)});
         }
-        phase::Thresholds th;
-        th.bbv = run.cfg.phase.bbv_norm / 8;
-        th.dds = (hi - lo) / 6.0;
-        std::unique_ptr<phase::PhaseDetector> det;
-        if (use_dds)
-          det = std::make_unique<phase::BbvDdvDetector>(
-              run.cfg.phase.footprint_vectors, th);
-        else
-          det = std::make_unique<phase::BbvDetector>(
-              run.cfg.phase.footprint_vectors, th);
-        PhaseId max_phase = 0;
-        for (const auto& rec : proc.intervals) {
-          const auto c = det->classify(rec);
-          max_phase = std::max(max_phase, c.phase);
-          last.observe(c.phase);
-          markov.observe(c.phase);
-          rl.observe(c.phase);
-        }
-        phases += max_phase + 1;
-      }
-      t.add_row({res.app->name, std::to_string(res.point.nodes),
-                 use_dds ? "BBV+DDV" : "BBV",
-                 TableWriter::fmt(phases / run.procs.size(), 3),
-                 TableWriter::fmt(100.0 * last.accuracy(), 3),
-                 TableWriter::fmt(100.0 * markov.accuracy(), 3),
-                 TableWriter::fmt(100.0 * rl.accuracy(), 3)});
-    }
-  }
-  std::printf("%s\n(accuracies in %%; phases = mean phase ids issued per "
-              "processor)\n",
-              t.to_text().c_str());
+      });
+  if (!stream)
+    std::printf("%s\n(accuracies in %%; phases = mean phase ids issued per "
+                "processor)\n",
+                t.to_text().c_str());
   return 0;
 }

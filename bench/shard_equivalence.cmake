@@ -1,0 +1,38 @@
+# shard_equivalence.cmake — ctest script: a harness forked as two shard
+# workers (--shards=2) must merge to the byte-identical NDJSON stream the
+# single-process serial worker (--shard=0/1) emits.
+#
+# Variables: HARNESS (binary path), HARNESS_ARGS (;-list of flags),
+#            TAG (file-name tag), WORK_DIR (where the .ndjson files land).
+
+set(serial "${WORK_DIR}/${TAG}_serial.ndjson")
+set(merged "${WORK_DIR}/${TAG}_merged.ndjson")
+
+execute_process(
+  COMMAND ${HARNESS} ${HARNESS_ARGS} --shard=0/1
+  OUTPUT_FILE ${serial}
+  RESULT_VARIABLE rc_serial)
+if(NOT rc_serial EQUAL 0)
+  message(FATAL_ERROR "${HARNESS} --shard=0/1 exited with ${rc_serial}")
+endif()
+
+execute_process(
+  COMMAND ${HARNESS} ${HARNESS_ARGS} --shards=2
+  OUTPUT_FILE ${merged}
+  RESULT_VARIABLE rc_merged)
+if(NOT rc_merged EQUAL 0)
+  message(FATAL_ERROR "${HARNESS} --shards=2 exited with ${rc_merged}")
+endif()
+
+file(READ ${serial} serial_bytes)
+file(READ ${merged} merged_bytes)
+if(serial_bytes STREQUAL "")
+  message(FATAL_ERROR "serial stream ${serial} is empty")
+endif()
+if(NOT serial_bytes STREQUAL merged_bytes)
+  message(FATAL_ERROR
+    "merged 2-shard stream differs from the serial stream:\n"
+    "  serial: ${serial}\n  merged: ${merged}")
+endif()
+message(STATUS "merged --shards=2 stream is byte-identical to --shard=0/1 "
+               "(${TAG})")

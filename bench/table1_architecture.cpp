@@ -2,7 +2,9 @@
 // simulated architecture") directly from the live configuration structs,
 // and validates the derived quantities every timing model consumes.
 // No simulation runs here; the shared flags are accepted for sweep-driver
-// uniformity but only parsing errors change behavior.
+// uniformity. In stream mode the harness emits its derived quantities as
+// a single spec point (a one-line NDJSON stream), so sharding a batch
+// that includes table1 still merges cleanly.
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
@@ -13,8 +15,39 @@ int main(int argc, char** argv) {
   using namespace dsm;
   const auto parsed = bench::parse_options(argc, argv);
   if (!parsed.ok) return bench::usage_error(parsed);
+  if (const auto rc = bench::maybe_orchestrate(argc, argv, parsed))
+    return *rc;
+  const auto& opt = parsed.options;
 
   const MachineConfig cfg = default_config(32);
+  const std::string err = cfg.validate();
+
+  if (bench::stream_mode(opt)) {
+    // One default spec point; derived quantities are pure functions of
+    // the configuration, so the record is deterministic.
+    driver::SweepSpec spec;
+    spec.scale = opt.scale;
+    bench::sharded_sweep<int, int>(
+        spec.expand(), opt, "table1_architecture",
+        [](const driver::SpecPoint&) { return 0; },
+        [](const driver::SpecPoint&, int&&) { return 0; },
+        [](const driver::SpecPoint&) { return std::uint64_t{0}; },
+        [&](const driver::SpecPoint&, const int&) {
+          return shard::JsonObject()
+              .add("cycles_per_ns", cfg.cycles_per_ns())
+              .add("dram_latency_cycles",
+                   static_cast<std::uint64_t>(
+                       cfg.ns_to_cycles(cfg.memory.access_ns)))
+              .add("pin_to_pin_cycles",
+                   static_cast<std::uint64_t>(
+                       cfg.ns_to_cycles(cfg.network.pin_to_pin_ns)))
+              .add("config_valid", std::uint64_t{err.empty()})
+              .str();
+        },
+        [](const driver::SpecPoint&, int&&) {});
+    return err.empty() ? 0 : 1;
+  }
+
   std::printf("== Table I: summary of simulated architecture ==\n\n%s\n",
               format_table1(cfg).c_str());
 
@@ -44,7 +77,6 @@ int main(int argc, char** argv) {
                     0, n - 1, c.l2.line_bytes)));
   }
 
-  const std::string err = cfg.validate();
   std::printf("\nconfig validation: %s\n", err.empty() ? "OK" : err.c_str());
   return err.empty() ? 0 : 1;
 }

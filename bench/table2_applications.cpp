@@ -5,49 +5,87 @@
 // in for (instruction volume, memory intensity, remote-access growth).
 //
 // The four characterization runs execute on the experiment driver
-// (--threads=N); the table is assembled serially in Table II order.
+// (--threads=N, --shard=i/N, --shards=N); each RunSummary is reduced to
+// its table row inside the worker, and the table is assembled in Table II
+// order as results stream in.
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
 #include "common/table_writer.hpp"
 
+namespace {
+
+struct AppRow {
+  double instr_m = 0.0;
+  std::uint64_t intervals = 0;
+  double cpi = 0.0;
+  double mem_pct = 0.0;
+  double remote_frac = 0.0;
+  double mispredict_pct = 0.0;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace dsm;
   auto parsed = bench::parse_options(argc, argv);
   if (!parsed.ok) return bench::usage_error(parsed);
+  if (const auto rc = bench::maybe_orchestrate(argc, argv, parsed))
+    return *rc;
   auto& opt = parsed.options;
   // Default to the reduced scale here: this bench is a characterization
   // table, not a figure reproduction, and kTest keeps it under a minute.
   if (!parsed.scale_set) opt.scale = apps::Scale::kTest;
+  const bool stream = bench::stream_mode(opt);
 
-  std::printf("== Table II: applications and input sets ==\n\n");
-  TableWriter t2({"Application", "Input Set (paper)"});
-  for (const auto& app : apps::paper_apps())
-    t2.add_row({app.name, app.input_paper});
-  std::printf("%s\n", t2.to_text().c_str());
+  if (!stream) {
+    std::printf("== Table II: applications and input sets ==\n\n");
+    TableWriter t2({"Application", "Input Set (paper)"});
+    for (const auto& app : apps::paper_apps())
+      t2.add_row({app.name, app.input_paper});
+    std::printf("%s\n", t2.to_text().c_str());
 
-  std::printf("measured characteristics (%s scale, 8 processors):\n\n",
-              apps::scale_name(opt.scale));
+    std::printf("measured characteristics (%s scale, 8 processors):\n\n",
+                apps::scale_name(opt.scale));
+  }
+
   TableWriter m({"app", "instr/proc (M)", "intervals/proc", "CPI",
                  "mem instr %", "remote frac", "gshare mispred %"});
   // All four apps regardless of --apps: the table documents the full set.
   std::vector<const apps::AppInfo*> all;
   for (const auto& app : apps::paper_apps()) all.push_back(&app);
-  const auto results = bench::run_sweep(all, {8}, opt);
-  for (const auto& res : results) {
-    const auto& run = res.run;
-    const auto& c = run.coherence[0];
-    const double mem_frac =
-        static_cast<double>(c.loads + c.stores) /
-        static_cast<double>(run.instructions[0]);
-    m.add_row({res.app->name,
-               TableWriter::fmt(static_cast<double>(run.instructions[0]) / 1e6, 3),
-               std::to_string(run.procs[0].intervals.size()),
-               TableWriter::fmt(run.cpi(0), 3),
-               TableWriter::fmt(100.0 * mem_frac, 3),
-               TableWriter::fmt(run.remote_access_fraction(0), 3),
-               TableWriter::fmt(100.0 * run.mispredict_rate[0], 3)});
-  }
-  std::printf("%s\n", m.to_text().c_str());
+  bench::run_reduced_sweep<AppRow>(
+      all, {8}, opt, "table2_applications",
+      [](const driver::SpecPoint&, sim::RunSummary&& run) {
+        const auto& c = run.coherence[0];
+        AppRow row;
+        row.instr_m = static_cast<double>(run.instructions[0]) / 1e6;
+        row.intervals = run.procs[0].intervals.size();
+        row.cpi = run.cpi(0);
+        row.mem_pct = 100.0 * static_cast<double>(c.loads + c.stores) /
+                      static_cast<double>(run.instructions[0]);
+        row.remote_frac = run.remote_access_fraction(0);
+        row.mispredict_pct = 100.0 * run.mispredict_rate[0];
+        return row;
+      },
+      [](const driver::SpecPoint&, const AppRow& row) {
+        return shard::JsonObject()
+            .add("instr_m", row.instr_m)
+            .add("intervals", row.intervals)
+            .add("cpi", row.cpi)
+            .add("mem_instr_pct", row.mem_pct)
+            .add("remote_frac", row.remote_frac)
+            .add("mispredict_pct", row.mispredict_pct)
+            .str();
+      },
+      [&](const driver::SpecPoint& pt, AppRow&& row) {
+        m.add_row({pt.app, TableWriter::fmt(row.instr_m, 3),
+                   std::to_string(row.intervals),
+                   TableWriter::fmt(row.cpi, 3),
+                   TableWriter::fmt(row.mem_pct, 3),
+                   TableWriter::fmt(row.remote_frac, 3),
+                   TableWriter::fmt(row.mispredict_pct, 3)});
+      });
+  if (!stream) std::printf("%s\n", m.to_text().c_str());
   return 0;
 }

@@ -121,6 +121,14 @@ int main(int argc, char** argv) {
                  "error: --csv is not supported by this example\n");
     return 2;
   }
+  // Same reasoning for the sharding flags: a single-configuration study
+  // has nothing to shard, and silently running the full study N times
+  // would corrupt a stream merge.
+  if (opt.shard_set || opt.shards > 0) {
+    std::fprintf(stderr, "error: --shard/--shards are not supported by "
+                         "this example\n");
+    return 2;
+  }
   // Copy the pointer out: the vector named_apps returns is a temporary,
   // but the AppInfo it points at lives in the registry.
   const apps::AppInfo* const app = bench::named_apps(opt, {"Equake"}).front();

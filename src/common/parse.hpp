@@ -1,0 +1,25 @@
+// parse.hpp — strict bounded integer parsing for command-line surfaces
+// (bench flags, shard plans). One shared implementation so the accepting
+// grammar cannot drift between layers.
+#pragma once
+
+#include <string>
+
+namespace dsm {
+
+/// Digits-only bounded parse: no sign (so "-1" cannot wrap through an
+/// unsigned conversion), no whitespace, no base prefixes; value in
+/// [min, max]. The 19-digit cap keeps the accumulation below unsigned
+/// long overflow on LP64.
+inline bool parse_unsigned(const std::string& s, unsigned long min,
+                           unsigned long max, unsigned long& out) {
+  if (s.empty() || s.size() > 19) return false;
+  out = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    out = out * 10 + static_cast<unsigned long>(c - '0');
+  }
+  return out >= min && out <= max;
+}
+
+}  // namespace dsm

@@ -50,6 +50,33 @@ class ExperimentRunner {
     return sink.take();
   }
 
+  /// Streaming map with an in-worker reduction hook: `run` produces the
+  /// raw per-configuration result (a RunSummary, typically) on a pool
+  /// worker, `reduce` collapses it *on the same worker* — the raw result
+  /// is destroyed right there, which is what bounds per-configuration
+  /// memory on paper-scale sweeps — and `emit` receives the reduced
+  /// results one at a time in position order (under a lock, so emissions
+  /// never interleave). Nothing buffers more than the reduced records
+  /// still waiting on a straggler.
+  ///
+  /// Unlike map(), `points` need not satisfy points[i].index == i: a
+  /// shard of a larger sweep keeps its global spec indices in the points
+  /// while this method orders by position within `points`.
+  template <typename Raw, typename R>
+  void map_reduce(
+      const std::vector<SpecPoint>& points,
+      const std::function<Raw(const SpecPoint&)>& run,
+      const std::function<R(const SpecPoint&, Raw&&)>& reduce,
+      const std::function<void(const SpecPoint&, R&&)>& emit) const {
+    OrderedEmitter<R> sink(points.size(), [&](std::size_t i, R&& r) {
+      emit(points[i], std::move(r));
+    });
+    run_indexed(points.size(), [&](std::size_t i) {
+      Raw raw = run(points[i]);
+      sink.put(i, reduce(points[i], std::move(raw)));
+    });
+  }
+
  private:
   unsigned threads_;
 };

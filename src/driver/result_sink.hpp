@@ -1,14 +1,27 @@
 // result_sink.hpp — spec-order aggregation of per-configuration results.
 //
-// Worker threads complete configurations in arbitrary order; the sink
-// stores each result in the slot of its spec-order index so take() hands
-// back exactly the sequence a serial loop would have produced. This is the
-// piece that makes `--threads=N` output bit-identical to `--threads=1`.
+// Worker threads complete configurations in arbitrary order; two sinks
+// restore spec order:
+//
+//   * ResultSink buffers every result and hands the whole vector back via
+//     take() — the original PR 1 shape, still right when the caller needs
+//     all results at once (and the per-result payload is small).
+//   * OrderedEmitter streams: put(i, r) releases results to an emit
+//     callback in strictly increasing index order, buffering only the
+//     out-of-order completions. This is the spec-order serializer under
+//     ExperimentRunner::map_reduce — with in-worker reduction in front of
+//     it, nothing ever buffers more than the reduced records still waiting
+//     for their turn.
+//
+// Both are the piece that makes `--threads=N` output bit-identical to
+// `--threads=1`.
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -22,19 +35,26 @@ class ResultSink {
   explicit ResultSink(std::size_t count) : slots_(count) {}
 
   /// Stores the result for spec-order position `index`. Thread-safe;
-  /// each slot may be filled at most once.
+  /// each slot may be filled at most once, and only before take().
   void put(std::size_t index, R value) {
     std::lock_guard<std::mutex> lock(mu_);
     DSM_ASSERT(index < slots_.size());
+    DSM_ASSERT(!taken_);
     DSM_ASSERT(!slots_[index].has_value());
     slots_[index].emplace(std::move(value));
   }
 
   /// Moves all results out in spec order. Every slot must be filled
   /// (the runner guarantees this on success; on failure it rethrows
-  /// before any caller reaches take()).
+  /// before any caller reaches take()). Consuming: callable exactly once —
+  /// a second call would hand back a same-length vector of moved-from
+  /// values that silently corrupts downstream tables, so it throws
+  /// instead (always on, like DSM_ASSERT, but catchable in tests).
   std::vector<R> take() {
     std::lock_guard<std::mutex> lock(mu_);
+    if (taken_)
+      throw std::logic_error("ResultSink::take() called twice");
+    taken_ = true;
     std::vector<R> out;
     out.reserve(slots_.size());
     for (auto& slot : slots_) {
@@ -48,6 +68,47 @@ class ResultSink {
  private:
   std::mutex mu_;
   std::vector<std::optional<R>> slots_;
+  bool taken_ = false;
+};
+
+/// Streaming spec-order serializer: results arrive via put() in any order
+/// from any thread; `emit` fires in strictly increasing index order, on
+/// whichever worker completed the next-in-order result (under the sink
+/// lock, so emissions never interleave). Only results that finished ahead
+/// of a straggler are buffered — and with reduction applied before put(),
+/// those are collapsed records, not raw RunSummaries.
+template <typename R>
+class OrderedEmitter {
+ public:
+  using Emit = std::function<void(std::size_t, R&&)>;
+
+  OrderedEmitter(std::size_t count, Emit emit)
+      : slots_(count), emit_(std::move(emit)) {}
+
+  void put(std::size_t index, R value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    DSM_ASSERT(index < slots_.size());
+    DSM_ASSERT(index >= next_);
+    DSM_ASSERT(!slots_[index].has_value());
+    slots_[index].emplace(std::move(value));
+    while (next_ < slots_.size() && slots_[next_].has_value()) {
+      emit_(next_, std::move(*slots_[next_]));
+      slots_[next_].reset();
+      ++next_;
+    }
+  }
+
+  /// True once every slot has been emitted.
+  bool drained() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_ == slots_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t next_ = 0;
+  std::vector<std::optional<R>> slots_;
+  Emit emit_;
 };
 
 }  // namespace dsm::driver

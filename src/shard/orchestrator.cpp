@@ -1,0 +1,222 @@
+#include "shard/orchestrator.hpp"
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "shard/shard_plan.hpp"
+#include "shard/stream_sink.hpp"
+
+namespace dsm::shard {
+namespace {
+
+// Blocking line reader over a pipe FILE*.
+class FileLineSource : public LineSource {
+ public:
+  explicit FileLineSource(std::FILE* f) : f_(f) {}
+  ~FileLineSource() override { std::free(buf_); }
+
+  bool next(std::string& line) override {
+    const ssize_t n = ::getline(&buf_, &cap_, f_);
+    if (n < 0) return false;  // EOF (or read error; caller checks status)
+    line.assign(buf_, static_cast<std::size_t>(n));
+    if (!line.empty() && line.back() == '\n') line.pop_back();
+    return true;
+  }
+
+ private:
+  std::FILE* f_;
+  char* buf_ = nullptr;
+  std::size_t cap_ = 0;
+};
+
+struct Head {
+  LineSource* source;
+  std::string line;
+  std::size_t index = 0;
+  std::string bench;
+  bool active = false;
+};
+
+bool advance(Head& h, std::string* error) {
+  h.active = h.source->next(h.line);
+  if (!h.active) return true;
+  const auto parsed = parse_record(h.line);
+  if (!parsed) {
+    *error = "unparsable stream record: " + h.line;
+    return false;
+  }
+  h.index = parsed->record.spec_index;
+  h.bench = parsed->bench;
+  return true;
+}
+
+struct Worker {
+  pid_t pid = -1;
+  std::FILE* out = nullptr;
+};
+
+void report(const char* what) {
+  std::fprintf(stderr, "orchestrator: %s: %s\n", what, std::strerror(errno));
+}
+
+}  // namespace
+
+bool merge_streams(std::vector<LineSource*> sources,
+                   const std::function<void(const std::string&)>& sink,
+                   std::string* error) {
+  std::vector<Head> heads(sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    heads[i].source = sources[i];
+    if (!advance(heads[i], error)) return false;
+  }
+  std::size_t expected = 0;
+  std::string bench;  // all workers run the same binary: one bench name
+  for (;;) {
+    Head* min = nullptr;
+    for (auto& h : heads)
+      if (h.active && (min == nullptr || h.index < min->index)) min = &h;
+    if (min == nullptr) return true;  // all streams drained
+    if (min->index != expected) {
+      *error = "spec index " + std::to_string(min->index) +
+               " where " + std::to_string(expected) +
+               " was expected: a shard skipped or repeated a configuration";
+      return false;
+    }
+    if (expected == 0) {
+      bench = min->bench;
+    } else if (min->bench != bench) {
+      *error = "workers report different bench names: '" + bench +
+               "' vs '" + min->bench + "'";
+      return false;
+    }
+    sink(min->line);
+    ++expected;
+    if (!advance(*min, error)) return false;
+  }
+}
+
+std::string self_exe(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n > 0) return std::string(buf, static_cast<std::size_t>(n));
+  return argv0 ? argv0 : "";
+}
+
+int run_sharded(const OrchestratorOptions& opt, std::FILE* out) {
+  if (opt.shards < 1 || opt.shards > kMaxShards) {
+    std::fprintf(stderr, "orchestrator: bad shard count %u\n", opt.shards);
+    return 1;
+  }
+
+  std::vector<Worker> workers(opt.shards);
+  for (unsigned i = 0; i < opt.shards; ++i) {
+    int fds[2];
+    // O_CLOEXEC: later-forked workers must not inherit earlier workers'
+    // pipe ends, or a worker blocked writing a full pipe would never see
+    // EPIPE/SIGPIPE when the orchestrator tears down after a merge error
+    // (the stray read ends would keep its pipe alive). The child's own
+    // write end survives exec because dup2 onto STDOUT clears the flag.
+    if (::pipe2(fds, O_CLOEXEC) != 0) {
+      report("pipe");
+      // Abandon cleanly: close the already-forked workers' pipes and reap.
+      for (auto& w : workers)
+        if (w.out) std::fclose(w.out);
+      for (auto& w : workers)
+        if (w.pid > 0) ::waitpid(w.pid, nullptr, 0);
+      return 1;
+    }
+    const ShardPlan plan{i, opt.shards};
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      // Child: stdout -> pipe, then become the shard worker. The argv
+      // strings live until execv; no allocation between fork and exec
+      // beyond the vector below (single-threaded child, safe).
+      ::dup2(fds[1], STDOUT_FILENO);
+      ::close(fds[0]);
+      ::close(fds[1]);
+      std::vector<char*> argv;
+      argv.push_back(const_cast<char*>(opt.binary.c_str()));
+      for (const auto& a : opt.args)
+        argv.push_back(const_cast<char*>(a.c_str()));
+      const std::string shard_flag = "--shard=" + plan.label();
+      argv.push_back(const_cast<char*>(shard_flag.c_str()));
+      argv.push_back(nullptr);
+      // execvp, not execv: when /proc/self/exe was unreadable the binary
+      // falls back to a bare argv[0], which only a PATH search resolves.
+      ::execvp(opt.binary.c_str(), argv.data());
+      report("execvp");
+      ::_exit(127);
+    }
+    ::close(fds[1]);
+    if (pid < 0) {
+      report("fork");
+      ::close(fds[0]);
+      for (auto& w : workers)
+        if (w.out) std::fclose(w.out);
+      for (auto& w : workers)
+        if (w.pid > 0) ::waitpid(w.pid, nullptr, 0);
+      return 1;
+    }
+    workers[i].pid = pid;
+    workers[i].out = ::fdopen(fds[0], "r");
+    if (workers[i].out == nullptr) {
+      report("fdopen");
+      ::close(fds[0]);
+      for (auto& w : workers)
+        if (w.out) std::fclose(w.out);
+      for (auto& w : workers)
+        if (w.pid > 0) ::waitpid(w.pid, nullptr, 0);
+      return 1;
+    }
+  }
+
+  std::vector<FileLineSource> file_sources;
+  file_sources.reserve(workers.size());
+  for (auto& w : workers) file_sources.emplace_back(w.out);
+  std::vector<LineSource*> sources;
+  for (auto& s : file_sources) sources.push_back(&s);
+
+  std::string error;
+  const bool merged = merge_streams(
+      sources,
+      [&](const std::string& line) {
+        std::fwrite(line.data(), 1, line.size(), out);
+        std::fputc('\n', out);
+      },
+      &error);
+  std::fflush(out);
+
+  // Closing the pipes first makes a still-writing worker take SIGPIPE
+  // instead of blocking forever if the merge bailed early.
+  for (auto& w : workers) std::fclose(w.out);
+
+  int rc = 0;
+  for (unsigned i = 0; i < workers.size(); ++i) {
+    int status = 0;
+    ::waitpid(workers[i].pid, &status, 0);
+    if (WIFEXITED(status) && WEXITSTATUS(status) != 0) {
+      std::fprintf(stderr, "orchestrator: shard %u/%u exited with %d\n", i,
+                   opt.shards, WEXITSTATUS(status));
+      if (rc == 0) rc = WEXITSTATUS(status);
+    } else if (WIFSIGNALED(status) && !merged) {
+      // Expected teardown path after a merge error; keep the first
+      // diagnostic authoritative.
+    } else if (WIFSIGNALED(status)) {
+      std::fprintf(stderr, "orchestrator: shard %u/%u killed by signal %d\n",
+                   i, opt.shards, WTERMSIG(status));
+      if (rc == 0) rc = 1;
+    }
+  }
+  if (!merged) {
+    std::fprintf(stderr, "orchestrator: merge failed: %s\n", error.c_str());
+    if (rc == 0) rc = 1;
+  }
+  return rc;
+}
+
+}  // namespace dsm::shard

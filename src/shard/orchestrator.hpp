@@ -1,0 +1,61 @@
+// orchestrator.hpp — multi-process sharded sweeps: fork N workers of the
+// same binary with --shard=i/N, merge their NDJSON streams in spec order.
+//
+// The orchestrator never expands the spec itself — it relies on the
+// worker contract instead: each worker emits records for exactly its
+// congruence class of spec indices, in increasing order. The k-way merge
+// then must see the contiguous sequence 0,1,2,... of global spec indices;
+// a duplicate, gap, or out-of-order index means a worker violated the
+// shard plan and the merge fails loudly rather than emitting a stream
+// that silently differs from `--shards=1`. Merged lines are forwarded
+// verbatim (workers are the only formatting point), so a successful merge
+// is byte-identical to the single-process streamed run.
+//
+// Pipes are drained incrementally: the merge blocks only on the worker
+// that owns the next spec index, while the others run ahead at most a
+// pipe buffer of reduced records — workers never buffer whole sweeps.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace dsm::shard {
+
+/// One ordered stream of NDJSON record lines. next() returns false on end
+/// of stream. The process-backed implementation blocks until the worker
+/// produces its next record.
+class LineSource {
+ public:
+  virtual ~LineSource() = default;
+  virtual bool next(std::string& line) = 0;
+};
+
+/// K-way merges per-worker record streams (each already in increasing
+/// spec order) into the single spec-ordered stream, calling `sink` with
+/// each verbatim line. Enforces the contiguity contract above; on
+/// violation or an unparsable line returns false with a diagnostic in
+/// *error. Exposed separately from the process plumbing so tests can
+/// drive it with in-memory streams.
+bool merge_streams(std::vector<LineSource*> sources,
+                   const std::function<void(const std::string&)>& sink,
+                   std::string* error);
+
+struct OrchestratorOptions {
+  std::string binary;              ///< executable to re-invoke (self_exe())
+  std::vector<std::string> args;   ///< forwarded flags, minus --shards
+  unsigned shards = 1;             ///< workers to fork, in [1, kMaxShards]
+};
+
+/// Absolute path of the running executable (/proc/self/exe), falling back
+/// to argv0 — the orchestrator re-invokes itself, so plain "fig2" from
+/// PATH must still resolve.
+std::string self_exe(const char* argv0);
+
+/// Forks the workers, merges their streams onto `out`, reaps every child.
+/// Returns 0 on success; the first failing worker's exit code, or 1 on a
+/// merge/stream error, otherwise (diagnostics on stderr).
+int run_sharded(const OrchestratorOptions& opt, std::FILE* out);
+
+}  // namespace dsm::shard

@@ -1,0 +1,91 @@
+// stream_sink.hpp — one self-describing NDJSON record per completed
+// configuration, instead of a buffered result vector.
+//
+// A shard worker's entire stdout in stream mode is a sequence of these
+// lines, emitted in spec order (the driver's OrderedEmitter serializes
+// them) and flushed per record so the orchestrator can merge streams
+// while workers are still running. Record content is derived only from
+// the configuration's *content* (spec index, config key, seed, reduced
+// metrics — never wall-clock or worker identity), so the same point
+// produces byte-identical records in shard i/N and in an unsharded run;
+// that is what makes merged multi-process output byte-comparable against
+// `--shards=1`.
+//
+// Schema (one JSON object per line, keys always in this order):
+//   {"v":1,"bench":"<harness>","spec_index":<n>,"key":"<label>",
+//    "seed":"0x<hex>","metrics":{...}}
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+
+namespace dsm::shard {
+
+/// What the worker knows about one completed configuration after the
+/// in-worker reducer ran. `metrics` is pre-serialized JSON-object text
+/// (use JsonObject) — the sink never re-encodes it, and the orchestrator
+/// forwards whole lines verbatim, so there is exactly one formatting
+/// point per record.
+struct StreamRecord {
+  std::size_t spec_index = 0;  ///< global spec-order index
+  std::string key;             ///< config key, e.g. "LU/8p" (spec_label)
+  std::uint64_t seed = 0;      ///< RNG seed the configuration ran with
+  std::string metrics = "{}";  ///< reduced metrics as a JSON object
+};
+
+/// Deterministic builder for the `metrics` object: keys stay in insertion
+/// order, strings are escaped, doubles are rendered shortest-round-trip
+/// (std::to_chars), so two workers serialize identical values to
+/// identical bytes.
+class JsonObject {
+ public:
+  JsonObject& add(const std::string& key, const std::string& value);
+  JsonObject& add(const std::string& key, double value);
+  JsonObject& add(const std::string& key, std::uint64_t value);
+  /// Splices pre-serialized JSON (a nested object/array) verbatim.
+  JsonObject& add_raw(const std::string& key, const std::string& json);
+  std::string str() const;  ///< "{...}"
+
+ private:
+  void key(const std::string& k);
+  std::string body_;
+};
+
+std::string json_escape(const std::string& s);
+
+/// The full NDJSON line for a record (no trailing newline).
+std::string format_record(const std::string& bench, const StreamRecord& r);
+
+/// Parses a line produced by format_record. Strict — this is a private
+/// wire format between one binary's worker and orchestrator, not a
+/// general JSON reader. Returns nullopt (never throws) on anything else,
+/// which the orchestrator reports as a corrupt worker stream.
+struct ParsedRecord {
+  std::string bench;
+  StreamRecord record;
+};
+std::optional<ParsedRecord> parse_record(const std::string& line);
+
+/// Writes records as NDJSON lines in spec order, flushing each one so a
+/// pipe reader sees records as configurations complete. Enforces the
+/// spec-order contract: emit() aborts on a non-increasing spec index.
+class StreamSink {
+ public:
+  /// Does not own `out` (typically stdout).
+  StreamSink(std::FILE* out, std::string bench);
+
+  void emit(const StreamRecord& r);
+
+  std::size_t emitted() const { return emitted_; }
+
+ private:
+  std::FILE* out_;
+  std::string bench_;
+  std::size_t emitted_ = 0;
+  long long last_index_ = -1;
+};
+
+}  // namespace dsm::shard

@@ -89,6 +89,62 @@ TEST(ParseOptionsTest, ScaleSetReportsExplicitScale) {
   EXPECT_TRUE(parse({"--scale=test"}).scale_set);
 }
 
+TEST(ParseOptionsTest, ParsesShardWorkerFlag) {
+  const auto r = parse({"--shard=1/4"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.options.shard_set);
+  EXPECT_TRUE(stream_mode(r.options));
+  EXPECT_EQ(r.options.shard.index, 1u);
+  EXPECT_EQ(r.options.shard.count, 4u);
+  // Default: not a shard worker, full sweep, human output.
+  const auto d = parse({});
+  EXPECT_FALSE(d.options.shard_set);
+  EXPECT_FALSE(stream_mode(d.options));
+  EXPECT_EQ(d.options.shard.count, 1u);
+}
+
+TEST(ParseOptionsTest, ParsesOrchestratorFlag) {
+  const auto r = parse({"--shards=4"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.options.shards, 4u);
+  EXPECT_FALSE(stream_mode(r.options));  // orchestrator is not a worker
+  EXPECT_EQ(parse({}).options.shards, 0u);
+}
+
+TEST(ParseOptionsTest, BadShardValuesFail) {
+  EXPECT_FALSE(parse({"--shard="}).ok);
+  EXPECT_FALSE(parse({"--shard=2"}).ok);
+  EXPECT_FALSE(parse({"--shard=2/2"}).ok);   // index out of range
+  EXPECT_FALSE(parse({"--shard=-1/2"}).ok);
+  EXPECT_FALSE(parse({"--shard=a/b"}).ok);
+  EXPECT_FALSE(parse({"--shards=0"}).ok);
+  EXPECT_FALSE(parse({"--shards=many"}).ok);
+  EXPECT_FALSE(parse({"--shards=99999"}).ok);  // past the sanity cap
+}
+
+TEST(ParseOptionsTest, WorkerAndOrchestratorFlagsAreMutuallyExclusive) {
+  const auto r = parse({"--shard=0/2", "--shards=2"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("mutually exclusive"), std::string::npos);
+}
+
+TEST(ParseOptionsTest, CsvIsRejectedInShardedRuns) {
+  // Stream mode replaces the table/CSV printing path; silently writing
+  // no files would be worse than refusing.
+  EXPECT_FALSE(parse({"--csv=/tmp/x", "--shard=0/2"}).ok);
+  EXPECT_FALSE(parse({"--csv=/tmp/x", "--shards=2"}).ok);
+  EXPECT_TRUE(parse({"--csv=/tmp/x", "--threads=2"}).ok);
+}
+
+TEST(MaybeOrchestrateTest, PassesThroughWhenNotOrchestrating) {
+  std::vector<const char*> args = {"bench", "--threads=2"};
+  const auto parsed = parse_options(static_cast<int>(args.size()),
+                                    const_cast<char**>(args.data()));
+  EXPECT_FALSE(maybe_orchestrate(static_cast<int>(args.size()),
+                                 const_cast<char**>(args.data()), parsed)
+                   .has_value());
+}
+
 TEST(ParseOptionsTest, GoogleBenchmarkFlagsAreIgnored) {
   const auto r = parse({"--benchmark_filter=BM_Bbv", "--threads=2"});
   ASSERT_TRUE(r.ok);

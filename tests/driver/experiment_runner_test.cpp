@@ -148,6 +148,115 @@ TEST(ResultSinkTest, TakeReturnsSpecOrderRegardlessOfPutOrder) {
   EXPECT_EQ(out[3], 30);
 }
 
+TEST(ResultSinkTest, TakeIsConsumingAndSecondCallThrows) {
+  // A second take() would hand back a same-length vector of moved-from
+  // values — silent table corruption. It must refuse instead.
+  ResultSink<std::string> sink(2);
+  sink.put(0, "a");
+  sink.put(1, "b");
+  const auto out = sink.take();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_THROW(sink.take(), std::logic_error);
+}
+
+TEST(OrderedEmitterTest, EmitsInIndexOrderRegardlessOfPutOrder) {
+  std::vector<std::pair<std::size_t, int>> emitted;
+  OrderedEmitter<int> sink(5, [&](std::size_t i, int&& v) {
+    emitted.emplace_back(i, v);
+  });
+  sink.put(2, 20);
+  sink.put(1, 10);
+  EXPECT_TRUE(emitted.empty());  // 0 still outstanding
+  sink.put(0, 0);
+  ASSERT_EQ(emitted.size(), 3u);  // 0 released the buffered 1 and 2
+  sink.put(4, 40);
+  EXPECT_EQ(emitted.size(), 3u);
+  EXPECT_FALSE(sink.drained());
+  sink.put(3, 30);
+  ASSERT_EQ(emitted.size(), 5u);
+  EXPECT_TRUE(sink.drained());
+  for (std::size_t i = 0; i < emitted.size(); ++i) {
+    EXPECT_EQ(emitted[i].first, i);
+    EXPECT_EQ(emitted[i].second, static_cast<int>(i) * 10);
+  }
+}
+
+// The memory contract behind map_reduce: the raw result is reduced and
+// destroyed on the worker that produced it — no raw result ever waits
+// for spec order (only reduced values do), so at no instant can more
+// raws be alive than there are workers.
+struct CountedRaw {
+  static std::atomic<int> live;
+  static std::atomic<int> max_live;
+  CountedRaw() { bump(); }
+  CountedRaw(const CountedRaw&) { bump(); }
+  CountedRaw(CountedRaw&&) { bump(); }
+  ~CountedRaw() { --live; }
+  static void bump() {
+    const int now = ++live;
+    int prev = max_live.load();
+    while (now > prev && !max_live.compare_exchange_weak(prev, now)) {
+    }
+  }
+};
+std::atomic<int> CountedRaw::live{0};
+std::atomic<int> CountedRaw::max_live{0};
+
+TEST(ExperimentRunnerTest, MapReduceDropsRawResultsInWorkers) {
+  SweepSpec spec;
+  for (int i = 0; i < 48; ++i) spec.thresholds.push_back(i);
+  const auto points = spec.expand();
+
+  constexpr unsigned kThreads = 4;
+  CountedRaw::live = 0;
+  CountedRaw::max_live = 0;
+  const ExperimentRunner runner(kThreads);
+  std::vector<double> emitted;
+  runner.map_reduce<CountedRaw, double>(
+      points,
+      [](const SpecPoint&) {
+        // Stagger completions so emission genuinely runs behind.
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        return CountedRaw{};
+      },
+      [](const SpecPoint& pt, CountedRaw&&) { return pt.threshold; },
+      [&](const SpecPoint& pt, double&& v) {
+        EXPECT_EQ(v, pt.threshold);
+        emitted.push_back(v);
+      });
+
+  ASSERT_EQ(emitted.size(), points.size());
+  for (std::size_t i = 0; i < emitted.size(); ++i)
+    EXPECT_EQ(emitted[i], static_cast<double>(i));  // spec order
+  EXPECT_EQ(CountedRaw::live.load(), 0);
+  // Transients during move-from-run-into-reduce allow a couple of copies
+  // per worker, but never anything proportional to the sweep size.
+  EXPECT_LE(CountedRaw::max_live.load(), static_cast<int>(3 * kThreads));
+}
+
+TEST(ExperimentRunnerTest, MapReduceWorksOnShardSubsetsWithGlobalIndices) {
+  SweepSpec spec;
+  for (int i = 0; i < 10; ++i) spec.thresholds.push_back(i);
+  auto points = spec.expand();
+  // Keep only the odd global indices, as ShardPlan{1,2} would.
+  std::vector<SpecPoint> local;
+  for (const auto& pt : points)
+    if (pt.index % 2 == 1) local.push_back(pt);
+
+  const ExperimentRunner runner(4);
+  std::vector<std::size_t> seen;
+  runner.map_reduce<int, int>(
+      local, [](const SpecPoint& pt) { return static_cast<int>(pt.index); },
+      [](const SpecPoint&, int&& v) { return v; },
+      [&](const SpecPoint& pt, int&& v) {
+        EXPECT_EQ(static_cast<std::size_t>(v), pt.index);
+        seen.push_back(pt.index);
+      });
+  ASSERT_EQ(seen.size(), 5u);
+  for (std::size_t i = 0; i < seen.size(); ++i)
+    EXPECT_EQ(seen[i], 2 * i + 1);  // global indices, ascending
+}
+
 // The workhorse equivalence check: the driver with 1 thread must produce
 // exactly what a plain serial for-loop over the same per-point run body
 // produces (the shape the pre-refactor bench mains had), and the driver
