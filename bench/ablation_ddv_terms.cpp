@@ -8,14 +8,13 @@
 //
 // Simulations run on the experiment driver (--threads=N, --shard=i/N,
 // --shards=N); the variant replays execute inside the worker right after
-// the simulation, so the recorded traces are reduced to table rows (and
-// optional CSV curves) before anything leaves the worker.
-#include <cstdio>
-
+// the simulation, reducing the recorded traces to per-variant rows and
+// full-resolution curves carried in the stream record. The ddv_terms
+// renderer in src/report prints the table (and CSV exports) — live or
+// offline.
 #include "analysis/curve.hpp"
 #include "analysis/ddv_ablation.hpp"
 #include "bench/bench_util.hpp"
-#include "common/table_writer.hpp"
 #include "network/topology.hpp"
 
 namespace {
@@ -42,12 +41,21 @@ CovRow cov_row(const std::vector<analysis::CurvePoint>& curve) {
           analysis::phases_for_cov(curve, 0.20)};
 }
 
+std::string cov_row_json(const CovRow& r) {
+  return shard::JsonObject()
+      .add("cov10", r.cov10)
+      .add("cov25", r.cov25)
+      .add("phases20", r.phases20)
+      .str();
+}
+
 struct DdsAblation {
-  CovRow baseline;                 ///< BBV only
+  CovRow baseline;  ///< BBV only
   CovRow variant[kNumVariants];
-  /// Full-resolution variant curves, kept only when CSV output is on
-  /// (the consume step writes the files).
-  std::vector<std::vector<analysis::CurvePoint>> csv_curves;
+  /// Full-resolution variant curves: always kept — they ride the stream
+  /// record so the offline renderer can export the same CSV files a live
+  /// `--csv=DIR` run writes.
+  std::vector<std::vector<analysis::CurvePoint>> curves;
 };
 
 }  // namespace
@@ -59,16 +67,10 @@ int main(int argc, char** argv) {
     return *rc;
   auto& opt = parsed.options;
   if (opt.node_counts.empty()) opt.node_counts = {32};
-  const bool stream = bench::stream_mode(opt);
-
-  if (!stream)
-    std::printf("== Ablation: DDS term contributions (scale: %s) ==\n\n",
-                apps::scale_name(opt.scale));
 
   analysis::CurveParams cp;
-  const bool keep_csv = !opt.csv_dir.empty() && !stream;
 
-  bench::run_reduced_sweep<DdsAblation>(
+  return bench::run_reduced_sweep<DdsAblation>(
       bench::named_apps(opt, {"LU", "Equake"}), opt.node_counts, opt,
       "ablation_ddv_terms",
       [&](const driver::SpecPoint& pt, sim::RunSummary&& run) {
@@ -80,44 +82,27 @@ int main(int argc, char** argv) {
               analysis::with_dds_variant(run.procs, topo, kVariants[i]);
           auto curve = analysis::bbv_ddv_cov_curve(procs, cp);
           out.variant[i] = cov_row(curve);
-          if (keep_csv) out.csv_curves.push_back(std::move(curve));
+          out.curves.push_back(std::move(curve));
         }
         return out;
       },
       [](const driver::SpecPoint&, const DdsAblation& r) {
-        shard::JsonObject o;
-        o.add("bbv_cov10", r.baseline.cov10)
-            .add("bbv_cov25", r.baseline.cov25);
+        shard::JsonArray variants;
         for (std::size_t i = 0; i < kNumVariants; ++i) {
-          const std::string tag = dds_variant_name(kVariants[i]);
-          o.add(tag + "_cov10", r.variant[i].cov10)
-              .add(tag + "_cov25", r.variant[i].cov25)
-              .add(tag + "_phases20", r.variant[i].phases20);
+          variants.add_raw(
+              shard::JsonObject()
+                  .add("name", dds_variant_name(kVariants[i]))
+                  .add("id", static_cast<std::uint64_t>(
+                                 static_cast<int>(kVariants[i])))
+                  .add("cov10", r.variant[i].cov10)
+                  .add("cov25", r.variant[i].cov25)
+                  .add("phases20", r.variant[i].phases20)
+                  .add_raw("curve", bench::curve_json(r.curves[i]))
+                  .str());
         }
-        return o.str();
-      },
-      [&](const driver::SpecPoint& pt, DdsAblation&& r) {
-        TableWriter t({"DDS variant", "CoV@10 phases", "CoV@25 phases",
-                       "phases for CoV<=20%"});
-        // Baseline row: BBV only.
-        t.add_row({"(BBV baseline)", TableWriter::fmt(r.baseline.cov10, 3),
-                   TableWriter::fmt(r.baseline.cov25, 3),
-                   TableWriter::fmt(r.baseline.phases20, 3)});
-        for (std::size_t i = 0; i < kNumVariants; ++i) {
-          t.add_row({dds_variant_name(kVariants[i]),
-                     TableWriter::fmt(r.variant[i].cov10, 3),
-                     TableWriter::fmt(r.variant[i].cov25, 3),
-                     TableWriter::fmt(r.variant[i].phases20, 3)});
-          if (keep_csv)
-            bench::maybe_write_csv(
-                opt,
-                "ablation_dds_" + pt.app + "_" +
-                    std::to_string(pt.nodes) + "p_" +
-                    std::to_string(static_cast<int>(kVariants[i])),
-                r.csv_curves[i]);
-        }
-        std::printf("-- %s, %uP --\n%s\n", pt.app.c_str(), pt.nodes,
-                    t.to_text().c_str());
+        return shard::JsonObject()
+            .add_raw("bbv", cov_row_json(r.baseline))
+            .add_raw("variants", variants.str())
+            .str();
       });
-  return 0;
 }

@@ -6,13 +6,13 @@
 //
 // Simulations run on the experiment driver (--threads=N, --shard=i/N,
 // --shards=N); the capacity replays execute inside the worker, reducing
-// each recorded run to its table rows before anything leaves the worker.
+// each recorded run to per-capacity rows carried in the stream record.
+// The footprint renderer in src/report prints the table — live or
+// offline.
 #include <array>
-#include <cstdio>
 
 #include "analysis/curve.hpp"
 #include "bench/bench_util.hpp"
-#include "common/table_writer.hpp"
 
 namespace {
 
@@ -38,13 +38,8 @@ int main(int argc, char** argv) {
     return *rc;
   auto& opt = parsed.options;
   if (opt.node_counts.empty()) opt.node_counts = {32};
-  const bool stream = bench::stream_mode(opt);
 
-  if (!stream)
-    std::printf("== Ablation: footprint-table capacity (scale: %s) ==\n\n",
-                apps::scale_name(opt.scale));
-
-  bench::run_reduced_sweep<CapacityRows>(
+  return bench::run_reduced_sweep<CapacityRows>(
       bench::named_apps(opt, {"FMM"}), opt.node_counts, opt,
       "ablation_footprint",
       [](const driver::SpecPoint&, sim::RunSummary&& run) {
@@ -62,26 +57,16 @@ int main(int argc, char** argv) {
         return rows;
       },
       [](const driver::SpecPoint&, const CapacityRows& rows) {
-        shard::JsonObject o;
+        shard::JsonArray out;
         for (std::size_t i = 0; i < kNumCapacities; ++i) {
-          const std::string tag = "c" + std::to_string(kCapacities[i]);
-          o.add(tag + "_bbv_cov25", rows[i].bbv25)
-              .add(tag + "_ddv_cov25", rows[i].ddv25);
+          out.add_raw(shard::JsonObject()
+                          .add("capacity", std::uint64_t{kCapacities[i]})
+                          .add("bbv10", rows[i].bbv10)
+                          .add("ddv10", rows[i].ddv10)
+                          .add("bbv25", rows[i].bbv25)
+                          .add("ddv25", rows[i].ddv25)
+                          .str());
         }
-        return o.str();
-      },
-      [&](const driver::SpecPoint& pt, CapacityRows&& rows) {
-        TableWriter t({"footprint vectors", "BBV CoV@10", "DDV CoV@10",
-                       "BBV CoV@25", "DDV CoV@25"});
-        for (std::size_t i = 0; i < kNumCapacities; ++i) {
-          t.add_row({std::to_string(kCapacities[i]),
-                     TableWriter::fmt(rows[i].bbv10, 3),
-                     TableWriter::fmt(rows[i].ddv10, 3),
-                     TableWriter::fmt(rows[i].bbv25, 3),
-                     TableWriter::fmt(rows[i].ddv25, 3)});
-        }
-        std::printf("-- %s, %uP --\n%s\n", pt.app.c_str(), pt.nodes,
-                    t.to_text().c_str());
+        return shard::JsonObject().add_raw("rows", out.str()).str();
       });
-  return 0;
 }

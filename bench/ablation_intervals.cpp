@@ -7,12 +7,11 @@
 // The app × nodes × factor product runs on the experiment driver
 // (--threads=N, --shard=i/N, --shards=N) with the factor carried on the
 // SweepSpec's numeric axis; each point builds its own Machine with the
-// rescaled interval and is reduced to one table row inside the worker.
-#include <cstdio>
-
+// rescaled interval and is reduced to one row carried in the stream
+// record. The intervals renderer in src/report groups rows into one
+// table per (app, nodes) — live or offline.
 #include "analysis/curve.hpp"
 #include "bench/bench_util.hpp"
-#include "common/table_writer.hpp"
 #include "sim/machine.hpp"
 
 namespace {
@@ -47,11 +46,7 @@ int main(int argc, char** argv) {
   auto& opt = parsed.options;
   if (opt.app_names.empty()) opt.app_names = {"LU"};
   if (opt.node_counts.empty()) opt.node_counts = {8};
-  const bool stream = bench::stream_mode(opt);
 
-  if (!stream)
-    std::printf("== Ablation: sampling-interval length (scale: %s) ==\n\n",
-                apps::scale_name(opt.scale));
   analysis::CurveParams cp;
 
   driver::SweepSpec spec;
@@ -59,13 +54,8 @@ int main(int argc, char** argv) {
   spec.node_counts = opt.node_counts;
   spec.thresholds = {0.5, 1.0, 2.0, 4.0};  // interval-length factors
   spec.scale = opt.scale;
-  const std::size_t factors = spec.thresholds.size();
 
-  // One table per (app, nodes): consecutive chunks of the factor axis,
-  // assembled as rows stream in (spec order makes the chunks contiguous).
-  TableWriter t({"interval (1P basis)", "intervals/proc", "BBV CoV@10",
-                 "DDV CoV@10", "BBV CoV@25", "DDV CoV@25"});
-  bench::sharded_sweep<sim::RunSummary, IntervalRow>(
+  return bench::sharded_sweep<sim::RunSummary, IntervalRow>(
       spec.expand(), opt, "ablation_intervals",
       [](const driver::SpecPoint& pt) {
         const auto& app = apps::app_by_name(pt.app);
@@ -100,21 +90,5 @@ int main(int argc, char** argv) {
             .add("bbv_cov25", row.bbv25)
             .add("ddv_cov25", row.ddv25)
             .str();
-      },
-      [&](const driver::SpecPoint& pt, IntervalRow&& row) {
-        t.add_row({TableWriter::fmt(static_cast<double>(row.interval), 4),
-                   std::to_string(row.intervals_per_proc),
-                   TableWriter::fmt(row.bbv10, 3),
-                   TableWriter::fmt(row.ddv10, 3),
-                   TableWriter::fmt(row.bbv25, 3),
-                   TableWriter::fmt(row.ddv25, 3)});
-        if ((pt.index + 1) % factors == 0) {
-          std::printf("-- %s, %uP --\n%s\n", pt.app.c_str(), pt.nodes,
-                      t.to_text().c_str());
-          t = TableWriter({"interval (1P basis)", "intervals/proc",
-                           "BBV CoV@10", "DDV CoV@10", "BBV CoV@25",
-                           "DDV CoV@25"});
-        }
       });
-  return 0;
 }

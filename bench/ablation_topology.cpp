@@ -7,15 +7,14 @@
 //
 // The app × topology product runs on the experiment driver (--threads=N,
 // --shard=i/N, --shards=N) with the topology carried on the SweepSpec's
-// variant axis; each run is reduced to one table row inside the worker.
-#include <algorithm>
-#include <cstdio>
+// variant axis; each run is reduced to one row carried in the stream
+// record. The topology renderer in src/report groups rows into one table
+// per app — live or offline.
 #include <stdexcept>
 #include <string>
 
 #include "analysis/curve.hpp"
 #include "bench/bench_util.hpp"
-#include "common/table_writer.hpp"
 #include "sim/machine.hpp"
 
 namespace {
@@ -25,7 +24,6 @@ using namespace dsm;
 constexpr unsigned kNodes = 16;
 constexpr Topology kTopologies[] = {Topology::kHypercube, Topology::kTorus2D,
                                     Topology::kMesh2D, Topology::kRing};
-constexpr std::size_t kNumTopologies = std::size(kTopologies);
 
 // The variant axis carries the topology by name; map it back rather
 // than inferring from the point's index.
@@ -60,12 +58,7 @@ int main(int argc, char** argv) {
     return *rc;
   auto& opt = parsed.options;
   if (opt.app_names.empty()) opt.app_names = {"LU"};
-  const bool stream = bench::stream_mode(opt);
 
-  if (!stream)
-    std::printf("== Ablation: interconnect topology (16 nodes, scale: %s) "
-                "==\n\n",
-                apps::scale_name(opt.scale));
   analysis::CurveParams cp;
 
   driver::SweepSpec spec;
@@ -75,11 +68,7 @@ int main(int argc, char** argv) {
     spec.detectors.push_back(topology_name(topo));
   spec.scale = opt.scale;
 
-  // One table per app: consecutive chunks of the topology axis, assembled
-  // as rows stream in (spec order keeps the chunks contiguous).
-  TableWriter t({"topology", "diameter", "mean CPI", "BBV CoV@15",
-                 "DDV CoV@15", "ratio"});
-  bench::sharded_sweep<sim::RunSummary, TopologyRow>(
+  return bench::sharded_sweep<sim::RunSummary, TopologyRow>(
       spec.expand(), opt, "ablation_topology",
       [](const driver::SpecPoint& pt) {
         const auto& app = apps::app_by_name(pt.app);
@@ -111,19 +100,5 @@ int main(int argc, char** argv) {
             .add("bbv_cov15", row.bbv15)
             .add("ddv_cov15", row.ddv15)
             .str();
-      },
-      [&](const driver::SpecPoint& pt, TopologyRow&& row) {
-        t.add_row({pt.detector, std::to_string(row.diameter),
-                   TableWriter::fmt(row.mean_cpi, 3),
-                   TableWriter::fmt(row.bbv15, 3),
-                   TableWriter::fmt(row.ddv15, 3),
-                   TableWriter::fmt(row.ddv15 / std::max(row.bbv15, 1e-9),
-                                    3)});
-        if ((pt.index + 1) % kNumTopologies == 0) {
-          std::printf("-- %s --\n%s\n", pt.app.c_str(), t.to_text().c_str());
-          t = TableWriter({"topology", "diameter", "mean CPI", "BBV CoV@15",
-                           "DDV CoV@15", "ratio"});
-        }
       });
-  return 0;
 }

@@ -8,7 +8,6 @@
 
 #include "common/log.hpp"
 #include "common/parse.hpp"
-#include "common/table_writer.hpp"
 
 namespace dsm::bench {
 namespace {
@@ -41,7 +40,8 @@ const char* usage_text() {
       "  --scale=paper|bench|test   workload size (default paper)\n"
       "  --apps=LU,FMM,Art,Equake   subset of applications\n"
       "  --nodes=2,8,32             subset of node counts\n"
-      "  --csv=DIR                  dump full-resolution CSV\n"
+      "  --csv=DIR                  dump full-resolution CSV (live runs;\n"
+      "                             sharded: dsm_report render --csv=DIR)\n"
       "  --threads=N                sweep worker threads (0 = one per core,\n"
       "                             default 1)\n"
       "  --shards=N                 fork N shard workers of this binary and\n"
@@ -119,13 +119,14 @@ ParseResult parse_options(int argc, char** argv) {
     return fail(std::move(res),
                 "--shard (worker) and --shards (orchestrator) are mutually "
                 "exclusive");
-  // CSV curves are written by the harnesses' table-printing path, which
-  // stream mode replaces with NDJSON records; silently producing no files
-  // would be worse than refusing.
+  // CSV files are written by the renderer, which stream mode suppresses;
+  // silently producing no files would be worse than refusing. The records
+  // carry the full-resolution curves, so the offline renderer recovers
+  // the same files from the collected stream.
   if (!opt.csv_dir.empty() && (opt.shard_set || opt.shards > 0))
     return fail(std::move(res),
-                "--csv is not available in sharded runs (stream records "
-                "replace table/CSV output)");
+                "--csv is not available in sharded runs: collect the NDJSON "
+                "stream and run `dsm_report render --csv=DIR` over it");
   return res;
 }
 
@@ -216,33 +217,18 @@ std::vector<WorkloadResult> run_sweep(
       });
 }
 
-void print_curve(const std::string& title,
-                 const std::vector<analysis::CurvePoint>& curve,
-                 std::size_t max_rows) {
-  TableWriter t({"#phases", "identifier CoV", "tuning frac"});
-  const std::size_t stride =
-      curve.size() <= max_rows ? 1 : curve.size() / max_rows;
-  for (std::size_t i = 0; i < curve.size(); i += stride) {
-    t.add_row({TableWriter::fmt(curve[i].mean_phases, 3),
-               TableWriter::fmt(curve[i].mean_cov, 3),
-               TableWriter::fmt(curve[i].tuning_fraction, 2)});
-  }
-  std::printf("%s\n%s\n", title.c_str(), t.to_text().c_str());
-}
-
-void maybe_write_csv(const BenchOptions& opt, const std::string& name,
-                     const std::vector<analysis::CurvePoint>& curve) {
-  if (opt.csv_dir.empty()) return;
-  TableWriter t({"phases", "cov", "tuning_fraction", "bbv_threshold",
-                 "dds_rel_threshold"});
+std::string curve_json(const std::vector<analysis::CurvePoint>& curve) {
+  shard::JsonArray arr;
   for (const auto& pt : curve) {
-    t.add_row({TableWriter::fmt(pt.mean_phases, 6),
-               TableWriter::fmt(pt.mean_cov, 6),
-               TableWriter::fmt(pt.tuning_fraction, 6),
-               std::to_string(pt.thresholds.bbv),
-               TableWriter::fmt(pt.thresholds.dds, 6)});
+    arr.add_raw(shard::JsonArray()
+                    .add(pt.mean_phases)
+                    .add(pt.mean_cov)
+                    .add(pt.tuning_fraction)
+                    .add(static_cast<std::uint64_t>(pt.thresholds.bbv))
+                    .add(pt.thresholds.dds)
+                    .str());
   }
-  t.write_csv_file(opt.csv_dir + "/" + name + ".csv");
+  return arr.str();
 }
 
 }  // namespace dsm::bench

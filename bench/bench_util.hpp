@@ -1,14 +1,19 @@
 // bench_util.hpp — shared plumbing for the figure/table harnesses: flag
 // parsing, parallel/sharded sweep execution through the experiment driver,
-// and curve printing in a gnuplot-friendly layout.
+// and the record→renderer bridge that makes live human output a replay of
+// the same stream records `dsm_report render` consumes offline.
 //
 // Every harness runs its sweep through sharded_sweep()/run_reduced_sweep()
 // and therefore supports three execution modes from one code path:
 //
-//   * default            — in-process sweep on --threads=N workers; the
-//                          harness's consume callback prints the human
-//                          tables in spec order (byte-identical to the
-//                          old buffered-vector loops at any thread count).
+//   * default            — in-process sweep on --threads=N workers; each
+//                          reduced configuration is serialized to its
+//                          stream record and immediately replayed through
+//                          the harness's renderer (src/report registry),
+//                          so the live tables are byte-identical to
+//                          `dsm_report render` over the collected records
+//                          — and to the old buffered-vector loops at any
+//                          thread count.
 //   * --shard=i/N        — shard worker: runs only its round-robin slice
 //                          of the spec and writes one NDJSON record per
 //                          completed configuration to stdout (spec order,
@@ -16,8 +21,9 @@
 //   * --shards=N         — orchestrator: forks N workers of this binary
 //                          with --shard=i/N, merges their streams in spec
 //                          order onto stdout. Merged output is
-//                          byte-identical to `--shards=1` (and to
-//                          `--shard=0/1`): records carry only
+//                          byte-identical to `--shards=1` (and to an
+//                          offline `dsm_report merge` over the workers'
+//                          collected files): records carry only
 //                          configuration-content-derived, deterministic
 //                          values.
 //
@@ -39,6 +45,8 @@
 #include "common/config.hpp"
 #include "driver/experiment_runner.hpp"
 #include "driver/sweep_spec.hpp"
+#include "report/record_reader.hpp"
+#include "report/renderer.hpp"
 #include "shard/orchestrator.hpp"
 #include "shard/shard_plan.hpp"
 #include "shard/stream_sink.hpp"
@@ -133,18 +141,55 @@ std::vector<WorkloadResult> run_sweep(
     const std::vector<const apps::AppInfo*>& apps,
     const std::vector<unsigned>& nodes, const BenchOptions& opt);
 
+/// Serializes a CoV curve as the metrics-array layout the offline
+/// renderers rebuild tables and CSV exports from:
+/// [[mean_phases, mean_cov, tuning_fraction, bbv_threshold, dds], ...].
+std::string curve_json(const std::vector<analysis::CurvePoint>& curve);
+
+/// Builds the full stream record for one reduced configuration: context
+/// envelope (the spec point's content plus the scale) wrapping the
+/// harness metrics under "m". This is THE formatting point for records —
+/// stream mode emits exactly these bytes and the live renderer path
+/// replays exactly these bytes, which is what makes the two byte-compare.
+template <typename R>
+shard::StreamRecord make_stream_record(
+    const driver::SpecPoint& pt, const R& reduced,
+    const std::function<std::uint64_t(const driver::SpecPoint&)>& seed_of,
+    const std::function<std::string(const driver::SpecPoint&, const R&)>&
+        metrics) {
+  shard::StreamRecord rec;
+  rec.spec_index = pt.index;
+  rec.key = driver::spec_label(pt);
+  rec.seed = seed_of(pt);
+  rec.metrics = shard::JsonObject()
+                    .add("app", pt.app)
+                    .add("nodes", static_cast<std::uint64_t>(pt.nodes))
+                    .add("variant", pt.detector)
+                    .add("param", pt.threshold)
+                    .add("scale", std::string(apps::scale_name(pt.scale)))
+                    .add_raw("m", metrics(pt, reduced))
+                    .str();
+  return rec;
+}
+
 /// The generic sharded, streaming sweep core. `run` simulates one point
 /// and `reduce` collapses the raw result, both on a pool worker (the raw
 /// result is destroyed in the worker — this is the Reducer hook that
 /// bounds per-configuration memory). Then, in spec order:
 ///   * stream mode: one NDJSON record per point — key spec_label(pt),
-///     seed seed_of(pt), metrics metrics(pt, reduced) — onto stdout;
-///   * otherwise: consume(pt, reduced), where the harness prints.
-/// Only this shard's slice of `points` executes; in the default 0/1 plan
-/// that is the whole sweep. Template arguments are explicit at call
-/// sites (lambdas do not deduce through std::function).
+///     seed seed_of(pt), metrics wrapped by make_stream_record — onto
+///     stdout;
+///   * otherwise: the record is replayed through the renderer registered
+///     for `bench_name` in src/report (the single formatting point for
+///     human output, shared with `dsm_report render`); `live_observe`,
+///     when set, sees each reduced result first — for live-only side
+///     products like perf_hotpath's wall-clock JSON, which have no place
+///     in deterministic records.
+/// Returns the exit code (the renderer's finish() verdict; 0 in stream
+/// mode). Template arguments are explicit at call sites (lambdas do not
+/// deduce through std::function).
 template <typename Raw, typename R>
-void sharded_sweep(
+int sharded_sweep(
     const std::vector<driver::SpecPoint>& points, const BenchOptions& opt,
     const char* bench_name,
     const std::function<Raw(const driver::SpecPoint&)>& run,
@@ -152,7 +197,8 @@ void sharded_sweep(
     const std::function<std::uint64_t(const driver::SpecPoint&)>& seed_of,
     const std::function<std::string(const driver::SpecPoint&, const R&)>&
         metrics,
-    const std::function<void(const driver::SpecPoint&, R&&)>& consume) {
+    const std::function<void(const driver::SpecPoint&, const R&)>&
+        live_observe = {}) {
   const auto local = opt.shard.select(points);
   const driver::ExperimentRunner runner(opt.threads);
   const std::function<Raw(const driver::SpecPoint&)> guarded =
@@ -169,23 +215,37 @@ void sharded_sweep(
     shard::StreamSink sink(stdout, bench_name);
     runner.map_reduce<Raw, R>(
         local, guarded, reduce, [&](const driver::SpecPoint& pt, R&& r) {
-          shard::StreamRecord rec;
-          rec.spec_index = pt.index;
-          rec.key = driver::spec_label(pt);
-          rec.seed = seed_of(pt);
-          rec.metrics = metrics(pt, r);
-          sink.emit(rec);
+          sink.emit(make_stream_record<R>(pt, r, seed_of, metrics));
         });
-  } else {
-    runner.map_reduce<Raw, R>(local, guarded, reduce, consume);
+    return 0;
   }
+  report::RenderOptions ropt;
+  ropt.csv_dir = opt.csv_dir;
+  const auto renderer = report::make_renderer(bench_name, ropt);
+  if (renderer == nullptr)
+    throw std::logic_error(std::string("no renderer registered for '") +
+                           bench_name + "' (src/report/renderers.cpp)");
+  runner.map_reduce<Raw, R>(
+      local, guarded, reduce, [&](const driver::SpecPoint& pt, R&& r) {
+        if (live_observe) live_observe(pt, r);
+        const std::string line = shard::format_record(
+            bench_name, make_stream_record<R>(pt, r, seed_of, metrics));
+        report::RecordView view;
+        std::string err;
+        if (!report::read_record(line, &view, &err))
+          throw std::logic_error(
+              "internal: generated stream record failed validation: " + err);
+        renderer->record(view);
+      });
+  return renderer->finish();
 }
 
 /// sharded_sweep specialization for the standard app × nodes product on
 /// Table I machines: bench_util supplies the run step (run_workload with
-/// spec_seed seeds); the harness supplies only its reducer and printers.
+/// spec_seed seeds); the harness supplies only its reducer and metrics
+/// serializer (its renderer lives in the src/report registry).
 template <typename R>
-void run_reduced_sweep(
+int run_reduced_sweep(
     const std::vector<const apps::AppInfo*>& apps_selected,
     const std::vector<unsigned>& nodes, const BenchOptions& opt,
     const char* bench_name,
@@ -193,15 +253,16 @@ void run_reduced_sweep(
         reduce,
     const std::function<std::string(const driver::SpecPoint&, const R&)>&
         metrics,
-    const std::function<void(const driver::SpecPoint&, R&&)>& consume) {
+    const std::function<void(const driver::SpecPoint&, const R&)>&
+        live_observe = {}) {
   // An empty selection is an empty sweep (the pre-refactor loops printed
   // zero rows) — never a default "" spec point.
-  if (apps_selected.empty() || nodes.empty()) return;
+  if (apps_selected.empty() || nodes.empty()) return 0;
   driver::SweepSpec spec;
   for (const auto* app : apps_selected) spec.apps.push_back(app->name);
   spec.node_counts = nodes;
   spec.scale = opt.scale;
-  sharded_sweep<sim::RunSummary, R>(
+  return sharded_sweep<sim::RunSummary, R>(
       spec.expand(), opt, bench_name,
       [&opt](const driver::SpecPoint& pt) {
         return run_workload(apps::app_by_name(pt.app), pt.scale, pt.nodes,
@@ -209,19 +270,7 @@ void run_reduced_sweep(
       },
       reduce,
       [](const driver::SpecPoint& pt) { return driver::spec_seed(pt); },
-      metrics, consume);
+      metrics, live_observe);
 }
-
-/// Prints a CoV curve as "phases cov tuning%" rows, subsampled to at most
-/// `max_rows` (the full resolution goes to CSV when enabled).
-void print_curve(const std::string& title,
-                 const std::vector<analysis::CurvePoint>& curve,
-                 std::size_t max_rows = 16);
-
-/// Writes the full-resolution curve to `<csv_dir>/<name>.csv` when the
-/// option is set (parse_options rejects --csv in sharded runs, where the
-/// table/CSV printing path is replaced by stream records).
-void maybe_write_csv(const BenchOptions& opt, const std::string& name,
-                     const std::vector<analysis::CurvePoint>& curve);
 
 }  // namespace dsm::bench

@@ -2,7 +2,7 @@
 // the *uniprocessor BBV detector* applied per-node to a DSM, for the four
 // Table II applications at 2, 8, and 32 processors.
 //
-// Paper-shape expectations this harness reports at the end:
+// Paper-shape expectations the renderer reports at the end:
 //   * for a fixed phase count (7 and 25), CoV grows markedly with the
 //     node count for every application;
 //   * e.g. paper: LU achieves <10% CoV with ~7 phases at 2P, but ~40% /
@@ -10,14 +10,12 @@
 //
 // The app × nodes sweep runs on the experiment driver (--threads=N,
 // --shard=i/N, --shards=N); each RunSummary is reduced to its CoV curve
-// inside the worker (the raw interval traces never leave it), and
-// printing happens in spec order as results stream in, so the output is
-// identical at any thread count.
-#include <cstdio>
-
+// inside the worker (the raw interval traces never leave it) and
+// serialized into the configuration's stream record. The human tables are
+// produced by the fig2 renderer in src/report — the same code whether the
+// records are replayed live here or offline by `dsm_report render`.
 #include "analysis/curve.hpp"
 #include "bench/bench_util.hpp"
-#include "common/table_writer.hpp"
 
 int main(int argc, char** argv) {
   using namespace dsm;
@@ -27,19 +25,11 @@ int main(int argc, char** argv) {
     return *rc;
   auto& opt = parsed.options;
   if (opt.node_counts.empty()) opt.node_counts = {2, 8, 32};
-  const bool stream = bench::stream_mode(opt);
-
-  if (!stream)
-    std::printf("== Figure 2: baseline BBV CoV curves (scale: %s) ==\n\n",
-                apps::scale_name(opt.scale));
 
   analysis::CurveParams cp;  // 32-entry BBV, 32-vector footprint, 200 thr.
 
-  TableWriter headline({"app", "nodes", "CoV@7 phases", "CoV@25 phases",
-                        "min phases for CoV<=20%"});
-
   using Curve = std::vector<analysis::CurvePoint>;
-  bench::run_reduced_sweep<Curve>(
+  return bench::run_reduced_sweep<Curve>(
       bench::selected_apps(opt), opt.node_counts, opt, "fig2_bbv_baseline",
       [&cp](const driver::SpecPoint&, sim::RunSummary&& run) {
         return analysis::bbv_cov_curve(run.procs, cp);
@@ -50,27 +40,7 @@ int main(int argc, char** argv) {
             .add("cov_at_25", analysis::cov_at_phases(curve, 25.0))
             .add("phases_for_cov20", analysis::phases_for_cov(curve, 0.20))
             .add("curve_points", static_cast<std::uint64_t>(curve.size()))
+            .add_raw("curve", bench::curve_json(curve))
             .str();
-      },
-      [&](const driver::SpecPoint& pt, Curve&& curve) {
-        const unsigned nodes = pt.nodes;
-        char title[128];
-        std::snprintf(title, sizeof title, "-- %s CoV curve, BBV, %uP --",
-                      pt.app.c_str(), nodes);
-        bench::print_curve(title, curve);
-        bench::maybe_write_csv(
-            opt, "fig2_" + pt.app + "_" + std::to_string(nodes) + "p",
-            curve);
-        headline.add_row(
-            {pt.app, std::to_string(nodes),
-             TableWriter::fmt(analysis::cov_at_phases(curve, 7.0), 3),
-             TableWriter::fmt(analysis::cov_at_phases(curve, 25.0), 3),
-             TableWriter::fmt(analysis::phases_for_cov(curve, 0.20), 3)});
       });
-
-  if (!stream)
-    std::printf("== Figure 2 headline (paper shape: CoV at fixed phases "
-                "rises with node count) ==\n%s\n",
-                headline.to_text().c_str());
-  return 0;
 }

@@ -2,7 +2,7 @@
 // BBV baseline vs the proposed BBV+DDV detector at 8 and 32 processors for
 // the four Table II applications.
 //
-// Paper-shape expectations this harness reports at the end:
+// Paper-shape expectations the renderer reports at the end:
 //   * BBV+DDV's curve lies at or below BBV's across the board;
 //   * the gap widens from 8P to 32P;
 //   * headline example (paper): FMM at 32P — BBV reaches 29% CoV with 25
@@ -11,15 +11,11 @@
 //
 // The app × nodes sweep runs on the experiment driver (--threads=N,
 // --shard=i/N, --shards=N); both curves are computed from the RunSummary
-// inside the worker (raw interval traces are dropped there) and printing
-// happens in spec order as results stream in, so the output is identical
-// at any thread count.
-#include <algorithm>
-#include <cstdio>
-
+// inside the worker (raw interval traces are dropped there) and carried
+// in the configuration's stream record, which the fig4 renderer in
+// src/report turns into the curves and headline table — live or offline.
 #include "analysis/curve.hpp"
 #include "bench/bench_util.hpp"
-#include "common/table_writer.hpp"
 
 namespace {
 
@@ -38,18 +34,10 @@ int main(int argc, char** argv) {
     return *rc;
   auto& opt = parsed.options;
   if (opt.node_counts.empty()) opt.node_counts = {8, 32};
-  const bool stream = bench::stream_mode(opt);
-
-  if (!stream)
-    std::printf("== Figure 4: BBV vs BBV+DDV CoV curves (scale: %s) ==\n\n",
-                apps::scale_name(opt.scale));
 
   analysis::CurveParams cp;
 
-  TableWriter headline({"app", "nodes", "BBV CoV@25", "DDV CoV@25",
-                        "CoV ratio", "BBV phases@CoV", "DDV phases@CoV"});
-
-  bench::run_reduced_sweep<Fig4Curves>(
+  return bench::run_reduced_sweep<Fig4Curves>(
       bench::selected_apps(opt), opt.node_counts, opt, "fig4_bbv_ddv",
       [&cp](const driver::SpecPoint&, sim::RunSummary&& run) {
         Fig4Curves c;
@@ -60,46 +48,15 @@ int main(int argc, char** argv) {
       [](const driver::SpecPoint&, const Fig4Curves& c) {
         const double bbv25 = analysis::cov_at_phases(c.bbv, 25.0);
         const double ddv25 = analysis::cov_at_phases(c.ddv, 25.0);
+        // Phase counts each detector needs to reach the BBV@25 CoV level
+        // — the paper's "tuning savings" view.
         return shard::JsonObject()
             .add("bbv_cov_at_25", bbv25)
             .add("ddv_cov_at_25", ddv25)
             .add("bbv_phases_at_cov", analysis::phases_for_cov(c.bbv, bbv25))
             .add("ddv_phases_at_cov", analysis::phases_for_cov(c.ddv, bbv25))
+            .add_raw("bbv_curve", bench::curve_json(c.bbv))
+            .add_raw("ddv_curve", bench::curve_json(c.ddv))
             .str();
-      },
-      [&](const driver::SpecPoint& pt, Fig4Curves&& c) {
-        const unsigned nodes = pt.nodes;
-        char title[160];
-        std::snprintf(title, sizeof title, "-- %s, %uP: BBV --",
-                      pt.app.c_str(), nodes);
-        bench::print_curve(title, c.bbv, 10);
-        std::snprintf(title, sizeof title, "-- %s, %uP: BBV+DDV --",
-                      pt.app.c_str(), nodes);
-        bench::print_curve(title, c.ddv, 10);
-        bench::maybe_write_csv(opt, "fig4_" + pt.app + "_" +
-                                        std::to_string(nodes) + "p_bbv",
-                               c.bbv);
-        bench::maybe_write_csv(opt, "fig4_" + pt.app + "_" +
-                                        std::to_string(nodes) + "p_ddv",
-                               c.ddv);
-
-        const double bbv25 = analysis::cov_at_phases(c.bbv, 25.0);
-        const double ddv25 = analysis::cov_at_phases(c.ddv, 25.0);
-        // Phase counts each detector needs to reach the BBV@25 CoV level —
-        // the paper's "tuning savings" view.
-        const double bbv_need = analysis::phases_for_cov(c.bbv, bbv25);
-        const double ddv_need = analysis::phases_for_cov(c.ddv, bbv25);
-        headline.add_row({pt.app, std::to_string(nodes),
-                          TableWriter::fmt(bbv25, 3),
-                          TableWriter::fmt(ddv25, 3),
-                          TableWriter::fmt(ddv25 / std::max(bbv25, 1e-9), 3),
-                          TableWriter::fmt(bbv_need, 3),
-                          TableWriter::fmt(ddv_need, 3)});
       });
-
-  if (!stream)
-    std::printf("== Figure 4 headline (paper shape: DDV at/below BBV, gap "
-                "widening with nodes) ==\n%s\n",
-                headline.to_text().c_str());
-  return 0;
 }

@@ -4,13 +4,14 @@
 // Manhattan distances, footprint-table searches, DDV access recording,
 // and the end-of-interval DDS gather/computation.
 //
-// Formerly google-benchmark-based and outside the sweep driver; it now
-// runs each kernel × size as a spec point on the experiment driver, so
-// kernel timings parallelize (--threads=N), shard (--shard/--shards),
-// and need no extra toolchain dependency. Each kernel returns a
-// deterministic checksum: it keeps the optimizer honest and doubles as
-// the record's deterministic payload (wall-clock never enters stream
-// records).
+// Runs each kernel × size as a spec point on the experiment driver, so
+// kernel timings parallelize (--threads=N) and shard (--shard/--shards).
+// Each kernel returns a deterministic checksum: it keeps the optimizer
+// honest and is the record's payload (wall-clock never enters stream
+// records, so merged sharded output byte-compares against serial). The
+// stdout table is record-driven (the micro_detector renderer in
+// src/report, shared with `dsm_report render`); wall-clock timings are a
+// live-only measurement and print to stderr.
 #include <chrono>
 #include <cstdio>
 #include <vector>
@@ -186,14 +187,10 @@ int main(int argc, char** argv) {
     points.push_back(std::move(pt));
   }
 
-  if (!stream)
-    std::printf("== Detector hardware microbenchmarks (%s scale, base %llu "
-                "iters) ==\n\n",
-                apps::scale_name(opt.scale),
-                static_cast<unsigned long long>(base_iters(opt.scale)));
-
-  TableWriter t({"kernel", "size", "iters", "ns/op", "Mops/s", "checksum"});
-  bench::sharded_sweep<KernelResult, KernelResult>(
+  // Wall-clock is a live-only measurement: it varies run to run, so it
+  // has no place in records or the record-driven stdout table.
+  TableWriter wall({"kernel", "size", "iters", "ns/op", "Mops/s"});
+  const int rc = bench::sharded_sweep<KernelResult, KernelResult>(
       points, opt, "micro_detector",
       [&](const driver::SpecPoint& pt) {
         const auto& k = kernels()[pt.index];
@@ -209,26 +206,25 @@ int main(int argc, char** argv) {
       },
       [](const driver::SpecPoint&, KernelResult&& r) { return r; },
       [](const driver::SpecPoint&) { return std::uint64_t{0}; },  // no RNG
-      [](const driver::SpecPoint&, const KernelResult& r) {
+      [&](const driver::SpecPoint&, const KernelResult& r) {
         // Deterministic payload only: ns/op changes run to run and would
         // break merged-vs-serial byte comparison.
         return shard::JsonObject()
+            .add("base_iters", base_iters(opt.scale))
             .add("iters", r.iters)
             .add("checksum", r.checksum)
             .str();
       },
-      [&](const driver::SpecPoint& pt, KernelResult&& r) {
+      [&](const driver::SpecPoint& pt, const KernelResult& r) {
         const auto& k = kernels()[pt.index];
-        t.add_row({k.name, k.arg == 0 ? "-" : std::to_string(k.arg),
-                   std::to_string(r.iters),
-                   TableWriter::fmt(r.ns_per_op(), 2),
-                   TableWriter::fmt(r.mops_per_sec(), 2),
-                   std::to_string(r.checksum)});
+        wall.add_row({k.name, k.arg == 0 ? "-" : std::to_string(k.arg),
+                      std::to_string(r.iters),
+                      TableWriter::fmt(r.ns_per_op(), 2),
+                      TableWriter::fmt(r.mops_per_sec(), 2)});
       });
 
   if (!stream)
-    std::printf("%s\n(checksums are deterministic; wall-clock columns vary "
-                "run to run)\n",
-                t.to_text().c_str());
-  return 0;
+    std::fprintf(stderr, "wall-clock (live-only, varies run to run):\n%s\n",
+                 wall.to_text().c_str());
+  return rc;
 }

@@ -9,13 +9,14 @@
 // contended write set) so the measurement isolates the fabric + network +
 // cache path that every simulated memory op pays.
 //
-// Output: a human-readable table plus BENCH_hotpath.json (override with
-// --json=PATH) so perf PRs leave a machine-readable trajectory. The
-// `total_latency` / message/byte counts per configuration are simulated
-// results and must be bit-identical across optimization PRs — only the
-// wall-clock columns may change. Stream records (--shard/--shards) carry
-// the deterministic checksums only, never wall-clock, so merged sharded
-// output byte-compares against the serial stream.
+// Output split: stdout carries the record-driven deterministic table
+// (the perf_hotpath renderer in src/report — byte-identical whether the
+// records are replayed live or by `dsm_report render`); wall-clock
+// numbers are a live-only measurement and go to stderr plus
+// BENCH_hotpath.json (override with --json=PATH), so perf PRs leave a
+// machine-readable trajectory. The `total_latency` / message/byte counts
+// per configuration are simulated results and must be bit-identical
+// across optimization PRs — only the wall-clock numbers may change.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -231,8 +232,10 @@ int main(int argc, char** argv) {
     points.push_back(std::move(pt));
   }
 
+  // Wall-clock is a live-only measurement (stderr + JSON trajectory);
+  // the record-driven stdout table carries the deterministic counters.
   std::vector<HotResult> results;
-  bench::sharded_sweep<HotResult, HotResult>(
+  const int rc = bench::sharded_sweep<HotResult, HotResult>(
       points, opt, "perf_hotpath",
       [&](const driver::SpecPoint& pt) {
         return time_config(configs[pt.index], accesses);
@@ -251,25 +254,20 @@ int main(int argc, char** argv) {
             .add("net_bytes", r.net_bytes)
             .str();
       },
-      [&](const driver::SpecPoint&, HotResult&& r) {
-        results.push_back(std::move(r));
+      [&](const driver::SpecPoint&, const HotResult& r) {
+        results.push_back(r);
       });
-  if (stream) return 0;
+  if (stream) return rc;
 
-  TableWriter t({"topology", "nodes", "Maccess/s", "ns/access",
-                 "total_latency", "messages"});
+  TableWriter wall({"topology", "nodes", "Maccess/s", "ns/access"});
   for (const auto& r : results) {
-    t.add_row({topology_name(r.cfg.topo), std::to_string(r.cfg.nodes),
-               TableWriter::fmt(r.ops_per_sec() / 1e6, 3),
-               TableWriter::fmt(r.ns_per_access(), 4),
-               std::to_string(r.total_latency),
-               std::to_string(r.net_messages)});
+    wall.add_row({topology_name(r.cfg.topo), std::to_string(r.cfg.nodes),
+                  TableWriter::fmt(r.ops_per_sec() / 1e6, 3),
+                  TableWriter::fmt(r.ns_per_access(), 4)});
   }
-  std::printf("perf_hotpath (%s scale, %llu accesses/config)\n%s\n",
-              apps::scale_name(opt.scale),
-              static_cast<unsigned long long>(accesses),
-              t.to_text().c_str());
+  std::fprintf(stderr, "wall-clock (live-only, varies run to run):\n%s\n",
+               wall.to_text().c_str());
   write_json(json_path, opt.scale, accesses, results);
-  std::printf("wrote %s\n", json_path.c_str());
-  return 0;
+  std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  return rc;
 }

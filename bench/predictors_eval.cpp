@@ -11,14 +11,13 @@
 //
 // The app × nodes sweep runs on the experiment driver (--threads=N,
 // --shard=i/N, --shards=N); classification runs inside the worker (the
-// raw traces are dropped there) and the table is assembled in spec order
-// as results stream in, so it is byte-identical at any thread count.
+// raw traces are dropped there) and both detectors' accuracy rows ride
+// the stream record. The predictors renderer in src/report assembles the
+// table in spec order — live or offline.
 #include <algorithm>
-#include <cstdio>
 #include <memory>
 
 #include "bench/bench_util.hpp"
-#include "common/table_writer.hpp"
 #include "phase/detector.hpp"
 #include "phase/predictor.hpp"
 
@@ -77,6 +76,16 @@ PredictorRow evaluate(const dsm::sim::RunSummary& run, bool use_dds) {
   return row;
 }
 
+std::string row_json(const PredictorRow& row) {
+  using namespace dsm;
+  return shard::JsonObject()
+      .add("phases", row.phases)
+      .add("last_pct", row.last_pct)
+      .add("markov_pct", row.markov_pct)
+      .add("run_length_pct", row.run_length_pct)
+      .str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -87,17 +96,8 @@ int main(int argc, char** argv) {
     return *rc;
   auto& opt = parsed.options;
   if (opt.node_counts.empty()) opt.node_counts = {8};
-  const bool stream = bench::stream_mode(opt);
 
-  if (!stream)
-    std::printf("== Phase predictors over detected phase sequences "
-                "(scale: %s) ==\n\n",
-                apps::scale_name(opt.scale));
-
-  TableWriter t({"app", "nodes", "detector", "phases", "last-phase",
-                 "markov", "run-length"});
-
-  bench::run_reduced_sweep<PredictorRows>(
+  return bench::run_reduced_sweep<PredictorRows>(
       bench::selected_apps(opt), opt.node_counts, opt, "predictors_eval",
       [](const driver::SpecPoint&, sim::RunSummary&& run) {
         PredictorRows rows;
@@ -107,26 +107,8 @@ int main(int argc, char** argv) {
       },
       [](const driver::SpecPoint&, const PredictorRows& rows) {
         return shard::JsonObject()
-            .add("bbv_phases", rows.bbv.phases)
-            .add("bbv_markov_pct", rows.bbv.markov_pct)
-            .add("ddv_phases", rows.ddv.phases)
-            .add("ddv_markov_pct", rows.ddv.markov_pct)
+            .add_raw("bbv", row_json(rows.bbv))
+            .add_raw("ddv", row_json(rows.ddv))
             .str();
-      },
-      [&](const driver::SpecPoint& pt, PredictorRows&& rows) {
-        for (const bool use_dds : {false, true}) {
-          const PredictorRow& row = use_dds ? rows.ddv : rows.bbv;
-          t.add_row({pt.app, std::to_string(pt.nodes),
-                     use_dds ? "BBV+DDV" : "BBV",
-                     TableWriter::fmt(row.phases, 3),
-                     TableWriter::fmt(row.last_pct, 3),
-                     TableWriter::fmt(row.markov_pct, 3),
-                     TableWriter::fmt(row.run_length_pct, 3)});
-        }
       });
-  if (!stream)
-    std::printf("%s\n(accuracies in %%; phases = mean phase ids issued per "
-                "processor)\n",
-                t.to_text().c_str());
-  return 0;
 }

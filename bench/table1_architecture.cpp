@@ -1,15 +1,13 @@
 // table1_architecture.cpp — reproduces Table I of the paper ("Summary of
 // simulated architecture") directly from the live configuration structs,
 // and validates the derived quantities every timing model consumes.
-// No simulation runs here; the shared flags are accepted for sweep-driver
-// uniformity. In stream mode the harness emits its derived quantities as
-// a single spec point (a one-line NDJSON stream), so sharding a batch
-// that includes table1 still merges cleanly.
-#include <cstdio>
-
+// No simulation runs here; the one default spec point carries the derived
+// quantities as a record (so sharding a batch that includes table1 still
+// merges cleanly), and the table1 renderer in src/report prints the full
+// human block — live or offline — from the configuration itself, which is
+// a pure function.
 #include "bench/bench_util.hpp"
 #include "common/config.hpp"
-#include "network/network.hpp"
 
 int main(int argc, char** argv) {
   using namespace dsm;
@@ -22,61 +20,27 @@ int main(int argc, char** argv) {
   const MachineConfig cfg = default_config(32);
   const std::string err = cfg.validate();
 
-  if (bench::stream_mode(opt)) {
-    // One default spec point; derived quantities are pure functions of
-    // the configuration, so the record is deterministic.
-    driver::SweepSpec spec;
-    spec.scale = opt.scale;
-    bench::sharded_sweep<int, int>(
-        spec.expand(), opt, "table1_architecture",
-        [](const driver::SpecPoint&) { return 0; },
-        [](const driver::SpecPoint&, int&&) { return 0; },
-        [](const driver::SpecPoint&) { return std::uint64_t{0}; },
-        [&](const driver::SpecPoint&, const int&) {
-          return shard::JsonObject()
-              .add("cycles_per_ns", cfg.cycles_per_ns())
-              .add("dram_latency_cycles",
-                   static_cast<std::uint64_t>(
-                       cfg.ns_to_cycles(cfg.memory.access_ns)))
-              .add("pin_to_pin_cycles",
-                   static_cast<std::uint64_t>(
-                       cfg.ns_to_cycles(cfg.network.pin_to_pin_ns)))
-              .add("config_valid", std::uint64_t{err.empty()})
-              .str();
-        },
-        [](const driver::SpecPoint&, int&&) {});
-    return err.empty() ? 0 : 1;
-  }
-
-  std::printf("== Table I: summary of simulated architecture ==\n\n%s\n",
-              format_table1(cfg).c_str());
-
-  std::printf("derived quantities (consumed by the timing models):\n");
-  std::printf("  core cycles per ns        : %.1f\n", cfg.cycles_per_ns());
-  std::printf("  DRAM access latency       : %llu cycles (75 ns)\n",
-              static_cast<unsigned long long>(
-                  cfg.ns_to_cycles(cfg.memory.access_ns)));
-  std::printf("  line transfer @2.6 GB/s   : %.1f cycles (32 B)\n",
-              32.0 / cfg.memory.bandwidth_gbps * cfg.cycles_per_ns());
-  std::printf("  network pin-to-pin        : %llu cycles (16 ns)\n",
-              static_cast<unsigned long long>(
-                  cfg.ns_to_cycles(cfg.network.pin_to_pin_ns)));
-  std::printf("  core cycles / router cycle: %.1f (2 GHz / 400 MHz)\n",
-              static_cast<double>(cfg.core.frequency_hz) /
-                  cfg.network.router_frequency_hz);
-
-  std::printf("\nhypercube geometry (Table I network row):\n");
-  std::printf("  nodes  diameter  mean-hops  zero-load line fetch (cycles)\n");
-  for (const unsigned n : {2u, 8u, 32u}) {
-    MachineConfig c = default_config(n);
-    net::Network net(c);
-    const auto& topo = net.topology();
-    std::printf("  %-5u  %-8u  %-9.2f  %llu\n", n, topo.diameter(),
-                topo.mean_hops(),
-                static_cast<unsigned long long>(net.zero_load_latency(
-                    0, n - 1, c.l2.line_bytes)));
-  }
-
-  std::printf("\nconfig validation: %s\n", err.empty() ? "OK" : err.c_str());
+  // One default spec point; derived quantities are pure functions of the
+  // configuration, so the record is deterministic.
+  driver::SweepSpec spec;
+  spec.scale = opt.scale;
+  const int rc = bench::sharded_sweep<int, int>(
+      spec.expand(), opt, "table1_architecture",
+      [](const driver::SpecPoint&) { return 0; },
+      [](const driver::SpecPoint&, int&&) { return 0; },
+      [](const driver::SpecPoint&) { return std::uint64_t{0}; },
+      [&](const driver::SpecPoint&, const int&) {
+        return shard::JsonObject()
+            .add("cycles_per_ns", cfg.cycles_per_ns())
+            .add("dram_latency_cycles",
+                 static_cast<std::uint64_t>(
+                     cfg.ns_to_cycles(cfg.memory.access_ns)))
+            .add("pin_to_pin_cycles",
+                 static_cast<std::uint64_t>(
+                     cfg.ns_to_cycles(cfg.network.pin_to_pin_ns)))
+            .add("config_valid", std::uint64_t{err.empty()})
+            .str();
+      });
+  if (rc != 0) return rc;
   return err.empty() ? 0 : 1;
 }

@@ -6,12 +6,10 @@
 //
 // The four characterization runs execute on the experiment driver
 // (--threads=N, --shard=i/N, --shards=N); each RunSummary is reduced to
-// its table row inside the worker, and the table is assembled in Table II
-// order as results stream in.
-#include <cstdio>
-
+// its table row inside the worker and serialized into the stream record,
+// which the table2 renderer in src/report assembles into the measured
+// table in Table II order — live or offline.
 #include "bench/bench_util.hpp"
-#include "common/table_writer.hpp"
 
 namespace {
 
@@ -36,25 +34,11 @@ int main(int argc, char** argv) {
   // Default to the reduced scale here: this bench is a characterization
   // table, not a figure reproduction, and kTest keeps it under a minute.
   if (!parsed.scale_set) opt.scale = apps::Scale::kTest;
-  const bool stream = bench::stream_mode(opt);
 
-  if (!stream) {
-    std::printf("== Table II: applications and input sets ==\n\n");
-    TableWriter t2({"Application", "Input Set (paper)"});
-    for (const auto& app : apps::paper_apps())
-      t2.add_row({app.name, app.input_paper});
-    std::printf("%s\n", t2.to_text().c_str());
-
-    std::printf("measured characteristics (%s scale, 8 processors):\n\n",
-                apps::scale_name(opt.scale));
-  }
-
-  TableWriter m({"app", "instr/proc (M)", "intervals/proc", "CPI",
-                 "mem instr %", "remote frac", "gshare mispred %"});
   // All four apps regardless of --apps: the table documents the full set.
   std::vector<const apps::AppInfo*> all;
   for (const auto& app : apps::paper_apps()) all.push_back(&app);
-  bench::run_reduced_sweep<AppRow>(
+  return bench::run_reduced_sweep<AppRow>(
       all, {8}, opt, "table2_applications",
       [](const driver::SpecPoint&, sim::RunSummary&& run) {
         const auto& c = run.coherence[0];
@@ -77,15 +61,5 @@ int main(int argc, char** argv) {
             .add("remote_frac", row.remote_frac)
             .add("mispredict_pct", row.mispredict_pct)
             .str();
-      },
-      [&](const driver::SpecPoint& pt, AppRow&& row) {
-        m.add_row({pt.app, TableWriter::fmt(row.instr_m, 3),
-                   std::to_string(row.intervals),
-                   TableWriter::fmt(row.cpi, 3),
-                   TableWriter::fmt(row.mem_pct, 3),
-                   TableWriter::fmt(row.remote_frac, 3),
-                   TableWriter::fmt(row.mispredict_pct, 3)});
       });
-  if (!stream) std::printf("%s\n", m.to_text().c_str());
-  return 0;
 }

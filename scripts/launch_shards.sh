@@ -1,0 +1,96 @@
+#!/bin/sh
+# launch_shards.sh — fleet launcher for sharded harness runs: start N
+# shard workers (locally in parallel, or one per host over ssh), collect
+# one NDJSON file per shard, then merge + render offline:
+#
+#   scripts/launch_shards.sh --shards=4 --out=results -- \
+#       build/bench/fig4_bbv_ddv --scale=paper --threads=0
+#   build/tools/dsm_report merge results/shard_*.of4.ndjson > merged.ndjson
+#   build/tools/dsm_report render merged.ndjson
+#
+# Multi-host: pass --hosts=a,b,c (round-robin over shards; the binary and
+# working directory must exist on every host, e.g. a shared filesystem).
+# Remote workers stream their records back over the ssh connection, so
+# only the NDJSON ever crosses the network:
+#
+#   scripts/launch_shards.sh --shards=8 --hosts=n0,n1,n2,n3 --out=results \
+#       -- /shared/repo/build/bench/fig4_bbv_ddv --scale=paper --threads=0
+#
+# For batch schedulers, `dsm_report plan --sbatch` prints an equivalent
+# job-array script instead of launching anything.
+set -eu
+
+shards=""
+hosts=""
+out="."
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --shards=*) shards="${1#--shards=}" ;;
+    --hosts=*)  hosts="${1#--hosts=}" ;;
+    --out=*)    out="${1#--out=}" ;;
+    --) shift; break ;;
+    *) echo "launch_shards.sh: unknown option $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+if [ -z "$shards" ] || [ $# -lt 1 ]; then
+  echo "usage: launch_shards.sh --shards=N [--hosts=h1,h2,...] [--out=DIR]" \
+       "-- BINARY [FLAGS...]" >&2
+  exit 2
+fi
+
+mkdir -p "$out"
+
+# Round-robin hosts over shard ids ("" = run locally).
+host_count=0
+if [ -n "$hosts" ]; then
+  set -f
+  old_ifs="$IFS"; IFS=,
+  for h in $hosts; do
+    host_count=$((host_count + 1))
+    eval "host_$host_count=\$h"
+  done
+  IFS="$old_ifs"
+  set +f
+fi
+
+# The remote side gets one shell-evaluated string: single-quote every
+# argument (with '\'' escaping) so flags with spaces/globs/$ survive the
+# remote shell exactly as the local exec-"$@" branch passes them.
+remote_cmd=""
+for arg in "$@"; do
+  quoted=$(printf '%s' "$arg" | sed "s/'/'\\\\''/g")
+  remote_cmd="$remote_cmd '$quoted'"
+done
+
+i=0
+pids=""
+while [ "$i" -lt "$shards" ]; do
+  file="$out/shard_$i.of$shards.ndjson"
+  if [ "$host_count" -gt 0 ]; then
+    slot=$(( (i % host_count) + 1 ))
+    eval "host=\$host_$slot"
+    echo "launch_shards.sh: shard $i/$shards on $host -> $file" >&2
+    # -n: the backgrounded workers must not compete for the script's
+    # stdin (SIGTTIN hangs / stolen bytes).
+    ssh -n "$host" "$remote_cmd --shard=$i/$shards" > "$file" &
+  else
+    echo "launch_shards.sh: shard $i/$shards locally -> $file" >&2
+    "$@" --shard="$i/$shards" > "$file" &
+  fi
+  pids="$pids $!"
+  i=$((i + 1))
+done
+
+rc=0
+for pid in $pids; do
+  wait "$pid" || rc=$?
+done
+if [ "$rc" -ne 0 ]; then
+  echo "launch_shards.sh: a shard worker failed (exit $rc)" >&2
+  exit "$rc"
+fi
+
+echo "launch_shards.sh: all $shards shards done; next:" >&2
+echo "  dsm_report merge $out/shard_*.of$shards.ndjson > $out/merged.ndjson" >&2
+echo "  dsm_report render $out/merged.ndjson" >&2

@@ -365,6 +365,12 @@ void CoherenceFabric::note_uncached(Node& home) {
   if (static_cast<std::size_t>(home.uncached_since_compact) * 2 <
       home.dir.tracked_lines())
     return;
+  // Occupancy/node-count gate (see kCompactMinNodes): tiny machines keep
+  // their slices — the counter keeps accumulating, so the occupancy
+  // backstop still fires if the slice ever grows genuinely large.
+  if (nodes_.size() < kCompactMinNodes &&
+      home.dir.tracked_lines() < kCompactMinTracked)
+    return;
   home.uncached_since_compact = 0;
   home.dir.compact();
 }

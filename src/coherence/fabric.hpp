@@ -69,6 +69,18 @@ class CoherenceFabric {
   /// never changes simulated timing or protocol state.
   static constexpr unsigned kCompactEveryUncached = 1024;
 
+  /// Compaction is skipped entirely on small machines with small slices:
+  /// below kCompactMinNodes nodes AND below kCompactMinTracked tracked
+  /// lines per slice, the walk+rebuild churn outweighs the reclaim — on a
+  /// 2-node machine the directory sits on the critical path of every
+  /// access (little network latency to hide it behind) and a streaming
+  /// working set recreates each reclaimed entry one wrap later
+  /// (perf_hotpath measured Hypercube/2 at 0.86x from exactly this). A
+  /// small-node run that genuinely accumulates a huge slice crosses
+  /// kCompactMinTracked and hygiene resumes, so memory stays bounded.
+  static constexpr unsigned kCompactMinNodes = 4;
+  static constexpr std::size_t kCompactMinTracked = std::size_t{1} << 18;
+
   CoherenceFabric(const MachineConfig& cfg, net::Network& network,
                   mem::HomeMap& home_map);
 

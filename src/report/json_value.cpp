@@ -1,0 +1,306 @@
+#include "report/json_value.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace dsm::report {
+namespace {
+
+const char* kind_name(JsonValue::Kind k) {
+  switch (k) {
+    case JsonValue::Kind::kNull: return "null";
+    case JsonValue::Kind::kBool: return "bool";
+    case JsonValue::Kind::kNumber: return "number";
+    case JsonValue::Kind::kString: return "string";
+    case JsonValue::Kind::kObject: return "object";
+    case JsonValue::Kind::kArray: return "array";
+  }
+  return "?";
+}
+
+[[noreturn]] void kind_error(const char* want, JsonValue::Kind got) {
+  throw std::runtime_error(std::string("JSON value is ") + kind_name(got) +
+                           ", not " + want);
+}
+
+}  // namespace
+
+bool JsonValue::boolean() const {
+  if (kind_ != Kind::kBool) kind_error("bool", kind_);
+  return bool_;
+}
+
+double JsonValue::number() const {
+  if (kind_ != Kind::kNumber) kind_error("number", kind_);
+  double v = 0.0;
+  const auto [p, ec] =
+      std::from_chars(scalar_.data(), scalar_.data() + scalar_.size(), v);
+  if (ec != std::errc{} || p != scalar_.data() + scalar_.size())
+    throw std::runtime_error("unparsable number token: " + scalar_);
+  return v;
+}
+
+std::uint64_t JsonValue::unsigned_int() const {
+  if (kind_ != Kind::kNumber) kind_error("number", kind_);
+  std::uint64_t v = 0;
+  const auto [p, ec] =
+      std::from_chars(scalar_.data(), scalar_.data() + scalar_.size(), v);
+  if (ec != std::errc{} || p != scalar_.data() + scalar_.size())
+    throw std::runtime_error("number is not an unsigned integer: " + scalar_);
+  return v;
+}
+
+const std::string& JsonValue::string() const {
+  if (kind_ != Kind::kString) kind_error("string", kind_);
+  return scalar_;
+}
+
+const std::string& JsonValue::raw_number() const {
+  if (kind_ != Kind::kNumber) kind_error("number", kind_);
+  return scalar_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  if (kind_ != Kind::kObject) kind_error("object", kind_);
+  return members_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (kind_ != Kind::kArray) kind_error("array", kind_);
+  return items_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  if (const JsonValue* v = find(key)) return *v;
+  throw std::runtime_error("JSON object has no member '" + key + "'");
+}
+
+const JsonValue& JsonValue::item(std::size_t i) const {
+  const auto& a = items();
+  if (i >= a.size())
+    throw std::runtime_error("JSON array index " + std::to_string(i) +
+                             " out of range (size " +
+                             std::to_string(a.size()) + ")");
+  return a[i];
+}
+
+// ---- parser ----
+
+class JsonParser {
+ public:
+  JsonParser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool parse(JsonValue* out) {
+    if (!value(*out)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing bytes after JSON value");
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& msg) {
+    if (error_) *error_ = "byte " + std::to_string(pos_) + ": " + msg;
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool lit(const char* s, std::size_t n) {
+    if (text_.size() - pos_ < n || text_.compare(pos_, n, s) != 0)
+      return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool string_body(std::string& out) {
+    // pos_ is just past the opening quote.
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) return fail("truncated escape");
+        switch (text_[pos_ + 1]) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          default:
+            // \uXXXX and the rest: never produced by json_escape; a
+            // strict reader has no business guessing at them.
+            return fail("unsupported escape in string");
+        }
+        pos_ += 2;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      } else {
+        out += c;
+        ++pos_;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool number_token(std::string& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool digits = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9')) {
+        digits = true;
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (!digits) return fail("malformed number");
+    out.assign(text_.substr(start, pos_ - start));
+    // Validate the shape now so accessors cannot be surprised later.
+    double v = 0.0;
+    const auto [p, ec] = std::from_chars(out.data(), out.data() + out.size(), v);
+    if (ec != std::errc{} || p != out.data() + out.size())
+      return fail("malformed number");
+    return true;
+  }
+
+  bool value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"':
+        ++pos_;
+        out.kind_ = JsonValue::Kind::kString;
+        return string_body(out.scalar_);
+      case 't':
+        if (!lit("true", 4)) return fail("bad literal");
+        out.kind_ = JsonValue::Kind::kBool;
+        out.bool_ = true;
+        return true;
+      case 'f':
+        if (!lit("false", 5)) return fail("bad literal");
+        out.kind_ = JsonValue::Kind::kBool;
+        out.bool_ = false;
+        return true;
+      case 'n':
+        if (!lit("null", 4)) return fail("bad literal");
+        out.kind_ = JsonValue::Kind::kNull;
+        return true;
+      default:
+        out.kind_ = JsonValue::Kind::kNumber;
+        return number_token(out.scalar_);
+    }
+  }
+
+  // Real records nest a handful of levels (metrics -> m -> curve rows);
+  // the cap turns a corrupt or adversarial deeply-nested line into a
+  // positioned diagnostic instead of recursing the stack away.
+  static constexpr int kMaxDepth = 64;
+
+  bool object(JsonValue& out) {
+    if (++depth_ > kMaxDepth) return fail("nesting deeper than 64 levels");
+    ++pos_;  // '{'
+    out.kind_ = JsonValue::Kind::kObject;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      --depth_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"')
+        return fail("expected object key");
+      ++pos_;
+      std::string key;
+      if (!string_body(key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':')
+        return fail("expected ':' after object key");
+      ++pos_;
+      JsonValue v;
+      if (!value(v)) return false;
+      out.members_.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (pos_ >= text_.size())
+        return fail("unterminated object (no closing '}')");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        --depth_;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool array(JsonValue& out) {
+    if (++depth_ > kMaxDepth) return fail("nesting deeper than 64 levels");
+    ++pos_;  // '['
+    out.kind_ = JsonValue::Kind::kArray;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      --depth_;
+      return true;
+    }
+    for (;;) {
+      JsonValue v;
+      if (!value(v)) return false;
+      out.items_.push_back(std::move(v));
+      skip_ws();
+      if (pos_ >= text_.size())
+        return fail("unterminated array (no closing ']')");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        --depth_;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+bool parse_json(std::string_view text, JsonValue* out, std::string* error) {
+  *out = JsonValue();
+  return JsonParser(text, error).parse(out);
+}
+
+}  // namespace dsm::report

@@ -1,0 +1,65 @@
+// json_value.hpp — a strict, minimal JSON reader for the offline result
+// store. It parses exactly the dialect StreamSink/JsonObject produce
+// (objects with string keys in a deterministic order, arrays, strings
+// with the escapes json_escape emits, numbers, booleans, null) and
+// rejects everything else with a positioned diagnostic.
+//
+// Numbers keep their raw source text: shortest-round-trip serialization
+// (std::to_chars in JsonObject) plus std::from_chars here recovers the
+// identical double, which is what lets an offline renderer reproduce the
+// live table bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dsm::report {
+
+/// One parsed JSON value. Object members keep insertion order (the wire
+/// order), matching JsonObject's deterministic serialization.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+
+  /// Accessors throw std::runtime_error (naming the expected kind) on a
+  /// kind mismatch — a renderer reading a field the harness did not
+  /// serialize is a schema bug and must fail loudly, never render junk.
+  bool boolean() const;
+  double number() const;            ///< from_chars over the raw text
+  std::uint64_t unsigned_int() const;
+  const std::string& string() const;
+  const std::string& raw_number() const;  ///< verbatim source token
+
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+  const std::vector<JsonValue>& items() const;
+
+  /// Object lookup; nullptr when absent (or not an object).
+  const JsonValue* find(const std::string& key) const;
+  /// Object lookup that throws std::runtime_error naming the missing key.
+  const JsonValue& at(const std::string& key) const;
+  /// Array element that throws on out-of-range.
+  const JsonValue& item(std::size_t i) const;
+
+ private:
+  friend class JsonParser;
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::string scalar_;  ///< string body or raw number token
+  std::vector<std::pair<std::string, JsonValue>> members_;
+  std::vector<JsonValue> items_;
+};
+
+/// Parses `text` as one complete JSON value (no trailing bytes). Returns
+/// false with a "byte N: ..." diagnostic in *error on malformed input.
+bool parse_json(std::string_view text, JsonValue* out, std::string* error);
+
+}  // namespace dsm::report

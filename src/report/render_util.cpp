@@ -1,0 +1,56 @@
+#include "report/render_util.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/table_writer.hpp"
+
+namespace dsm::report {
+
+std::vector<CurveRow> parse_curve(const JsonValue& array) {
+  std::vector<CurveRow> out;
+  out.reserve(array.items().size());
+  for (const JsonValue& pt : array.items()) {
+    if (!pt.is_array() || pt.items().size() != 5)
+      throw std::runtime_error(
+          "curve row is not a 5-element [phases, cov, tuning, bbv, dds] "
+          "array");
+    CurveRow r;
+    r.phases = pt.item(0).number();
+    r.cov = pt.item(1).number();
+    r.tuning = pt.item(2).number();
+    r.bbv_threshold = pt.item(3).unsigned_int();
+    r.dds_threshold = pt.item(4).number();
+    out.push_back(r);
+  }
+  return out;
+}
+
+void print_curve(const std::string& title, const std::vector<CurveRow>& curve,
+                 std::size_t max_rows) {
+  TableWriter t({"#phases", "identifier CoV", "tuning frac"});
+  const std::size_t stride =
+      curve.size() <= max_rows ? 1 : curve.size() / max_rows;
+  for (std::size_t i = 0; i < curve.size(); i += stride) {
+    t.add_row({TableWriter::fmt(curve[i].phases, 3),
+               TableWriter::fmt(curve[i].cov, 3),
+               TableWriter::fmt(curve[i].tuning, 2)});
+  }
+  std::printf("%s\n%s\n", title.c_str(), t.to_text().c_str());
+}
+
+void write_curve_csv(const RenderOptions& opt, const std::string& name,
+                     const std::vector<CurveRow>& curve) {
+  if (opt.csv_dir.empty()) return;
+  TableWriter t({"phases", "cov", "tuning_fraction", "bbv_threshold",
+                 "dds_rel_threshold"});
+  for (const auto& pt : curve) {
+    t.add_row({TableWriter::fmt(pt.phases, 6), TableWriter::fmt(pt.cov, 6),
+               TableWriter::fmt(pt.tuning, 6),
+               std::to_string(pt.bbv_threshold),
+               TableWriter::fmt(pt.dds_threshold, 6)});
+  }
+  t.write_csv_file(opt.csv_dir + "/" + name + ".csv");
+}
+
+}  // namespace dsm::report

@@ -1,0 +1,44 @@
+// render_util.hpp — shared record→text formatting helpers for the
+// per-harness renderers: the serialized CoV-curve layout, the
+// gnuplot-friendly curve table, and the full-resolution CSV export.
+// These reproduce the pre-refactor bench_util::print_curve /
+// maybe_write_csv bytes exactly; every curve-bearing harness formats
+// through here in both the live and the offline path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "report/json_value.hpp"
+#include "report/renderer.hpp"
+
+namespace dsm::report {
+
+/// One deserialized CoV-curve point. The wire layout is a 5-element array
+/// [mean_phases, mean_cov, tuning_fraction, bbv_threshold, dds_threshold]
+/// (bench_util::curve_json is the producer).
+struct CurveRow {
+  double phases = 0.0;
+  double cov = 0.0;
+  double tuning = 0.0;
+  std::uint64_t bbv_threshold = 0;
+  double dds_threshold = 0.0;
+};
+
+/// Deserializes a "curve" metrics array; throws std::runtime_error on a
+/// row that is not a 5-element array.
+std::vector<CurveRow> parse_curve(const JsonValue& array);
+
+/// Prints a CoV curve as "phases cov tuning%" rows, subsampled to at most
+/// `max_rows` (the full resolution goes to CSV when enabled).
+void print_curve(const std::string& title, const std::vector<CurveRow>& curve,
+                 std::size_t max_rows = 16);
+
+/// Writes the full-resolution curve to `<csv_dir>/<name>.csv`; no-op when
+/// opt.csv_dir is empty.
+void write_curve_csv(const RenderOptions& opt, const std::string& name,
+                     const std::vector<CurveRow>& curve);
+
+}  // namespace dsm::report

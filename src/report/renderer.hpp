@@ -1,0 +1,63 @@
+// renderer.hpp — record→text renderers: the single formatting point for
+// every harness's human tables, curves, and CSV exports.
+//
+// A renderer consumes validated stream records (record_reader.hpp) in
+// spec order and prints the harness's human output to stdout. The live
+// path (bench_util::sharded_sweep's default mode) feeds it the records it
+// would have streamed; the offline path (`dsm_report render` over a
+// merged NDJSON file) feeds it the collected records. Both paths run the
+// SAME renderer on the SAME bytes, which is what makes offline `render`
+// output byte-identical to the live run — the acceptance contract the
+// report pipeline tests enforce for all 12 harnesses.
+//
+// Renderers print headers lazily on the first record (an offline stream
+// knows its bench/scale only once a record arrives) and accumulate
+// headline tables until finish(), which also returns the process exit
+// code (e.g. overhead_bandwidth's paper-claim verdict).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "report/record_reader.hpp"
+
+namespace dsm::report {
+
+struct RenderOptions {
+  /// When set, renderers also export their full-resolution CSV files
+  /// there (the live `--csv=DIR` flag and `dsm_report render --csv=DIR`
+  /// route through the same code).
+  std::string csv_dir;
+};
+
+class Renderer {
+ public:
+  virtual ~Renderer() = default;
+
+  /// One validated record, in spec order.
+  virtual void record(const RecordView& rec) = 0;
+
+  /// Prints accumulated footers/headline tables; returns the exit code
+  /// the harness's main would have returned (0 unless the harness checks
+  /// a paper claim or validates configuration).
+  virtual int finish() = 0;
+};
+
+/// Renderer registry: one named factory per harness. Returns nullptr for
+/// an unknown bench name (callers print renderer_names()).
+std::unique_ptr<Renderer> make_renderer(const std::string& bench,
+                                        const RenderOptions& opt);
+
+/// The registered bench names, in registration order.
+std::vector<std::string> renderer_names();
+
+/// Drives a validated merged stream through its bench's renderer:
+/// validates with RecordReader(kMergedStream), looks the renderer up from
+/// the first record, and returns the renderer's exit code. On a
+/// validation error or unknown bench returns 1 with the diagnostic in
+/// *error.
+int render_stream(shard::LineSource& source, const RenderOptions& opt,
+                  std::string* error);
+
+}  // namespace dsm::report

@@ -12,27 +12,18 @@
 #include "shard/stream_sink.hpp"
 
 namespace dsm::shard {
+
+FileLineSource::~FileLineSource() { std::free(buf_); }
+
+bool FileLineSource::next(std::string& line) {
+  const ssize_t n = ::getline(&buf_, &cap_, f_);
+  if (n < 0) return false;  // EOF (or read error; caller checks status)
+  line.assign(buf_, static_cast<std::size_t>(n));
+  if (!line.empty() && line.back() == '\n') line.pop_back();
+  return true;
+}
+
 namespace {
-
-// Blocking line reader over a pipe FILE*.
-class FileLineSource : public LineSource {
- public:
-  explicit FileLineSource(std::FILE* f) : f_(f) {}
-  ~FileLineSource() override { std::free(buf_); }
-
-  bool next(std::string& line) override {
-    const ssize_t n = ::getline(&buf_, &cap_, f_);
-    if (n < 0) return false;  // EOF (or read error; caller checks status)
-    line.assign(buf_, static_cast<std::size_t>(n));
-    if (!line.empty() && line.back() == '\n') line.pop_back();
-    return true;
-  }
-
- private:
-  std::FILE* f_;
-  char* buf_ = nullptr;
-  std::size_t cap_ = 0;
-};
 
 struct Head {
   LineSource* source;

@@ -16,6 +16,7 @@
 // pipe buffer of reduced records — workers never buffer whole sweeps.
 #pragma once
 
+#include <cstddef>
 #include <cstdio>
 #include <functional>
 #include <string>
@@ -30,6 +31,34 @@ class LineSource {
  public:
   virtual ~LineSource() = default;
   virtual bool next(std::string& line) = 0;
+};
+
+/// Blocking line reader over a FILE* (a worker pipe, a collected shard
+/// file, or stdin). Does not own the stream. Shared by the in-process
+/// orchestrator and the offline `dsm_report` merge/render/validate paths —
+/// multi-host merging is the same k-way merge over file-backed sources.
+class FileLineSource : public LineSource {
+ public:
+  explicit FileLineSource(std::FILE* f) : f_(f) {}
+  ~FileLineSource() override;
+
+  // buf_ is a raw getline() buffer: movable (vector storage), never
+  // copyable (a copy would double-free it).
+  FileLineSource(FileLineSource&& other) noexcept
+      : f_(other.f_), buf_(other.buf_), cap_(other.cap_) {
+    other.buf_ = nullptr;
+    other.cap_ = 0;
+  }
+  FileLineSource(const FileLineSource&) = delete;
+  FileLineSource& operator=(const FileLineSource&) = delete;
+  FileLineSource& operator=(FileLineSource&&) = delete;
+
+  bool next(std::string& line) override;
+
+ private:
+  std::FILE* f_;
+  char* buf_ = nullptr;
+  std::size_t cap_ = 0;
 };
 
 /// K-way merges per-worker record streams (each already in increasing

@@ -124,6 +124,43 @@ JsonObject& JsonObject::add_raw(const std::string& k,
 
 std::string JsonObject::str() const { return "{" + body_ + "}"; }
 
+// ---- JsonArray ----
+
+void JsonArray::sep() {
+  if (!body_.empty()) body_ += ',';
+}
+
+JsonArray& JsonArray::add(const std::string& value) {
+  sep();
+  body_ += '"';
+  body_ += json_escape(value);
+  body_ += '"';
+  return *this;
+}
+
+JsonArray& JsonArray::add(double value) {
+  sep();
+  char buf[64];
+  const auto [next, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  DSM_ASSERT(ec == std::errc{});
+  body_.append(buf, next);
+  return *this;
+}
+
+JsonArray& JsonArray::add(std::uint64_t value) {
+  sep();
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonArray& JsonArray::add_raw(const std::string& json) {
+  sep();
+  body_ += json;
+  return *this;
+}
+
+std::string JsonArray::str() const { return "[" + body_ + "]"; }
+
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -149,7 +186,7 @@ std::string json_escape(const std::string& s) {
 std::string format_record(const std::string& bench, const StreamRecord& r) {
   char seed_hex[32];
   std::snprintf(seed_hex, sizeof seed_hex, "0x%016" PRIx64, r.seed);
-  std::string line = "{\"v\":1,\"bench\":\"";
+  std::string line = "{\"v\":2,\"bench\":\"";
   line += json_escape(bench);
   line += "\",\"spec_index\":";
   line += std::to_string(r.spec_index);
@@ -168,7 +205,7 @@ std::optional<ParsedRecord> parse_record(const std::string& line) {
   ParsedRecord out;
   std::uint64_t index = 0, seed = 0;
   std::string seed_text;
-  if (!s.lit("{\"v\":1,\"bench\":\"")) return std::nullopt;
+  if (!s.lit("{\"v\":2,\"bench\":\"")) return std::nullopt;
   if (!s.quoted(out.bench)) return std::nullopt;
   if (!s.lit(",\"spec_index\":")) return std::nullopt;
   if (!s.uint(index)) return std::nullopt;

@@ -12,8 +12,13 @@
 // `--shards=1`.
 //
 // Schema (one JSON object per line, keys always in this order):
-//   {"v":1,"bench":"<harness>","spec_index":<n>,"key":"<label>",
+//   {"v":2,"bench":"<harness>","spec_index":<n>,"key":"<label>",
 //    "seed":"0x<hex>","metrics":{...}}
+// v2 = v1 plus the mandatory context envelope bench_util wraps inside
+// `metrics` (the bump makes pre-envelope stores fail with version skew,
+// not a missing-field diagnostic). The normative schema description
+// lives in README.md, "NDJSON record schema"; the strict offline
+// validator is report/record_reader.hpp.
 #pragma once
 
 #include <cstddef>
@@ -51,6 +56,23 @@ class JsonObject {
 
  private:
   void key(const std::string& k);
+  std::string body_;
+};
+
+/// JsonObject's array sibling, with the same deterministic rendering.
+/// Used for the serialized curves/row-lists the offline renderers rebuild
+/// tables from.
+class JsonArray {
+ public:
+  JsonArray& add(const std::string& value);
+  JsonArray& add(double value);
+  JsonArray& add(std::uint64_t value);
+  /// Splices pre-serialized JSON (a nested object/array) verbatim.
+  JsonArray& add_raw(const std::string& json);
+  std::string str() const;  ///< "[...]"
+
+ private:
+  void sep();
   std::string body_;
 };
 

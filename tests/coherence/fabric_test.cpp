@@ -232,11 +232,55 @@ TEST(FabricTest, RandomizedInvariantFuzz) {
 }
 
 // The fabric must periodically compact directory slices: a long streaming
-// run leaves most tracked lines in kUncached, and without compaction the
-// slice grows with every distinct line ever touched.
+// run leaves most tracked lines in kUncached, and without compaction a
+// slice grows with every distinct line ever touched. Exercised at
+// kCompactMinNodes nodes — the smallest machine the occupancy/node-count
+// gate lets compact (below it, see SmallMachineSkipsCompaction).
 TEST(FabricTest, DirectoryCompactionBoundsTrackedLines) {
-  MachineConfig cfg = default_config(1);
+  const unsigned nodes = CoherenceFabric::kCompactMinNodes;
+  MachineConfig cfg = default_config(nodes);
   cfg.l2.size_bytes = 64 * 1024;  // 2048 lines -> evictions come quickly
+  net::Network network(cfg);
+  mem::HomeMap home_map(nodes, cfg.memory.page_bytes,
+                        mem::Placement::kRoundRobin);
+  CoherenceFabric fabric(cfg, network, home_map);
+
+  const unsigned live_lines =
+      static_cast<unsigned>(cfg.l2.size_bytes / cfg.l2.line_bytes);
+  // Each node streams 8x its L2 through its own every-nodes-th line, so
+  // evictions outnumber live lines 7:1 on every slice.
+  const unsigned distinct = 8 * live_lines * nodes;
+  const auto tracked_total = [&] {
+    std::size_t sum = 0;
+    for (NodeId h = 0; h < nodes; ++h)
+      sum += fabric.directory(h).tracked_lines();
+    return sum;
+  };
+  std::size_t peak = 0;
+  std::size_t after_peak_min = SIZE_MAX;
+  for (unsigned i = 0; i < distinct; ++i) {
+    fabric.access(i % nodes, Addr{i} * cfg.l2.line_bytes, false, i * 4);
+    const std::size_t tracked = tracked_total();
+    if (tracked > peak) peak = tracked;
+    else after_peak_min = std::min(after_peak_min, tracked);
+  }
+  // Compaction must have fired: total tracked lines shrank below the peak
+  // and stays far below the distinct-line count uncompacted slices would
+  // hold.
+  EXPECT_LT(after_peak_min, peak);
+  EXPECT_LT(tracked_total(), distinct / 2);
+  EXPECT_GE(tracked_total(), live_lines);
+  fabric.check_invariants();
+}
+
+// Below kCompactMinNodes the same streaming pattern must NOT compact (the
+// 2-node perf_hotpath regression: reclaimed entries were recreated one
+// wrap later, all walk and no reclaim): tracked lines grow to the touched
+// working set and stay there — which the occupancy backstop keeps far
+// below kCompactMinTracked.
+TEST(FabricTest, SmallMachineSkipsCompaction) {
+  MachineConfig cfg = default_config(1);
+  cfg.l2.size_bytes = 64 * 1024;
   net::Network network(cfg);
   mem::HomeMap home_map(1, cfg.memory.page_bytes, mem::Placement::kRoundRobin);
   CoherenceFabric fabric(cfg, network, home_map);
@@ -244,20 +288,16 @@ TEST(FabricTest, DirectoryCompactionBoundsTrackedLines) {
   const unsigned live_lines =
       static_cast<unsigned>(cfg.l2.size_bytes / cfg.l2.line_bytes);
   const unsigned distinct = 8 * live_lines;
-  std::size_t peak = 0;
-  std::size_t after_peak_min = SIZE_MAX;
+  std::size_t last = 0;
   for (unsigned i = 0; i < distinct; ++i) {
     fabric.access(0, Addr{i} * cfg.l2.line_bytes, false, i * 4);
     const std::size_t tracked = fabric.directory(0).tracked_lines();
-    if (tracked > peak) peak = tracked;
-    else after_peak_min = std::min(after_peak_min, tracked);
+    EXPECT_GE(tracked, last);  // never shrinks: no compaction ran
+    last = tracked;
   }
-  // Streaming evictions outnumber live lines 7:1, so compaction must have
-  // fired: tracked_lines shrank below its peak and stays far below the
-  // distinct-line count an uncompacted slice would hold.
-  EXPECT_LT(after_peak_min, peak);
-  EXPECT_LT(fabric.directory(0).tracked_lines(), distinct / 2);
-  EXPECT_GE(fabric.directory(0).tracked_lines(), live_lines);
+  EXPECT_EQ(fabric.directory(0).tracked_lines(), distinct);
+  EXPECT_LT(fabric.directory(0).tracked_lines(),
+            CoherenceFabric::kCompactMinTracked);
   fabric.check_invariants();
 }
 

@@ -1,0 +1,103 @@
+// json_value_test.cpp — the strict JSON reader under the offline result
+// store: exact round-trips of what JsonObject/JsonArray serialize, and
+// loud rejection of everything else.
+#include "report/json_value.hpp"
+
+#include <gtest/gtest.h>
+
+#include "shard/stream_sink.hpp"
+
+namespace dsm::report {
+namespace {
+
+JsonValue parse_ok(const std::string& text) {
+  JsonValue v;
+  std::string err;
+  EXPECT_TRUE(parse_json(text, &v, &err)) << text << ": " << err;
+  return v;
+}
+
+std::string parse_err(const std::string& text) {
+  JsonValue v;
+  std::string err;
+  EXPECT_FALSE(parse_json(text, &v, &err)) << text;
+  return err;
+}
+
+TEST(JsonValueTest, ParsesScalars) {
+  EXPECT_EQ(parse_ok("\"hi\"").string(), "hi");
+  EXPECT_EQ(parse_ok("42").unsigned_int(), 42u);
+  EXPECT_DOUBLE_EQ(parse_ok("-1.5e3").number(), -1500.0);
+  EXPECT_TRUE(parse_ok("true").boolean());
+  EXPECT_FALSE(parse_ok("false").boolean());
+  EXPECT_EQ(parse_ok("null").kind(), JsonValue::Kind::kNull);
+}
+
+TEST(JsonValueTest, ObjectKeepsInsertionOrder) {
+  const auto v = parse_ok(R"({"b":1,"a":2,"c":{"x":[1,2]}})");
+  ASSERT_TRUE(v.is_object());
+  ASSERT_EQ(v.members().size(), 3u);
+  EXPECT_EQ(v.members()[0].first, "b");
+  EXPECT_EQ(v.members()[1].first, "a");
+  EXPECT_EQ(v.at("a").unsigned_int(), 2u);
+  EXPECT_EQ(v.at("c").at("x").item(1).unsigned_int(), 2u);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonValueTest, RoundTripsJsonObjectOutput) {
+  // What the producers serialize must parse back to identical values —
+  // including the shortest-round-trip doubles.
+  const double tricky = 0.1 + 0.2;  // 0.30000000000000004
+  const std::string text = shard::JsonObject()
+                               .add("s", std::string("a\"b\\c\nd"))
+                               .add("d", tricky)
+                               .add("u", std::uint64_t{1} << 63)
+                               .add_raw("arr", shard::JsonArray()
+                                                   .add(1.25)
+                                                   .add(std::uint64_t{7})
+                                                   .add("x")
+                                                   .str())
+                               .str();
+  const auto v = parse_ok(text);
+  EXPECT_EQ(v.at("s").string(), "a\"b\\c\nd");
+  EXPECT_EQ(v.at("d").number(), tricky);  // bit-exact, not approximate
+  EXPECT_EQ(v.at("u").unsigned_int(), std::uint64_t{1} << 63);
+  EXPECT_DOUBLE_EQ(v.at("arr").item(0).number(), 1.25);
+  EXPECT_EQ(v.at("arr").item(2).string(), "x");
+}
+
+TEST(JsonValueTest, RejectsMalformedInput) {
+  EXPECT_NE(parse_err("").find("unexpected end"), std::string::npos);
+  EXPECT_NE(parse_err("{\"a\":1").find("unterminated object"),
+            std::string::npos);
+  EXPECT_NE(parse_err("[1,2").find("unterminated array"), std::string::npos);
+  EXPECT_NE(parse_err("{\"a\" 1}").find("expected ':'"), std::string::npos);
+  EXPECT_NE(parse_err("{}x").find("trailing bytes"), std::string::npos);
+  EXPECT_NE(parse_err("\"\\u0041\"").find("unsupported escape"),
+            std::string::npos);
+  EXPECT_NE(parse_err("nul").find("bad literal"), std::string::npos);
+  EXPECT_NE(parse_err("1.2.3").find("malformed number"), std::string::npos);
+}
+
+TEST(JsonValueTest, RejectsPathologicalNestingWithoutOverflowing) {
+  // A corrupt/adversarial line of 100k '[' must produce a diagnostic,
+  // not recurse the stack away.
+  const std::string deep(100'000, '[');
+  EXPECT_NE(parse_err(deep).find("nesting deeper"), std::string::npos);
+  // Realistic nesting stays fine.
+  std::string ok = "1";
+  for (int i = 0; i < 20; ++i) ok = "[" + ok + "]";
+  parse_ok(ok);
+}
+
+TEST(JsonValueTest, AccessorsThrowOnKindMismatch) {
+  const auto v = parse_ok(R"({"n":1,"s":"x"})");
+  EXPECT_THROW(v.at("n").string(), std::runtime_error);
+  EXPECT_THROW(v.at("s").number(), std::runtime_error);
+  EXPECT_THROW(v.at("missing"), std::runtime_error);
+  EXPECT_THROW(v.items(), std::runtime_error);
+  EXPECT_THROW(parse_ok("1.5").unsigned_int(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dsm::report

@@ -1,0 +1,119 @@
+// renderer_registry_test.cpp — every harness must have a registered
+// renderer (the live human-output path refuses to run without one), and
+// render_stream must fail loudly on unknown benches and broken streams.
+#include "report/renderer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "shard/stream_sink.hpp"
+
+namespace dsm::report {
+namespace {
+
+class VectorLineSource : public shard::LineSource {
+ public:
+  explicit VectorLineSource(std::vector<std::string> lines)
+      : lines_(std::move(lines)) {}
+  bool next(std::string& line) override {
+    if (pos_ >= lines_.size()) return false;
+    line = lines_[pos_++];
+    return true;
+  }
+
+ private:
+  std::vector<std::string> lines_;
+  std::size_t pos_ = 0;
+};
+
+std::string micro_line(std::size_t index, const char* kernel,
+                       const char* size) {
+  shard::StreamRecord rec;
+  rec.spec_index = index;
+  rec.key = std::string(kernel) + "/" + size;
+  rec.seed = 0;
+  rec.metrics = shard::JsonObject()
+                    .add("app", std::string(kernel))
+                    .add("nodes", std::uint64_t{0})
+                    .add("variant", std::string(size))
+                    .add("param", 32.0)
+                    .add("scale", std::string("test"))
+                    .add_raw("m", shard::JsonObject()
+                                      .add("base_iters", std::uint64_t{1000})
+                                      .add("iters", std::uint64_t{1000})
+                                      .add("checksum", std::uint64_t{42})
+                                      .str())
+                    .str();
+  return format_record("micro_detector", rec);
+}
+
+TEST(RendererRegistryTest, EveryHarnessHasARenderer) {
+  const std::vector<std::string> expected = {
+      "fig2_bbv_baseline", "fig4_bbv_ddv",       "table1_architecture",
+      "table2_applications", "ablation_ddv_terms", "ablation_footprint",
+      "ablation_intervals", "ablation_topology",  "overhead_bandwidth",
+      "predictors_eval",    "micro_detector",     "perf_hotpath",
+  };
+  const auto names = renderer_names();
+  EXPECT_EQ(names.size(), expected.size());
+  for (const auto& bench : expected) {
+    EXPECT_NE(std::find(names.begin(), names.end(), bench), names.end())
+        << bench << " not in registry";
+    EXPECT_NE(make_renderer(bench, RenderOptions{}), nullptr) << bench;
+  }
+  EXPECT_EQ(make_renderer("no_such_bench", RenderOptions{}), nullptr);
+}
+
+TEST(RenderStreamTest, RendersAValidStream) {
+  VectorLineSource src({micro_line(0, "manhattan", "16"),
+                        micro_line(1, "manhattan", "32")});
+  testing::internal::CaptureStdout();
+  std::string error;
+  const int rc = render_stream(src, RenderOptions{}, &error);
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_EQ(rc, 0) << error;
+  EXPECT_TRUE(error.empty()) << error;
+  EXPECT_NE(out.find("Detector hardware microbenchmarks"),
+            std::string::npos);
+  EXPECT_NE(out.find("manhattan"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);  // the checksum column
+}
+
+TEST(RenderStreamTest, FailsOnUnknownBench) {
+  shard::StreamRecord rec;
+  rec.key = "k";
+  rec.metrics = shard::JsonObject()
+                    .add("app", std::string("x"))
+                    .add("nodes", std::uint64_t{0})
+                    .add("variant", std::string())
+                    .add("param", 0.0)
+                    .add("scale", std::string("test"))
+                    .add_raw("m", "{}")
+                    .str();
+  VectorLineSource src({format_record("mystery_bench", rec)});
+  std::string error;
+  EXPECT_EQ(render_stream(src, RenderOptions{}, &error), 1);
+  EXPECT_NE(error.find("no renderer registered"), std::string::npos)
+      << error;
+  EXPECT_NE(error.find("mystery_bench"), std::string::npos) << error;
+}
+
+TEST(RenderStreamTest, FailsOnEmptyAndBrokenStreams) {
+  VectorLineSource empty({});
+  std::string error;
+  EXPECT_EQ(render_stream(empty, RenderOptions{}, &error), 1);
+  EXPECT_NE(error.find("no records"), std::string::npos) << error;
+
+  testing::internal::CaptureStdout();
+  VectorLineSource gap({micro_line(0, "manhattan", "16"),
+                        micro_line(2, "manhattan", "64")});
+  error.clear();
+  EXPECT_EQ(render_stream(gap, RenderOptions{}, &error), 1);
+  testing::internal::GetCapturedStdout();  // drop partial render output
+  EXPECT_NE(error.find("gap in spec indices"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace dsm::report

@@ -58,7 +58,7 @@ TEST(StreamRecordTest, SchemaIsPinned) {
   r.seed = 0x1;
   r.metrics = "{}";
   EXPECT_EQ(format_record("t", r),
-            "{\"v\":1,\"bench\":\"t\",\"spec_index\":0,\"key\":\"run\","
+            "{\"v\":2,\"bench\":\"t\",\"spec_index\":0,\"key\":\"run\","
             "\"seed\":\"0x0000000000000001\",\"metrics\":{}}");
 }
 
@@ -71,7 +71,7 @@ TEST(StreamRecordTest, ParseRejectsCorruptLines) {
   EXPECT_FALSE(parse_record("not json").has_value());
   EXPECT_FALSE(parse_record(good + "x").has_value());  // trailing junk
   EXPECT_FALSE(parse_record(good.substr(0, good.size() - 2)).has_value());
-  EXPECT_FALSE(parse_record("{\"v\":2" + good.substr(6)).has_value());
+  EXPECT_FALSE(parse_record("{\"v\":1" + good.substr(6)).has_value());
 }
 
 TEST(StreamSinkTest, WritesSpecOrderedFlushedLines) {

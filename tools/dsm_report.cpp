@@ -1,0 +1,252 @@
+// dsm_report.cpp — offline consumer for the NDJSON result store: merge
+// per-shard files collected from a fleet, rebuild the human tables from
+// merged records, validate record files, and plan per-host shard command
+// lines.
+//
+//   dsm_report merge s0.ndjson s1.ndjson ... > merged.ndjson
+//       K-way merge of per-shard record files in spec order — the same
+//       merge_streams the in-process `--shards=N` orchestrator runs over
+//       worker pipes, so the output is byte-identical to a single-host
+//       `--shards=N` (and `--shard=0/1`) stream. Fails loudly on gaps,
+//       duplicates, mixed benches, or unparsable lines.
+//
+//   dsm_report render [--csv=DIR] merged.ndjson
+//       Rebuilds the harness's human tables/curves (and CSV exports) from
+//       a merged record file via the renderer registry in src/report —
+//       the same code the live harness runs, so the output is
+//       byte-identical to the live run. `-` reads stdin. The exit code is
+//       the renderer's verdict (e.g. overhead_bandwidth's paper claim).
+//
+//   dsm_report validate [--merged] file.ndjson ...
+//       Strict schema/ordering validation of record files: per-shard
+//       files must be strictly increasing in spec index, merged files
+//       contiguous from 0 (--merged).
+//
+//   dsm_report plan --bin=PATH --shards=N [--out=DIR] [--sbatch] [-- f...]
+//       Prints the per-host worker command lines (or an sbatch job-array
+//       script) for a fleet run: launch, collect the files, merge,
+//       render.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "report/record_reader.hpp"
+#include "report/renderer.hpp"
+#include "shard/orchestrator.hpp"
+#include "shard/shard_plan.hpp"
+
+namespace {
+
+using namespace dsm;
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <command> ...\n"
+      "  merge FILE...              merge per-shard NDJSON files to stdout\n"
+      "                             (byte-identical to --shards=N output)\n"
+      "  render [--csv=DIR] FILE    rebuild the harness's human tables from\n"
+      "                             a merged record file ('-' = stdin)\n"
+      "  validate [--merged] FILE...  strict-check record files\n"
+      "  plan --bin=PATH --shards=N [--out=DIR] [--sbatch] [-- FLAGS...]\n"
+      "                             print per-host shard command lines\n",
+      argv0);
+  return 2;
+}
+
+struct OpenFile {
+  std::FILE* f = nullptr;
+  ~OpenFile() {
+    if (f != nullptr && f != stdin) std::fclose(f);
+  }
+};
+
+bool open_input(const std::string& path, OpenFile* out) {
+  if (path == "-") {
+    out->f = stdin;
+    return true;
+  }
+  out->f = std::fopen(path.c_str(), "r");
+  if (out->f == nullptr) {
+    std::fprintf(stderr, "dsm_report: cannot open %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+int cmd_merge(const std::vector<std::string>& files) {
+  if (files.empty()) {
+    std::fprintf(stderr, "dsm_report merge: no input files\n");
+    return 2;
+  }
+  std::vector<OpenFile> opened(files.size());
+  std::vector<shard::FileLineSource> line_sources;
+  line_sources.reserve(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (!open_input(files[i], &opened[i])) return 1;
+    line_sources.emplace_back(opened[i].f);
+  }
+  std::vector<shard::LineSource*> sources;
+  for (auto& s : line_sources) sources.push_back(&s);
+
+  std::string error;
+  const bool ok = shard::merge_streams(
+      sources,
+      [](const std::string& line) {
+        std::fwrite(line.data(), 1, line.size(), stdout);
+        std::fputc('\n', stdout);
+      },
+      &error);
+  std::fflush(stdout);
+  if (!ok) {
+    std::fprintf(stderr, "dsm_report merge: %s\n", error.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_render(const std::vector<std::string>& args) {
+  report::RenderOptions opt;
+  std::string path;
+  for (const auto& a : args) {
+    if (a.rfind("--csv=", 0) == 0) {
+      opt.csv_dir = a.substr(6);
+    } else if (!a.empty() && (a[0] != '-' || a == "-")) {
+      if (!path.empty()) {
+        std::fprintf(stderr,
+                     "dsm_report render: exactly one input file (got '%s' "
+                     "and '%s')\n",
+                     path.c_str(), a.c_str());
+        return 2;
+      }
+      path = a;
+    } else {
+      std::fprintf(stderr, "dsm_report render: unknown option %s\n",
+                   a.c_str());
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "dsm_report render: no input file\n");
+    return 2;
+  }
+  OpenFile in;
+  if (!open_input(path, &in)) return 1;
+  shard::FileLineSource source(in.f);
+  std::string error;
+  const int rc = report::render_stream(source, opt, &error);
+  if (!error.empty())
+    std::fprintf(stderr, "dsm_report render: %s: %s\n", path.c_str(),
+                 error.c_str());
+  return rc;
+}
+
+int cmd_validate(const std::vector<std::string>& args) {
+  report::StreamKind kind = report::StreamKind::kShardSlice;
+  std::vector<std::string> files;
+  for (const auto& a : args) {
+    if (a == "--merged") kind = report::StreamKind::kMergedStream;
+    else files.push_back(a);
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "dsm_report validate: no input files\n");
+    return 2;
+  }
+  int rc = 0;
+  for (const auto& path : files) {
+    OpenFile in;
+    if (!open_input(path, &in)) {
+      rc = 1;  // report every file, same as the validation-error path
+      continue;
+    }
+    shard::FileLineSource source(in.f);
+    report::RecordReader reader(source, kind);
+    report::RecordView rec;
+    std::size_t first = 0, last = 0;
+    while (reader.next(&rec)) {
+      if (reader.records() == 1) first = rec.spec_index;
+      last = rec.spec_index;
+    }
+    if (!reader.ok()) {
+      std::fprintf(stderr, "dsm_report validate: %s: %s\n", path.c_str(),
+                   reader.error().c_str());
+      rc = 1;
+      continue;
+    }
+    if (reader.records() == 0)
+      std::printf("%s: OK, 0 records\n", path.c_str());
+    else
+      std::printf("%s: OK, %zu records, bench '%s', spec indices %zu..%zu\n",
+                  path.c_str(), reader.records(), reader.bench().c_str(),
+                  first, last);
+  }
+  return rc;
+}
+
+int cmd_plan(const std::vector<std::string>& args) {
+  std::string bin, out_dir = ".";
+  unsigned long shards = 0;
+  bool sbatch = false;
+  std::vector<std::string> flags;
+  bool passthrough = false;
+  for (const auto& a : args) {
+    if (passthrough) {
+      flags.push_back(a);
+    } else if (a == "--") {
+      passthrough = true;
+    } else if (a.rfind("--bin=", 0) == 0) {
+      bin = a.substr(6);
+    } else if (a.rfind("--out=", 0) == 0) {
+      out_dir = a.substr(6);
+    } else if (a.rfind("--shards=", 0) == 0) {
+      shards = std::strtoul(a.c_str() + 9, nullptr, 10);
+    } else if (a == "--sbatch") {
+      sbatch = true;
+    } else {
+      std::fprintf(stderr, "dsm_report plan: unknown option %s\n", a.c_str());
+      return 2;
+    }
+  }
+  if (bin.empty() || shards < 1 || shards > shard::kMaxShards) {
+    std::fprintf(stderr,
+                 "dsm_report plan: need --bin=PATH and --shards=N "
+                 "(1 <= N <= %u)\n",
+                 shard::kMaxShards);
+    return 2;
+  }
+  std::string flag_str;
+  for (const auto& f : flags) flag_str += " " + f;
+
+  if (sbatch) {
+    // A job-array script: one array task per shard, each writing its own
+    // file. Collect the files and `dsm_report merge` them afterwards.
+    std::printf("#!/bin/sh\n");
+    std::printf("#SBATCH --array=0-%lu\n", shards - 1);
+    std::printf("#SBATCH --output=%s/shard_%%a.log\n", out_dir.c_str());
+    std::printf("exec %s%s --shard=${SLURM_ARRAY_TASK_ID}/%lu > "
+                "%s/shard_${SLURM_ARRAY_TASK_ID}.of%lu.ndjson\n",
+                bin.c_str(), flag_str.c_str(), shards, out_dir.c_str(),
+                shards);
+    return 0;
+  }
+  for (unsigned long i = 0; i < shards; ++i)
+    std::printf("%s%s --shard=%lu/%lu > %s/shard_%lu.of%lu.ndjson\n",
+                bin.c_str(), flag_str.c_str(), i, shards, out_dir.c_str(),
+                i, shards);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (cmd == "merge") return cmd_merge(args);
+  if (cmd == "render") return cmd_render(args);
+  if (cmd == "validate") return cmd_validate(args);
+  if (cmd == "plan") return cmd_plan(args);
+  std::fprintf(stderr, "dsm_report: unknown command '%s'\n", cmd.c_str());
+  return usage(argv[0]);
+}
