@@ -3,8 +3,10 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "common/log.hpp"
 #include "common/parse.hpp"
@@ -215,6 +217,33 @@ std::vector<WorkloadResult> run_sweep(
         }
         return r;
       });
+}
+
+std::string host_context_json() {
+  std::string cpu = "unknown";
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  for (std::string ln; std::getline(cpuinfo, ln);) {
+    if (ln.rfind("model name", 0) == 0) {
+      const auto colon = ln.find(':');
+      if (colon != std::string::npos) {
+        cpu = ln.substr(colon + 1);
+        while (!cpu.empty() && cpu.front() == ' ') cpu.erase(cpu.begin());
+      }
+      break;
+    }
+  }
+  std::string governor = "unknown";
+  std::ifstream gov("/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor");
+  if (gov) {
+    std::getline(gov, governor);
+    if (governor.empty()) governor = "unknown";
+  }
+  return shard::JsonObject()
+      .add("cpu", cpu)
+      .add("cores",
+           static_cast<std::uint64_t>(std::thread::hardware_concurrency()))
+      .add("governor", governor)
+      .str();
 }
 
 std::string curve_json(const std::vector<analysis::CurvePoint>& curve) {

@@ -146,6 +146,13 @@ std::vector<WorkloadResult> run_sweep(
 /// [[mean_phases, mean_cov, tuning_fraction, bbv_threshold, dds], ...].
 std::string curve_json(const std::vector<analysis::CurvePoint>& curve);
 
+/// Best-effort JSON object describing the measuring host — cpu model
+/// (/proc/cpuinfo), online core count, and cpufreq governor when
+/// readable ("unknown" otherwise): {"cpu": "...", "cores": N,
+/// "governor": "..."}. Written into every BENCH_*.json so wall-clock
+/// trajectory points recorded on different machines stay interpretable.
+std::string host_context_json();
+
 /// Builds the full stream record for one reduced configuration: context
 /// envelope (the spec point's content plus the scale) wrapping the
 /// harness metrics under "m". This is THE formatting point for records —

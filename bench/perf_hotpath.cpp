@@ -151,6 +151,7 @@ void write_json(const std::string& path, apps::Scale scale,
   f << "{\n";
   f << "  \"bench\": \"perf_hotpath\",\n";
   f << "  \"scale\": \"" << apps::scale_name(scale) << "\",\n";
+  f << "  \"host\": " << bench::host_context_json() << ",\n";
   f << "  \"accesses_per_config\": " << accesses << ",\n";
   f << "  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {

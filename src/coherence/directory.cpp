@@ -19,57 +19,91 @@ unsigned DirEntry::sharer_count() const {
 
 Directory::Directory(NodeId home)
     : home_(home),
-      slots_(kInitialSlots) {}
+      keys_(kInitialSlots, kEmptyKey),
+      entries_(kInitialSlots) {}
 
 DirEntry& Directory::entry(Addr line_addr) {
+  DSM_ASSERT(line_addr != kEmptyKey);
   // Keep load below 1/2 before probing so the returned reference is not
   // invalidated by this call's own insert.
-  if ((size_ + 1) * 2 > slots_.size()) rebuild(slots_.size() * 2);
+  if ((size_ + 1) * 2 > keys_.size()) rebuild(keys_.size() * 2);
   std::size_t i = slot_of(line_addr);
-  const std::size_t mask = slots_.size() - 1;
-  while (slots_[i].used) {
-    if (slots_[i].key == line_addr) return slots_[i].e;
+  const std::size_t mask = keys_.size() - 1;
+  while (keys_[i] != kEmptyKey) {
+    if (keys_[i] == line_addr) return entries_[i];
     i = (i + 1) & mask;
   }
-  Slot& s = slots_[i];
-  s.used = true;
-  s.key = line_addr;
-  s.e = DirEntry{};
+  keys_[i] = line_addr;
+  entries_[i] = DirEntry{};
   ++size_;
-  return s.e;
+  return entries_[i];
 }
 
 DirEntry Directory::peek(Addr line_addr) const {
   std::size_t i = slot_of(line_addr);
-  const std::size_t mask = slots_.size() - 1;
-  while (slots_[i].used) {
-    if (slots_[i].key == line_addr) return slots_[i].e;
+  const std::size_t mask = keys_.size() - 1;
+  while (keys_[i] != kEmptyKey) {
+    if (keys_[i] == line_addr) return entries_[i];
     i = (i + 1) & mask;
   }
   return DirEntry{};
 }
 
+void Directory::erase(Addr line_addr) {
+  const std::size_t mask = keys_.size() - 1;
+  std::size_t i = slot_of(line_addr);
+  while (keys_[i] != kEmptyKey && keys_[i] != line_addr) i = (i + 1) & mask;
+  if (keys_[i] == kEmptyKey) return;  // absent
+  // Backward-shift deletion (Knuth 6.4 R): walk the cluster after the
+  // hole; an element whose home slot lies cyclically outside (hole, j]
+  // probed through the hole to reach j, so it must slide back into it.
+  std::size_t hole = i;
+  std::size_t j = i;
+  for (;;) {
+    j = (j + 1) & mask;
+    if (keys_[j] == kEmptyKey) break;
+    const std::size_t h = slot_of(keys_[j]);
+    const bool passes_hole =
+        hole <= j ? (h <= hole || h > j) : (h <= hole && h > j);
+    if (passes_hole) {
+      keys_[hole] = keys_[j];
+      entries_[hole] = entries_[j];
+      hole = j;
+    }
+  }
+  keys_[hole] = kEmptyKey;
+  --size_;
+}
+
 void Directory::rebuild(std::size_t new_cap) {
   DSM_ASSERT(is_pow2(new_cap) && new_cap >= size_ * 2);
-  std::vector<Slot> old = std::move(slots_);
-  slots_.assign(new_cap, Slot{});
+  // Rehash into the spare lanes, then swap: allocation-free unless
+  // new_cap exceeds the high-water capacity (growth — a warm-up event).
+  if (spare_keys_.capacity() < new_cap) spare_keys_.reserve(new_cap);
+  if (spare_entries_.capacity() < new_cap) spare_entries_.reserve(new_cap);
+  spare_keys_.assign(new_cap, kEmptyKey);
+  spare_entries_.assign(new_cap, DirEntry{});
+  spare_keys_.swap(keys_);
+  spare_entries_.swap(entries_);
   const std::size_t mask = new_cap - 1;
-  for (const Slot& s : old) {
-    if (!s.used) continue;
-    std::size_t i = slot_of(s.key);
-    while (slots_[i].used) i = (i + 1) & mask;
-    slots_[i] = s;
+  for (std::size_t s = 0; s < spare_keys_.size(); ++s) {
+    if (spare_keys_[s] == kEmptyKey) continue;
+    std::size_t i = slot_of(spare_keys_[s]);
+    while (keys_[i] != kEmptyKey) i = (i + 1) & mask;
+    keys_[i] = spare_keys_[s];
+    entries_[i] = spare_entries_[s];
   }
 }
 
 void Directory::compact() {
   // Drop dead (Uncached, no sharers) entries, then rebuild: open
-  // addressing cannot erase in place without breaking probe chains.
+  // addressing cannot bulk-erase in place without breaking probe chains.
   std::size_t live = 0;
-  for (Slot& s : slots_) {
-    if (!s.used) continue;
-    if (s.e.state == DirEntry::State::kUncached && s.e.sharers == 0) {
-      s.used = false;
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    if (keys_[i] == kEmptyKey) continue;
+    if (entries_[i].state == DirEntry::State::kUncached &&
+        entries_[i].sharers == 0) {
+      keys_[i] = kEmptyKey;
       --size_;
     } else {
       ++live;
@@ -78,7 +112,7 @@ void Directory::compact() {
   // Shrink only when hugely sparse (target ≤ 25% load with another 2x of
   // insert headroom) so a compact near the grow threshold cannot thrash
   // between halving and immediately re-doubling.
-  std::size_t cap = slots_.size();
+  std::size_t cap = keys_.size();
   while (cap > kInitialSlots && live * 8 <= cap) cap /= 2;
   rebuild(cap);
 }

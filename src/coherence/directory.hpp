@@ -7,6 +7,14 @@
 // on the miss path of every simulated access, and profiling showed the old
 // node-based std::unordered_map — hash-bucket pointer chasing plus one
 // malloc/free per tracked line — dominating the whole simulator.
+//
+// Layout: structure-of-arrays. Keys live in their own dense lane (one
+// 64-byte host cache line covers 8 keys) with kEmptyKey marking unused
+// slots, so a probe chain touches nothing but the key lane until it
+// lands; the DirEntry payloads sit in a parallel lane read only at the
+// matched slot. With the old {key, used, DirEntry} records a slice's
+// probe working set was 4x larger and every probe step dragged the
+// payload through the host caches.
 #pragma once
 
 #include <bit>
@@ -45,25 +53,50 @@ class Directory {
   NodeId home() const { return home_; }
 
   /// Mutable entry (creating an Uncached one on demand). The reference is
-  /// invalidated by the next entry() or compact() on this slice (the table
-  /// may resize/rebuild) — don't hold it across either.
+  /// invalidated by the next entry(), erase(), or compact() on this slice
+  /// (the table may resize/rebuild or shift entries) — don't hold it
+  /// across any of them.
   DirEntry& entry(Addr line_addr);
 
   /// Read-only lookup; returns a value copy (Uncached default if absent).
   DirEntry peek(Addr line_addr) const;
 
-  /// Drops entries that returned to kUncached (bounds memory in long
-  /// runs). O(capacity): rebuilds the table around the survivors.
+  /// Hints the host to pull `line_addr`'s first probe slot (key and entry
+  /// lanes) into its caches. Pure latency hint — no simulated effect; the
+  /// fabric issues it at the top of access() so a later entry()/erase()
+  /// for the line finds its slot already in flight.
+  void prefetch(Addr line_addr) const {
+    const std::size_t i = slot_of(line_addr);
+    __builtin_prefetch(&keys_[i]);
+    __builtin_prefetch(&entries_[i]);
+  }
+
+  /// Removes the entry for `line_addr` in place (no-op when absent).
+  /// Backward-shift deletion closes the probe-chain gap, so the table
+  /// never holds tombstones or dead entries: O(1) amortized at the
+  /// <= 1/2 load entry() maintains, allocation-free, and probe chains
+  /// stay as short as a freshly built table. The fabric calls this the
+  /// moment a line's last cached copy disappears, which bounds slice
+  /// memory to the lines actually cached — the periodic compact() walk
+  /// the fabric used to amortize (and its small-machine gating) is gone
+  /// from the access path entirely.
+  /// Invalidates references returned by entry().
+  void erase(Addr line_addr);
+
+  /// Drops entries that returned to kUncached and shrinks a hugely
+  /// sparse table. O(capacity): rebuilds the table around the survivors,
+  /// rehashing into spare lanes retained from the previous rebuild
+  /// (allocation-free at steady capacity). Bulk form of erase() for
+  /// callers that mark entries dead without erasing (tests, offline
+  /// consumers); the fabric no longer needs it.
   void compact();
 
   std::size_t tracked_lines() const { return size_; }
 
  private:
-  struct Slot {
-    Addr key = 0;
-    bool used = false;
-    DirEntry e;
-  };
+  /// Key-lane value of an unused slot. Real keys are line addresses with
+  /// their low (line-offset) bits clear, so all-ones can never collide.
+  static constexpr Addr kEmptyKey = ~Addr{0};
 
   std::size_t slot_of(Addr key) const {
     // Fibonacci hash: line addresses share their low (offset) zeros, so
@@ -73,13 +106,23 @@ class Directory {
     return static_cast<std::size_t>(
                (key * 0x9e3779b97f4a7c15ull) >>
                (64 - static_cast<unsigned>(
-                         std::countr_zero(slots_.size()))));
+                         std::countr_zero(keys_.size()))));
   }
   void rebuild(std::size_t new_cap);
 
   NodeId home_;
-  std::size_t size_ = 0;  ///< used slots (live + not-yet-compacted)
-  std::vector<Slot> slots_;
+  std::size_t size_ = 0;  ///< used slots
+  // SoA lanes, same capacity: keys_[i] == kEmptyKey marks slot i unused;
+  // entries_[i] is meaningful only when keys_[i] holds a line address.
+  std::vector<Addr> keys_;
+  std::vector<DirEntry> entries_;
+  /// Rebuild targets, swapped with the live lanes after every rehash and
+  /// kept at the table's high-water capacity, so only a growth rebuild —
+  /// the table reaching a new high-water mark, which warm-up exhausts —
+  /// ever allocates. Costs at most 2x directory memory, which in-place
+  /// erasure itself bounds to the lines actually cached.
+  std::vector<Addr> spare_keys_;
+  std::vector<DirEntry> spare_entries_;
 };
 
 }  // namespace dsm::coh

@@ -32,38 +32,45 @@ CoherenceFabric::CoherenceFabric(const MachineConfig& cfg,
   DSM_ASSERT_MSG(cfg.num_nodes <= 64,
                  "full-map directory uses a 64-bit sharer bitset");
   nodes_.reserve(cfg.num_nodes);
-  for (NodeId n = 0; n < cfg.num_nodes; ++n)
-    nodes_.push_back(std::make_unique<Node>(cfg, n));
+  for (NodeId n = 0; n < cfg.num_nodes; ++n) nodes_.emplace_back(cfg, n);
 }
 
-mem::Cache& CoherenceFabric::l1(NodeId n) { return nodes_.at(n)->l1; }
-mem::Cache& CoherenceFabric::l2(NodeId n) { return nodes_.at(n)->l2; }
+mem::Cache& CoherenceFabric::l1(NodeId n) { return nodes_.at(n).l1; }
+mem::Cache& CoherenceFabric::l2(NodeId n) { return nodes_.at(n).l2; }
 const mem::Cache& CoherenceFabric::l1(NodeId n) const {
-  return nodes_.at(n)->l1;
+  return nodes_.at(n).l1;
 }
 const mem::Cache& CoherenceFabric::l2(NodeId n) const {
-  return nodes_.at(n)->l2;
+  return nodes_.at(n).l2;
 }
 Directory& CoherenceFabric::directory(NodeId home) {
-  return nodes_.at(home)->dir;
+  return nodes_.at(home).dir;
 }
 mem::MemController& CoherenceFabric::controller(NodeId home) {
-  return nodes_.at(home)->ctrl;
+  return nodes_.at(home).ctrl;
 }
 const NodeCoherenceStats& CoherenceFabric::stats(NodeId n) const {
-  return nodes_.at(n)->stats;
+  return nodes_.at(n).stats;
 }
 
 AccessOutcome CoherenceFabric::access(NodeId node, Addr addr, bool is_write,
                                       Cycle now) {
   DSM_ASSERT(node < nodes_.size());
-  Node& me = *nodes_[node];
+  Node& me = nodes_[node];
   const Addr line = me.l2.line_of(addr);
 
   AccessOutcome out;
   out.write = is_write;
   out.home = home_map_->home_of(line, node);
   if (is_write) ++me.stats.stores; else ++me.stats.loads;
+
+  // Overlap the host-memory misses this access is about to take: the L2
+  // set lanes and the home directory's probe slot are independent lines,
+  // so putting them in flight now turns the walk below from a chain of
+  // serialized misses into parallel ones. Hints only — no simulated
+  // state or timing changes.
+  me.l2.prefetch_set(line);
+  nodes_[out.home].dir.prefetch(line);
 
   // ---- L1: one tag walk, reused below ----
   const mem::Cache::LineRef w1 = me.l1.lookup(line);
@@ -137,9 +144,9 @@ Cycle CoherenceFabric::directory_request(NodeId requestor, Addr line,
                                          AccessOutcome& out,
                                          mem::Cache::LineRef l1_ref,
                                          mem::Cache::LineRef l2_ref) {
-  Node& me = *nodes_[requestor];
+  Node& me = nodes_[requestor];
   const NodeId home = out.home;
-  Node& h = *nodes_[home];
+  Node& h = nodes_[home];
   Cycle lat = 0;
 
   // Request travels to the home node's directory.
@@ -149,7 +156,9 @@ Cycle CoherenceFabric::directory_request(NodeId requestor, Addr line,
 
   DirEntry& e = h.dir.entry(line);
   const bool requestor_had_data = static_cast<bool>(l2_ref);
-  Mesi grant;
+  // Every switch arm assigns grant; kInvalid would trip fill_hierarchy's
+  // assert if one ever stopped doing so.
+  Mesi grant = Mesi::kInvalid;
 
   switch (e.state) {
     case DirEntry::State::kUncached: {
@@ -181,8 +190,8 @@ Cycle CoherenceFabric::directory_request(NodeId requestor, Addr line,
               Cycle t = network_.message_latency(home, q, control_bytes(),
                                                  now + lat,
                                                  TrafficClass::kCoherence);
-              nodes_[q]->l1.invalidate(line);
-              nodes_[q]->l2.invalidate(line);
+              nodes_[q].l1.invalidate(line);
+              nodes_[q].l2.invalidate(line);
               t += network_.message_latency(q, home, control_bytes(),
                                             now + lat + t,
                                             TrafficClass::kCoherence);
@@ -229,7 +238,7 @@ Cycle CoherenceFabric::directory_request(NodeId requestor, Addr line,
       const NodeId q = e.owner;
       DSM_ASSERT_MSG(q != requestor,
                      "requestor cannot be the registered owner on a miss");
-      Node& owner = *nodes_[q];
+      Node& owner = nodes_[q];
       // Forward the request to the current owner.
       lat += network_.message_latency(home, q, control_bytes(), now + lat,
                                       TrafficClass::kCoherence);
@@ -300,7 +309,7 @@ Cycle CoherenceFabric::directory_request(NodeId requestor, Addr line,
 
 Cycle CoherenceFabric::fill_hierarchy(NodeId requestor, Addr line, Mesi st,
                                       Cycle now) {
-  Node& me = *nodes_[requestor];
+  Node& me = nodes_[requestor];
   Cycle lat = 0;
   // fill() itself asserts the line is absent, so no extra probe here: the
   // refill path pays exactly one associative search per cache level.
@@ -317,68 +326,46 @@ Cycle CoherenceFabric::fill_hierarchy(NodeId requestor, Addr line, Mesi st,
 
 Cycle CoherenceFabric::handle_l2_eviction(NodeId evictor, const mem::Victim& v,
                                           Cycle now) {
-  Node& me = *nodes_[evictor];
+  Node& me = nodes_[evictor];
   // Inclusion: purge the L1 copy; it may carry the dirty bit.
   const Mesi l1_state = me.l1.invalidate(v.line_addr);
   const bool dirty =
       v.state == Mesi::kModified || l1_state == Mesi::kModified;
 
   const NodeId vhome = home_map_->home_of(v.line_addr, evictor);
-  Node& h = *nodes_[vhome];
-  DirEntry& e = h.dir.entry(v.line_addr);
+  Node& h = nodes_[vhome];
 
   if (dirty) {
     // Dirty writeback: buffered off the critical path; the traffic and the
-    // home controller occupancy are still real.
+    // home controller occupancy are still real. The line returns to
+    // kUncached, so its entry is erased in place — no entry() probe first:
+    // the dirty path never reads the directory state it is about to drop.
     ++me.stats.writebacks;
     const Cycle arrive =
         now + network_.message_latency(evictor, vhome, data_bytes(), now,
                                        TrafficClass::kData);
     h.ctrl.request(v.line_addr, arrive, data_bytes(), evictor);
-    e.state = DirEntry::State::kUncached;
-    e.sharers = 0;
-    e.owner = kNoNode;
-    note_uncached(h);  // last statement: may erase the entry behind `e`
+    h.dir.erase(v.line_addr);
     return 0;
   }
 
-  // Clean eviction: silent on the wire; directory stays precise.
+  // Clean eviction: silent on the wire; directory stays precise. When the
+  // last copy leaves, the entry returns to kUncached and is erased in
+  // place (erase() invalidates `e` — it is the last use).
+  DirEntry& e = h.dir.entry(v.line_addr);
   e.remove_sharer(evictor);
   if (e.state == DirEntry::State::kExclusive && e.owner == evictor) {
-    e.state = DirEntry::State::kUncached;
-    e.owner = kNoNode;
-    e.sharers = 0;
-    note_uncached(h);  // last statement: may erase the entry behind `e`
+    h.dir.erase(v.line_addr);
   } else if (e.sharer_count() == 0) {
-    e.state = DirEntry::State::kUncached;
-    note_uncached(h);  // last statement: may erase the entry behind `e`
+    h.dir.erase(v.line_addr);
   }
   return 0;
 }
 
-void CoherenceFabric::note_uncached(Node& home) {
-  // Amortization: a compact() walk is O(tracked_lines), so in addition to
-  // the kCompactEveryUncached floor require at least tracked/2 transitions
-  // since the last walk. That caps the walk at O(1) amortized per eviction
-  // while still bounding a slice at ~2x its live entry count.
-  if (++home.uncached_since_compact < kCompactEveryUncached) return;
-  if (static_cast<std::size_t>(home.uncached_since_compact) * 2 <
-      home.dir.tracked_lines())
-    return;
-  // Occupancy/node-count gate (see kCompactMinNodes): tiny machines keep
-  // their slices — the counter keeps accumulating, so the occupancy
-  // backstop still fires if the slice ever grows genuinely large.
-  if (nodes_.size() < kCompactMinNodes &&
-      home.dir.tracked_lines() < kCompactMinTracked)
-    return;
-  home.uncached_since_compact = 0;
-  home.dir.compact();
-}
-
 void CoherenceFabric::flush_all() {
   for (auto& n : nodes_) {
-    n->l1.flush();
-    n->l2.flush();
+    n.l1.flush();
+    n.l2.flush();
   }
 }
 
@@ -386,10 +373,10 @@ void CoherenceFabric::check_invariants() const {
   const unsigned n = static_cast<unsigned>(nodes_.size());
   // 1) L1 subset of L2 with compatible states.
   for (unsigned p = 0; p < n; ++p) {
-    for (const Addr line : nodes_[p]->l1.resident_lines()) {
-      DSM_ASSERT_MSG(nodes_[p]->l2.probe(line), "L1 line missing from L2");
-      const Mesi s1 = nodes_[p]->l1.state(line);
-      const Mesi s2 = nodes_[p]->l2.state(line);
+    for (const Addr line : nodes_[p].l1.resident_lines()) {
+      DSM_ASSERT_MSG(nodes_[p].l2.probe(line), "L1 line missing from L2");
+      const Mesi s1 = nodes_[p].l1.state(line);
+      const Mesi s2 = nodes_[p].l2.state(line);
       if (s1 == Mesi::kModified)
         DSM_ASSERT_MSG(s2 == Mesi::kModified, "dirty L1 over non-M L2");
       if (s1 == Mesi::kExclusive)
@@ -401,12 +388,12 @@ void CoherenceFabric::check_invariants() const {
   for (unsigned home = 0; home < n; ++home) {
     // Walk every line any L2 holds whose home is this node.
     for (unsigned p = 0; p < n; ++p) {
-      for (const Addr line : nodes_[p]->l2.resident_lines()) {
+      for (const Addr line : nodes_[p].l2.resident_lines()) {
         if (home_map_->peek_home(line) != static_cast<NodeId>(home)) continue;
-        const DirEntry e = nodes_[home]->dir.peek(line);
+        const DirEntry e = nodes_[home].dir.peek(line);
         DSM_ASSERT_MSG(e.is_sharer(static_cast<NodeId>(p)),
                        "cache holds line the directory does not attribute");
-        const Mesi s = nodes_[p]->l2.state(line);
+        const Mesi s = nodes_[p].l2.state(line);
         if (s == Mesi::kExclusive || s == Mesi::kModified) {
           DSM_ASSERT_MSG(e.state == DirEntry::State::kExclusive &&
                              e.owner == static_cast<NodeId>(p),

@@ -11,7 +11,6 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 #include "coherence/directory.hpp"
@@ -63,24 +62,6 @@ struct NodeCoherenceStats {
 
 class CoherenceFabric {
  public:
-  /// A directory slice is compacted (entries back in kUncached dropped)
-  /// after this many evictions-to-Uncached at that home, so long runs do
-  /// not accumulate dead entries. Compaction is pure memory hygiene: it
-  /// never changes simulated timing or protocol state.
-  static constexpr unsigned kCompactEveryUncached = 1024;
-
-  /// Compaction is skipped entirely on small machines with small slices:
-  /// below kCompactMinNodes nodes AND below kCompactMinTracked tracked
-  /// lines per slice, the walk+rebuild churn outweighs the reclaim — on a
-  /// 2-node machine the directory sits on the critical path of every
-  /// access (little network latency to hide it behind) and a streaming
-  /// working set recreates each reclaimed entry one wrap later
-  /// (perf_hotpath measured Hypercube/2 at 0.86x from exactly this). A
-  /// small-node run that genuinely accumulates a huge slice crosses
-  /// kCompactMinTracked and hygiene resumes, so memory stays bounded.
-  static constexpr unsigned kCompactMinNodes = 4;
-  static constexpr std::size_t kCompactMinTracked = std::size_t{1} << 18;
-
   CoherenceFabric(const MachineConfig& cfg, net::Network& network,
                   mem::HomeMap& home_map);
 
@@ -114,14 +95,8 @@ class CoherenceFabric {
     Directory dir;
     mem::MemController ctrl;
     NodeCoherenceStats stats;
-    unsigned uncached_since_compact = 0;  ///< see kCompactEveryUncached
     Node(const MachineConfig& cfg, NodeId id);
   };
-
-  /// Counts one entry-to-Uncached transition at `home`; compacts its
-  /// directory slice every kCompactEveryUncached transitions. Call only
-  /// when no DirEntry references into that slice are still live.
-  void note_uncached(Node& home);
 
   /// Serves a miss/upgrade at the directory; returns added latency.
   /// `l1_ref`/`l2_ref` are the requestor's cached tag-walk results from
@@ -146,7 +121,10 @@ class CoherenceFabric {
   const MachineConfig& cfg_;
   net::Network& network_;
   mem::HomeMap* home_map_;
-  std::vector<std::unique_ptr<Node>> nodes_;
+  /// Node state by value: the per-access path indexes straight into the
+  /// vector with no per-node pointer chase (nodes are emplaced once at
+  /// construction and never move).
+  std::vector<Node> nodes_;
 };
 
 }  // namespace dsm::coh

@@ -20,70 +20,63 @@ Cache::Cache(const CacheConfig& cfg)
       sets_(cfg.size_bytes /
             (static_cast<std::uint64_t>(cfg.line_bytes) * cfg.associativity)),
       line_shift_(log2_exact(cfg.line_bytes)),
-      ways_(sets_ * cfg.associativity) {
+      tags_(sets_ * cfg.associativity, kNoTag),
+      states_(sets_ * cfg.associativity, Mesi::kInvalid),
+      lru_(sets_ * cfg.associativity, 0) {
   DSM_ASSERT(is_pow2(cfg.line_bytes));
   DSM_ASSERT(is_pow2(sets_));
   DSM_ASSERT(cfg.associativity >= 1);
 }
 
-std::uint64_t Cache::set_index(Addr line) const {
-  return (line >> line_shift_) & (sets_ - 1);
-}
-
-Cache::Way* Cache::find(Addr addr) {
+std::uint64_t Cache::find(Addr addr) const {
   const Addr line = line_of(addr);
-  Way* base = &ways_[set_index(line) * cfg_.associativity];
-  for (unsigned w = 0; w < cfg_.associativity; ++w) {
-    if (base[w].state != Mesi::kInvalid && base[w].tag == line) return &base[w];
+  const std::uint64_t set = set_index(line);
+  if (cfg_.associativity == 1) {
+    // Direct-mapped: the set IS the way. Branch-free hit test — a miss
+    // ORs the index with all-ones, which is exactly LineRef::kAbsent.
+    const auto hit = static_cast<std::uint64_t>(tags_[set] == line);
+    return set | (hit - 1);
   }
-  return nullptr;
-}
-
-const Cache::Way* Cache::find(Addr addr) const {
-  return const_cast<Cache*>(this)->find(addr);
-}
-
-Cache::LineRef Cache::lookup(Addr addr) { return LineRef(find(addr)); }
-
-Mesi Cache::state_of(LineRef ref) const {
-  return ref.way_ ? ref.way_->state : Mesi::kInvalid;
+  const std::uint64_t base = set * cfg_.associativity;
+  for (unsigned w = 0; w < cfg_.associativity; ++w) {
+    // Empty ways hold kNoTag, never equal to a line address, so the walk
+    // reads only the tag lane.
+    if (tags_[base + w] == line) return base + w;
+  }
+  return LineRef::kAbsent;
 }
 
 void Cache::touch(LineRef ref) {
-  DSM_ASSERT_MSG(ref.way_ != nullptr, "touch of absent line");
-  ref.way_->lru = ++tick_;
+  DSM_ASSERT_MSG(ref, "touch of absent line");
+  lru_[ref.idx_] = ++tick_;
   ++hits_;
 }
 
-void Cache::record_miss() { ++misses_; }
-
 void Cache::set_state(LineRef ref, Mesi s) {
-  DSM_ASSERT_MSG(ref.way_ != nullptr, "set_state on absent line");
+  DSM_ASSERT_MSG(ref, "set_state on absent line");
   DSM_ASSERT(s != Mesi::kInvalid);
-  ref.way_->state = s;
+  states_[ref.idx_] = s;
 }
 
-bool Cache::probe(Addr addr) const { return find(addr) != nullptr; }
-
 Mesi Cache::state(Addr addr) const {
-  const Way* w = find(addr);
-  return w ? w->state : Mesi::kInvalid;
+  const std::uint64_t i = find(addr);
+  return i != LineRef::kAbsent ? states_[i] : Mesi::kInvalid;
 }
 
 void Cache::set_state(Addr addr, Mesi s) {
-  Way* w = find(addr);
-  DSM_ASSERT_MSG(w != nullptr, "set_state on absent line");
+  const std::uint64_t i = find(addr);
+  DSM_ASSERT_MSG(i != LineRef::kAbsent, "set_state on absent line");
   DSM_ASSERT(s != Mesi::kInvalid);
-  w->state = s;
+  states_[i] = s;
 }
 
 bool Cache::access(Addr addr) {
-  Way* w = find(addr);
-  if (w == nullptr) {
+  const std::uint64_t i = find(addr);
+  if (i == LineRef::kAbsent) {
     ++misses_;
     return false;
   }
-  w->lru = ++tick_;
+  lru_[i] = ++tick_;
   ++hits_;
   return true;
 }
@@ -91,35 +84,46 @@ bool Cache::access(Addr addr) {
 std::optional<Victim> Cache::fill(Addr addr, Mesi s) {
   DSM_ASSERT(s != Mesi::kInvalid);
   const Addr line = line_of(addr);
-  DSM_ASSERT_MSG(find(line) == nullptr, "fill of already-present line");
-  Way* base = &ways_[set_index(line) * cfg_.associativity];
-  Way* victim = nullptr;
+  const std::uint64_t base = set_index(line) * cfg_.associativity;
+  // One walk serves both the absence check and the victim scan (the old
+  // separate find() assert re-walked the set). Victim policy unchanged:
+  // first empty way, else strict min-LRU in way order (ties keep the
+  // earlier way).
+  std::uint64_t victim = base;
+  bool found_empty = false;
+  bool have_victim = false;
   for (unsigned w = 0; w < cfg_.associativity; ++w) {
-    if (base[w].state == Mesi::kInvalid) {
-      victim = &base[w];
-      break;
+    const std::uint64_t i = base + w;
+    DSM_ASSERT_MSG(tags_[i] != line, "fill of already-present line");
+    if (found_empty) continue;
+    if (tags_[i] == kNoTag) {
+      victim = i;
+      found_empty = true;
+      continue;
     }
-    if (victim == nullptr || base[w].lru < victim->lru) victim = &base[w];
+    if (!have_victim || lru_[i] < lru_[victim]) {
+      victim = i;
+      have_victim = true;
+    }
   }
-  DSM_ASSERT(victim != nullptr);  // associativity >= 1 guarantees a way
   std::optional<Victim> out;
-  if (victim->state != Mesi::kInvalid) {
-    out = Victim{victim->tag, victim->state};
+  if (states_[victim] != Mesi::kInvalid) {
+    out = Victim{tags_[victim], states_[victim]};
     ++evictions_;
   }
-  victim->tag = line;
-  victim->state = s;
-  victim->lru = ++tick_;
+  tags_[victim] = line;
+  states_[victim] = s;
+  lru_[victim] = ++tick_;
   return out;
 }
 
 Mesi Cache::invalidate(Addr addr) { return invalidate(lookup(addr)); }
 
 Mesi Cache::invalidate(LineRef ref) {
-  Way* w = ref.way_;
-  if (w == nullptr) return Mesi::kInvalid;
-  const Mesi prior = w->state;
-  w->state = Mesi::kInvalid;
+  if (!ref) return Mesi::kInvalid;
+  const Mesi prior = states_[ref.idx_];
+  states_[ref.idx_] = Mesi::kInvalid;
+  tags_[ref.idx_] = kNoTag;
   ++invals_;
   return prior;
 }
@@ -127,22 +131,22 @@ Mesi Cache::invalidate(LineRef ref) {
 Mesi Cache::downgrade(Addr addr) { return downgrade(lookup(addr)); }
 
 Mesi Cache::downgrade(LineRef ref) {
-  Way* w = ref.way_;
-  if (w == nullptr) return Mesi::kInvalid;
-  const Mesi prior = w->state;
+  if (!ref) return Mesi::kInvalid;
+  const Mesi prior = states_[ref.idx_];
   if (prior == Mesi::kExclusive || prior == Mesi::kModified)
-    w->state = Mesi::kShared;
+    states_[ref.idx_] = Mesi::kShared;
   return prior;
 }
 
 void Cache::flush() {
-  for (auto& w : ways_) w.state = Mesi::kInvalid;
+  for (auto& s : states_) s = Mesi::kInvalid;
+  for (auto& t : tags_) t = kNoTag;
 }
 
 std::vector<Addr> Cache::resident_lines() const {
   std::vector<Addr> out;
-  for (const auto& w : ways_)
-    if (w.state != Mesi::kInvalid) out.push_back(w.tag);
+  for (std::size_t i = 0; i < tags_.size(); ++i)
+    if (states_[i] != Mesi::kInvalid) out.push_back(tags_[i]);
   return out;
 }
 

@@ -5,6 +5,17 @@
 // The cache is *functional*: it tracks tags, LRU order, and coherence
 // state. Timing is composed by the node model (memory/mem_controller.hpp,
 // coherence/directory.hpp) from the configured hit latencies.
+//
+// Data layout: structure-of-arrays. The tag, state, and LRU lanes are
+// separate dense vectors indexed by set * associativity + way, so the
+// associative search of lookup()/probe() streams through the tag lane
+// only — one 64-byte cache line of host memory covers a whole 8-way set
+// of 8-byte tags, where the old row-major Way{tag,state,lru} records
+// spread the same search over three lines. Empty ways hold kNoTag (a
+// value no line-aligned address can equal), which keeps the search a
+// pure tag compare with no state-lane read. A direct-mapped cache
+// (associativity == 1) skips the walk entirely: the set index *is* the
+// way index and the hit test is branch-free.
 #pragma once
 
 #include <cstdint>
@@ -28,23 +39,34 @@ struct Victim {
 };
 
 class Cache {
-  struct Way;  // tag/state/LRU of one way; defined privately below
-
  public:
   /// Handle to a resident way, produced by one lookup() tag walk so callers
   /// can chain state reads, LRU touches, and state writes without paying
-  /// the associative search again. Invalidated by any subsequent fill(),
-  /// invalidate(), or flush() on this cache (those may reuse the way).
+  /// the associative search again.
+  ///
+  /// The handle is a stable set/way index into the SoA lanes, not a
+  /// pointer, so its validity follows the *slot*, not the container:
+  ///  * touch(), set_state(), state_of(), and downgrade() never move
+  ///    lines between ways — a handle (to this or any other line) stays
+  ///    valid across any number of them (tested in cache_test.cpp);
+  ///  * fill() of a DIFFERENT line may evict the handle's line from its
+  ///    way and reuse the slot — the handle then silently denotes the
+  ///    newly filled line, so drop handles across fill();
+  ///  * invalidate() and flush() empty the slot — the handle becomes
+  ///    falsy in meaning but not in value, so drop it there too.
+  /// In short: a handle is good until the next fill()/invalidate()/
+  /// flush() on this cache, and survives everything else.
   class LineRef {
    public:
     LineRef() = default;
     /// True when the line was resident (any valid state).
-    explicit operator bool() const { return way_ != nullptr; }
+    explicit operator bool() const { return idx_ != kAbsent; }
 
    private:
     friend class Cache;
-    explicit LineRef(Way* way) : way_(way) {}
-    Way* way_ = nullptr;
+    static constexpr std::uint64_t kAbsent = ~std::uint64_t{0};
+    explicit LineRef(std::uint64_t idx) : idx_(idx) {}
+    std::uint64_t idx_ = kAbsent;  ///< set * associativity + way
   };
 
   explicit Cache(const CacheConfig& cfg);
@@ -57,28 +79,42 @@ class Cache {
   /// Line-aligns a byte address.
   Addr line_of(Addr a) const { return a & ~static_cast<Addr>(cfg_.line_bytes - 1); }
 
+  /// Hints the host to pull `addr`'s set into its caches: one line of the
+  /// tag lane plus the set's state/LRU stripes. Pure latency hint — no
+  /// simulated effect. The fabric issues this for the L2 set at the top
+  /// of access() so the (host-)DRAM misses of the tag walk, the hit
+  /// bookkeeping, and the directory probe overlap instead of serializing.
+  void prefetch_set(Addr addr) const {
+    const std::uint64_t base = set_index(line_of(addr)) * cfg_.associativity;
+    __builtin_prefetch(&tags_[base]);
+    __builtin_prefetch(&states_[base]);
+    __builtin_prefetch(&lru_[base]);
+  }
+
   /// Combined lookup: ONE tag walk, no LRU movement, no hit/miss counting.
   /// The returned handle is falsy when the line is absent. Pair with
   /// state_of()/touch()/set_state(LineRef)/record_miss() to express the
   /// old probe()/state()/access()/set_state(Addr) sequences with a single
   /// associative search.
-  LineRef lookup(Addr addr);
+  LineRef lookup(Addr addr) const { return LineRef(find(addr)); }
 
   /// Present-line state via a handle (kInvalid for a falsy handle).
-  Mesi state_of(LineRef ref) const;
+  Mesi state_of(LineRef ref) const {
+    return ref ? states_[ref.idx_] : Mesi::kInvalid;
+  }
 
   /// Marks a resident line most-recently-used and counts a hit — the
   /// handle form of a hitting access().
   void touch(LineRef ref);
 
   /// Counts a miss — the handle form of a missing access().
-  void record_miss();
+  void record_miss() { ++misses_; }
 
   /// Updates the state behind a valid handle (handle form of set_state).
   void set_state(LineRef ref, Mesi s);
 
   /// True when the line is present in any valid state. Does not touch LRU.
-  bool probe(Addr addr) const;
+  bool probe(Addr addr) const { return find(addr) != LineRef::kAbsent; }
 
   /// Present-line state (kInvalid when absent).
   Mesi state(Addr addr) const;
@@ -111,7 +147,8 @@ class Cache {
   /// Drops every line (used between application runs).
   void flush();
 
-  /// Enumerates all valid line addresses (diagnostics/tests).
+  /// Enumerates all valid line addresses in deterministic set-major order:
+  /// ascending set index, ways in way order within a set.
   std::vector<Addr> resident_lines() const;
 
   // Statistics.
@@ -122,20 +159,25 @@ class Cache {
   double hit_rate() const;
 
  private:
-  struct Way {
-    Addr tag = 0;
-    Mesi state = Mesi::kInvalid;
-    std::uint64_t lru = 0;  ///< larger = more recent
-  };
+  /// Tag-lane value of an empty way. line_of() clears the low line-offset
+  /// bits of every real line address, so an all-ones value can never
+  /// collide with one — which lets the tag walk skip the state lane.
+  static constexpr Addr kNoTag = ~Addr{0};
 
-  std::uint64_t set_index(Addr line) const;
-  Way* find(Addr addr);
-  const Way* find(Addr addr) const;
+  std::uint64_t set_index(Addr line) const {
+    return (line >> line_shift_) & (sets_ - 1);
+  }
+
+  /// Index of the way holding `addr`'s line, or LineRef::kAbsent.
+  std::uint64_t find(Addr addr) const;
 
   CacheConfig cfg_;
   std::uint64_t sets_;
   unsigned line_shift_;
-  std::vector<Way> ways_;  ///< sets_ * associativity, row-major by set
+  // SoA lanes, each sets_ * associativity, indexed set * assoc + way.
+  std::vector<Addr> tags_;            ///< line address, or kNoTag if empty
+  std::vector<Mesi> states_;          ///< kInvalid iff tags_[] == kNoTag
+  std::vector<std::uint64_t> lru_;    ///< larger = more recent
   std::uint64_t tick_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

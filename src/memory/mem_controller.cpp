@@ -45,7 +45,6 @@ Cycle MemController::request(Addr line_addr, Cycle now, unsigned bytes,
       std::llround(static_cast<double>(service) * rho / (1.0 - rho)));
   busy_current_ += static_cast<double>(service);
 
-  queue_stat_.add(static_cast<double>(queue_wait));
   return queue_wait + dram_.access_latency(bytes);
 }
 

@@ -15,7 +15,6 @@
 #include <vector>
 
 #include "common/config.hpp"
-#include "common/stats.hpp"
 #include "common/types.hpp"
 #include "memory/dram.hpp"
 
@@ -37,9 +36,6 @@ class MemController {
   std::uint64_t requests() const { return requests_; }
   std::uint64_t requests_from(NodeId n) const;
 
-  /// Queueing-delay distribution — rises with contention on this home.
-  const RunningStat& queue_stat() const { return queue_stat_; }
-
  private:
   void roll(std::uint64_t epoch_now) const;
 
@@ -52,7 +48,6 @@ class MemController {
   mutable double busy_previous_ = 0.0;  ///< last epoch's booked cycles
   std::uint64_t requests_ = 0;
   std::vector<std::uint64_t> per_requestor_;
-  RunningStat queue_stat_;
 };
 
 }  // namespace dsm::mem

@@ -68,12 +68,9 @@ Cycle Network::message_latency(NodeId src, NodeId dst, unsigned payload_bytes,
       (flits - 1) * core_cycles_per_router_cycle_;
   const double queue_router_cycles = tracker_.delay_and_record_path(
       path, now, cfg_.network.contention_alpha, flits);
-  const Cycle lat =
-      static_cast<Cycle>(std::ceil(zero_load)) +
-      static_cast<Cycle>(
-          std::ceil(queue_router_cycles * core_cycles_per_router_cycle_));
-  latency_stat_.add(static_cast<double>(lat));
-  return lat;
+  return static_cast<Cycle>(std::ceil(zero_load)) +
+         static_cast<Cycle>(
+             std::ceil(queue_router_cycles * core_cycles_per_router_cycle_));
 }
 
 Cycle Network::probe_latency(NodeId src, NodeId dst, unsigned payload_bytes,

@@ -14,7 +14,6 @@
 #include <cstdint>
 
 #include "common/config.hpp"
-#include "common/stats.hpp"
 #include "common/types.hpp"
 #include "network/contention.hpp"
 #include "network/topology.hpp"
@@ -61,8 +60,6 @@ class Network {
   /// Flit-cycles capacity of one link per contention epoch.
   double link_capacity_flits_per_epoch() const { return capacity_flits_; }
 
-  const RunningStat& latency_stat() const { return latency_stat_; }
-
  private:
   unsigned flits_for(unsigned payload_bytes) const;
   /// Queueing term along the route without recording traffic (const: for
@@ -77,7 +74,6 @@ class Network {
   LinkContentionTracker tracker_;
   std::uint64_t msg_count_[kNumTrafficClasses] = {};
   std::uint64_t byte_count_[kNumTrafficClasses] = {};
-  RunningStat latency_stat_;
 };
 
 }  // namespace dsm::net

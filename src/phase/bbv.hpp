@@ -23,7 +23,10 @@ std::uint64_t manhattan(std::span<const std::uint32_t> a,
 
 /// Manhattan distance with an early exit: returns any value > cap as soon
 /// as the running sum exceeds `cap` (the footprint search only cares
-/// whether the distance is under the threshold).
+/// whether the distance is under the threshold); the exact distance is
+/// returned whenever it is <= cap. The exit is checked once per 4-wide
+/// unrolled block, so the over-cap return value may differ from the
+/// scalar loop's — callers must only compare it against cap.
 std::uint64_t manhattan_capped(std::span<const std::uint32_t> a,
                                std::span<const std::uint32_t> b,
                                std::uint64_t cap);

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "common/types.hpp"
 
 namespace dsm::phase {
@@ -36,6 +37,14 @@ class DdvFabric {
 
   /// Processor `p` committed a load/store to a line homed at `home`.
   void record_access(NodeId p, NodeId home);
+
+  /// Flattened form of record_access for per-access inner loops: p's row
+  /// of the cumulative counter matrix; `row[home]++` is exactly
+  /// record_access(p, home). Stable for the fabric's lifetime.
+  std::uint64_t* observe_row(NodeId p) {
+    DSM_ASSERT(p < nodes_);
+    return &cumulative_[idx(p, 0)];
+  }
 
   /// F^p[k][j] as the paper defines it (for tests and diagnostics).
   std::uint64_t frequency(NodeId p, NodeId k, NodeId j) const;

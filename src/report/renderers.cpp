@@ -1,4 +1,4 @@
-// renderers.cpp — the renderer registry and the 12 per-harness
+// renderers.cpp — the renderer registry and the 13 per-harness
 // record→text renderers. Each renderer is the ONLY formatting point for
 // its harness's human output: bench mains reduce configurations to
 // metrics records and both the live sweep and `dsm_report render` replay
@@ -564,6 +564,38 @@ class PerfHotpathRenderer : public Renderer {
                       "messages", "bytes"}};
 };
 
+// ---- perf_sim ----
+
+class PerfSimRenderer : public Renderer {
+ public:
+  explicit PerfSimRenderer(const RenderOptions&) {}
+
+  void record(const RecordView& rec) override {
+    const JsonValue& m = rec.m();
+    if (!header_) {
+      std::printf("perf_sim (%s scale, full Machine loop)\n",
+                  rec.scale.c_str());
+      header_ = true;
+    }
+    table_.add_row({rec.app, std::to_string(rec.nodes),
+                    std::to_string(m.at("instructions").unsigned_int()),
+                    std::to_string(m.at("cycles").unsigned_int()),
+                    std::to_string(m.at("intervals").unsigned_int()),
+                    std::to_string(m.at("net_messages").unsigned_int()),
+                    std::to_string(m.at("net_bytes").unsigned_int())});
+  }
+
+  int finish() override {
+    std::printf("%s\n", table_.to_text().c_str());
+    return 0;
+  }
+
+ private:
+  bool header_ = false;
+  TableWriter table_{{"app", "nodes", "instructions", "cycles", "intervals",
+                      "messages", "bytes"}};
+};
+
 // ---- registry ----
 
 struct Registration {
@@ -592,6 +624,7 @@ const std::vector<Registration>& registry() {
       reg<PredictorsRenderer>("predictors_eval"),
       reg<MicroDetectorRenderer>("micro_detector"),
       reg<PerfHotpathRenderer>("perf_hotpath"),
+      reg<PerfSimRenderer>("perf_sim"),
   };
   return kRegistry;
 }

@@ -52,19 +52,22 @@ Machine::Machine(const MachineConfig& cfg)
     procs_.push_back(std::make_unique<ProcState>(
         cfg_.phase, cfg_.seed * 0x9e3779b9u + i + 1));
   }
+  lanes_.reserve(cfg_.num_nodes);
+  for (unsigned i = 0; i < cfg_.num_nodes; ++i)
+    lanes_.push_back(HotLane{procs_[i].get(), cores_[i].get(),
+                             sched_.cycle_slot(i), ddv_.observe_row(i)});
 }
 
 void Machine::maybe_yield(unsigned tid) {
-  ProcState& ps = *procs_[tid];
-  const Cycle now = sched_.cycle(tid);
-  if (now - ps.last_yield >= cfg_.scheduler_quantum_cycles) {
+  HotLane& ln = lanes_[tid];
+  if (*ln.clock - ln.ps->last_yield >= cfg_.scheduler_quantum_cycles) {
     sched_.yield(tid);
-    ps.last_yield = sched_.cycle(tid);
+    ln.ps->last_yield = *ln.clock;
   }
 }
 
 void Machine::count_instr(unsigned tid, InstrCount n) {
-  ProcState& ps = *procs_[tid];
+  ProcState& ps = *lanes_[tid].ps;
   ps.instr_in_interval += n;
   ps.instr_since_branch += n;
   ps.total_instructions += n;
@@ -72,8 +75,8 @@ void Machine::count_instr(unsigned tid, InstrCount n) {
 }
 
 void Machine::end_interval(unsigned tid) {
-  ProcState& ps = *procs_[tid];
-  const Cycle now = sched_.cycle(tid);
+  ProcState& ps = *lanes_[tid].ps;
+  const Cycle now = *lanes_[tid].clock;
 
   // The DDV gather: processor tid queries every peer for its on-behalf
   // frequency vector. The traffic is recorded (it is the subject of the
@@ -110,45 +113,49 @@ void Machine::end_interval(unsigned tid) {
 }
 
 void Machine::op_mem(unsigned tid, Addr addr, bool write) {
-  const Cycle now = sched_.cycle(tid);
+  HotLane& ln = lanes_[tid];
+  const Cycle now = *ln.clock;
   const auto out = fabric_.access(tid, addr, write, now);
-  ddv_.record_access(tid, out.home);
-  const Cycle stall = cores_[tid]->exposed_memory_stall(
-      out.latency, cfg_.l1.latency_cycles);
-  sched_.advance(tid, stall);
-  procs_[tid]->mem_stall_cycles += stall;
+  ++ln.ddv_row[out.home];  // == ddv_.record_access(tid, out.home)
+  const Cycle stall =
+      ln.core->exposed_memory_stall(out.latency, cfg_.l1.latency_cycles);
+  *ln.clock = now + stall;
+  ln.ps->mem_stall_cycles += stall;
   count_instr(tid, 1);
   maybe_yield(tid);
 }
 
 void Machine::op_compute(unsigned tid, InstrCount n, double fp_frac) {
   if (n == 0) return;
-  const Cycle c = cores_[tid]->compute_cycles(n, fp_frac);
-  sched_.advance(tid, c);
-  procs_[tid]->compute_cycles += c;
+  HotLane& ln = lanes_[tid];
+  const Cycle c = ln.core->compute_cycles(n, fp_frac);
+  *ln.clock += c;
+  ln.ps->compute_cycles += c;
   count_instr(tid, n);
   maybe_yield(tid);
 }
 
 void Machine::op_branch(unsigned tid, BlockId block, bool taken) {
+  HotLane& ln = lanes_[tid];
   const Addr pc = (fnv1a64(block) << 2) | 0x400000ull;
-  const Cycle c = 1 + cores_[tid]->branch_cycles(pc, taken);
-  sched_.advance(tid, c);
-  procs_[tid]->branch_cycles += c;
+  const Cycle c = 1 + ln.core->branch_cycles(pc, taken);
+  *ln.clock += c;
+  ln.ps->branch_cycles += c;
   count_instr(tid, 1);
   // The BBV accumulator: entry[hash(branch pc)] += instructions since the
   // previous branch (including this one).
-  ProcState& ps = *procs_[tid];
+  ProcState& ps = *ln.ps;
   ps.bbv.record_branch(pc, ps.instr_since_branch);
   ps.instr_since_branch = 0;
   maybe_yield(tid);
 }
 
 void Machine::op_barrier(unsigned tid) {
-  const Cycle before = sched_.cycle(tid);
+  HotLane& ln = lanes_[tid];
+  const Cycle before = *ln.clock;
   global_barrier_.wait(tid);
-  procs_[tid]->sync_cycles += sched_.cycle(tid) - before;
-  procs_[tid]->last_yield = sched_.cycle(tid);
+  ln.ps->sync_cycles += *ln.clock - before;
+  ln.ps->last_yield = *ln.clock;
 }
 
 SimLock& Machine::lock_by_id(unsigned id) {

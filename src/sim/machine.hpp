@@ -104,6 +104,19 @@ class Machine {
         : bbv(pc.bbv_entries, pc.bbv_norm), rng(seed) {}
   };
 
+  /// Flattened per-processor hot lane: the pointers every committed
+  /// instruction touches (proc state, core model, scheduler clock slot,
+  /// DDV observe row), resolved once at construction so the op_* inner
+  /// loops do no unique_ptr chase, no bounds-checked scheduler call, and
+  /// no DDV index arithmetic per access. All four point into containers
+  /// that never reallocate after the constructor.
+  struct HotLane {
+    ProcState* ps = nullptr;
+    cpu::CoreModel* core = nullptr;
+    Cycle* clock = nullptr;           ///< Scheduler::cycle_slot(tid)
+    std::uint64_t* ddv_row = nullptr; ///< DdvFabric::observe_row(tid)
+  };
+
   // ---- operations invoked via ThreadCtx ----
   void op_mem(unsigned tid, Addr addr, bool write);
   void op_compute(unsigned tid, InstrCount n, double fp_frac);
@@ -127,6 +140,7 @@ class Machine {
   std::unordered_map<unsigned, std::unique_ptr<SimLock>> locks_;
   std::vector<std::unique_ptr<cpu::CoreModel>> cores_;
   std::vector<std::unique_ptr<ProcState>> procs_;
+  std::vector<HotLane> lanes_;  ///< one per processor, see HotLane
   InstrCount interval_len_;
   bool ran_ = false;
 };

@@ -12,10 +12,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <semaphore>
 #include <thread>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "common/types.hpp"
 
 namespace dsm::sim {
@@ -43,6 +45,17 @@ class Scheduler {
   Cycle cycle(unsigned tid) const;
   void advance(unsigned tid, Cycle dc);
   void set_cycle(unsigned tid, Cycle c);
+
+  /// Stable pointer to `tid`'s clock slot, for flattened per-op loops
+  /// (sim::Machine) that read/advance the clock millions of times per
+  /// run: same memory every cycle()/advance() call touches, minus the
+  /// bounds check and call per op. The slot lives as long as the
+  /// Scheduler and is only ever written by the token holder (or by a
+  /// releaser at a sync point, exactly like advance()).
+  Cycle* cycle_slot(unsigned tid) {
+    DSM_ASSERT(tid < n_);
+    return &cycles_[tid];
+  }
 
   /// Cooperatively hand the token back; the thread stays runnable and will
   /// resume when it again holds the minimum clock.

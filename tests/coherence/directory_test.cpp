@@ -52,8 +52,48 @@ TEST(DirectoryTest, CompactDropsOnlyDeadEntries) {
   }
 }
 
+TEST(DirectoryTest, EraseRemovesEntryInPlace) {
+  Directory d(0);
+  d.entry(0x1000).state = DirEntry::State::kShared;
+  d.entry(0x2000).state = DirEntry::State::kExclusive;
+  EXPECT_EQ(d.tracked_lines(), 2u);
+  d.erase(0x1000);
+  EXPECT_EQ(d.tracked_lines(), 1u);
+  EXPECT_EQ(d.peek(0x1000).state, DirEntry::State::kUncached);
+  EXPECT_EQ(d.peek(0x2000).state, DirEntry::State::kExclusive);
+  d.erase(0x1000);  // absent: no-op
+  EXPECT_EQ(d.tracked_lines(), 1u);
+}
+
+// Backward-shift deletion must keep probe chains intact: erase entries
+// from the middle of dense clusters (sequential lines collide into runs
+// under any hash) and verify every survivor is still reachable.
+TEST(DirectoryTest, EraseInsideClustersKeepsSurvivorsReachable) {
+  Directory d(0);
+  constexpr unsigned kLines = 3000;  // forces several growth rebuilds
+  for (Addr a = 0; a < kLines; ++a) {
+    DirEntry& e = d.entry(a * 32);
+    e.state = DirEntry::State::kShared;
+    e.sharers = a + 1;
+  }
+  // Erase every third line, scattered over the whole table.
+  for (Addr a = 0; a < kLines; a += 3) d.erase(a * 32);
+  for (Addr a = 0; a < kLines; ++a) {
+    const DirEntry p = d.peek(a * 32);
+    if (a % 3 == 0) {
+      EXPECT_EQ(p.state, DirEntry::State::kUncached) << a;
+      EXPECT_EQ(p.sharers, 0u) << a;
+    } else {
+      EXPECT_EQ(p.state, DirEntry::State::kShared) << a;
+      EXPECT_EQ(p.sharers, a + 1) << a;
+    }
+  }
+  EXPECT_EQ(d.tracked_lines(), kLines - (kLines + 2) / 3);
+}
+
 // Randomized model check: the flat open-addressing slice must behave like
-// a plain map through inserts, mutations, growth, and compaction.
+// a plain map through inserts, mutations, growth, in-place erasure, and
+// compaction.
 TEST(DirectoryTest, RandomizedLockstepAgainstMapModel) {
   Directory d(0);
   std::unordered_map<Addr, DirEntry> model;
@@ -68,7 +108,7 @@ TEST(DirectoryTest, RandomizedLockstepAgainstMapModel) {
     const Addr a = sel == 0 ? (rnd() % 4096) * 32
                  : sel == 1 ? (Addr{1} << 32) + (rnd() % 4096) * 32
                             : (rnd() % (Addr{1} << 40)) & ~Addr{31};
-    const unsigned op = rnd() % 8;
+    const unsigned op = rnd() % 10;
     if (op < 5) {
       DirEntry& e = d.entry(a);
       DirEntry& m = model[a];
@@ -76,7 +116,11 @@ TEST(DirectoryTest, RandomizedLockstepAgainstMapModel) {
       const std::uint64_t sharers = rnd();
       e.state = st; e.sharers = sharers;
       m.state = st; m.sharers = sharers;
-    } else if (op < 7) {
+    } else if (op < 8) {
+      d.erase(a);
+      model.erase(a);
+      ASSERT_EQ(d.tracked_lines(), model.size());
+    } else if (op < 9) {
       const DirEntry p = d.peek(a);
       const auto it = model.find(a);
       const DirEntry m = it == model.end() ? DirEntry{} : it->second;

@@ -231,13 +231,14 @@ TEST(FabricTest, RandomizedInvariantFuzz) {
   r.fabric.check_invariants();
 }
 
-// The fabric must periodically compact directory slices: a long streaming
-// run leaves most tracked lines in kUncached, and without compaction a
-// slice grows with every distinct line ever touched. Exercised at
-// kCompactMinNodes nodes — the smallest machine the occupancy/node-count
-// gate lets compact (below it, see SmallMachineSkipsCompaction).
-TEST(FabricTest, DirectoryCompactionBoundsTrackedLines) {
-  const unsigned nodes = CoherenceFabric::kCompactMinNodes;
+// The fabric erases a directory entry in place the moment a line's last
+// cached copy disappears, so a slice tracks exactly the lines some cache
+// still holds — no dead-entry sawtooth, at any node count. A long
+// streaming run (8x the L2 per node) must therefore keep total tracked
+// lines bounded by total L2 capacity throughout, not grow with every
+// distinct line ever touched.
+TEST(FabricTest, StreamingKeepsTrackedLinesAtLiveLines) {
+  const unsigned nodes = 4;
   MachineConfig cfg = default_config(nodes);
   cfg.l2.size_bytes = 64 * 1024;  // 2048 lines -> evictions come quickly
   net::Network network(cfg);
@@ -247,8 +248,6 @@ TEST(FabricTest, DirectoryCompactionBoundsTrackedLines) {
 
   const unsigned live_lines =
       static_cast<unsigned>(cfg.l2.size_bytes / cfg.l2.line_bytes);
-  // Each node streams 8x its L2 through its own every-nodes-th line, so
-  // evictions outnumber live lines 7:1 on every slice.
   const unsigned distinct = 8 * live_lines * nodes;
   const auto tracked_total = [&] {
     std::size_t sum = 0;
@@ -256,29 +255,22 @@ TEST(FabricTest, DirectoryCompactionBoundsTrackedLines) {
       sum += fabric.directory(h).tracked_lines();
     return sum;
   };
-  std::size_t peak = 0;
-  std::size_t after_peak_min = SIZE_MAX;
   for (unsigned i = 0; i < distinct; ++i) {
     fabric.access(i % nodes, Addr{i} * cfg.l2.line_bytes, false, i * 4);
-    const std::size_t tracked = tracked_total();
-    if (tracked > peak) peak = tracked;
-    else after_peak_min = std::min(after_peak_min, tracked);
+    ASSERT_LE(tracked_total(), std::size_t{live_lines} * nodes);
   }
-  // Compaction must have fired: total tracked lines shrank below the peak
-  // and stays far below the distinct-line count uncompacted slices would
-  // hold.
-  EXPECT_LT(after_peak_min, peak);
   EXPECT_LT(tracked_total(), distinct / 2);
   EXPECT_GE(tracked_total(), live_lines);
   fabric.check_invariants();
 }
 
-// Below kCompactMinNodes the same streaming pattern must NOT compact (the
-// 2-node perf_hotpath regression: reclaimed entries were recreated one
-// wrap later, all walk and no reclaim): tracked lines grow to the touched
-// working set and stay there — which the occupancy backstop keeps far
-// below kCompactMinTracked.
-TEST(FabricTest, SmallMachineSkipsCompaction) {
+// On a single node the correspondence is exact: every access is a read
+// granted Exclusive to the sole cacher, every L2 eviction erases that
+// line's entry, so tracked lines == lines resident in the L2 after every
+// single access (the in-place erase has no small-machine gate — unlike
+// the old periodic compaction walk, it does no work a small machine
+// would have to amortize).
+TEST(FabricTest, SingleNodeTracksExactlyResidentLines) {
   MachineConfig cfg = default_config(1);
   cfg.l2.size_bytes = 64 * 1024;
   net::Network network(cfg);
@@ -288,16 +280,11 @@ TEST(FabricTest, SmallMachineSkipsCompaction) {
   const unsigned live_lines =
       static_cast<unsigned>(cfg.l2.size_bytes / cfg.l2.line_bytes);
   const unsigned distinct = 8 * live_lines;
-  std::size_t last = 0;
   for (unsigned i = 0; i < distinct; ++i) {
     fabric.access(0, Addr{i} * cfg.l2.line_bytes, false, i * 4);
-    const std::size_t tracked = fabric.directory(0).tracked_lines();
-    EXPECT_GE(tracked, last);  // never shrinks: no compaction ran
-    last = tracked;
+    ASSERT_EQ(fabric.directory(0).tracked_lines(),
+              std::min<std::size_t>(i + 1, live_lines));
   }
-  EXPECT_EQ(fabric.directory(0).tracked_lines(), distinct);
-  EXPECT_LT(fabric.directory(0).tracked_lines(),
-            CoherenceFabric::kCompactMinTracked);
   fabric.check_invariants();
 }
 

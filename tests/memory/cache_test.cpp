@@ -185,6 +185,52 @@ TEST(CacheLookupTest, HandleMirrorsAddressApi) {
   EXPECT_FALSE(c.probe(0x100));
 }
 
+// LineRef is an index into the SoA lanes, so it follows the slot, not a
+// pointer: handles — including handles to OTHER lines in the same set —
+// must survive any number of touch()/set_state()/downgrade() calls
+// (cache.hpp documents the invalidation rules: only fill(), invalidate(),
+// and flush() may repurpose or empty a slot).
+TEST(CacheLookupTest, HandlesStayValidAcrossTouchAndSetState) {
+  Cache c(small_cache(2));
+  // Two lines in the same set (2-way, 16 sets, set stride 512).
+  c.fill(0, Mesi::kShared);
+  c.fill(512, Mesi::kExclusive);
+  const auto ha = c.lookup(0);
+  const auto hb = c.lookup(512);
+  ASSERT_TRUE(ha);
+  ASSERT_TRUE(hb);
+  // Interleave LRU movement and state writes through both handles; each
+  // must keep denoting its own line.
+  c.touch(ha);
+  c.set_state(hb, Mesi::kModified);
+  EXPECT_EQ(c.state_of(ha), Mesi::kShared);
+  EXPECT_EQ(c.state_of(hb), Mesi::kModified);
+  c.touch(hb);
+  c.set_state(ha, Mesi::kModified);
+  c.downgrade(hb);
+  EXPECT_EQ(c.state_of(ha), Mesi::kModified);
+  EXPECT_EQ(c.state_of(hb), Mesi::kShared);
+  EXPECT_EQ(c.state(0), Mesi::kModified);
+  EXPECT_EQ(c.state(512), Mesi::kShared);
+  // The handles were touched twice each on top of the two fills.
+  EXPECT_EQ(c.hits(), 2u);
+}
+
+TEST(CacheTest, ResidentLinesAreSetMajorDeterministic) {
+  // 2-way, 16 sets, 32 B lines: set(line) = (line/32) % 16. Fill sets in
+  // scrambled order; resident_lines() must come back ascending by set,
+  // ways in fill order within a set — regardless of fill or LRU order.
+  Cache c(small_cache(2));
+  const Addr set3 = 3 * 32, set1 = 1 * 32, set0 = 0;
+  c.fill(set3, Mesi::kShared);
+  c.fill(set1 + 512, Mesi::kShared);   // set 1, first-filled way
+  c.fill(set0 + 1024, Mesi::kShared);
+  c.fill(set1, Mesi::kShared);         // set 1, second way
+  c.access(set3);                      // LRU movement must not reorder
+  const std::vector<Addr> want = {set0 + 1024, set1 + 512, set1, set3};
+  EXPECT_EQ(c.resident_lines(), want);
+}
+
 TEST(CacheLookupTest, RandomizedLockstepAgainstOldSequences) {
   // Drive two identical caches with the same operation stream — one
   // through the old probe()/state()/access()/set_state(Addr) calls, one

@@ -55,6 +55,7 @@ TEST(RendererRegistryTest, EveryHarnessHasARenderer) {
       "table2_applications", "ablation_ddv_terms", "ablation_footprint",
       "ablation_intervals", "ablation_topology",  "overhead_bandwidth",
       "predictors_eval",    "micro_detector",     "perf_hotpath",
+      "perf_sim",
   };
   const auto names = renderer_names();
   EXPECT_EQ(names.size(), expected.size());
