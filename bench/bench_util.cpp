@@ -42,6 +42,8 @@ const char* usage_text() {
       "  --scale=paper|bench|test   workload size (default paper)\n"
       "  --apps=LU,FMM,Art,Equake   subset of applications\n"
       "  --nodes=2,8,32             subset of node counts\n"
+      "  --protocol=msi,mesi,moesi  coherence protocols to sweep (default:\n"
+      "                             mesi only, not recorded as an axis)\n"
       "  --csv=DIR                  dump full-resolution CSV (live runs;\n"
       "                             sharded: dsm_report render --csv=DIR)\n"
       "  --threads=N                sweep worker threads (0 = one per core,\n"
@@ -86,6 +88,19 @@ ParseResult parse_options(int argc, char** argv) {
           return fail(std::move(res), "bad --nodes entry: " + n);
         opt.node_counts.push_back(static_cast<unsigned>(v));
       }
+    } else if (arg.rfind("--protocol=", 0) == 0) {
+      opt.protocols = split(value("--protocol="), ',');
+      Protocol p;
+      for (const auto& n : opt.protocols)
+        if (!protocol_from_name(n, &p))
+          return fail(std::move(res),
+                      "unknown protocol: " + n + " (valid: msi,mesi,moesi)");
+      if (opt.protocols.empty())
+        return fail(std::move(res), "empty --protocol list");
+      // The machine default: drop the axis entirely so --protocol=mesi is
+      // byte-identical (seeds, records, output) to not passing the flag.
+      if (opt.protocols == std::vector<std::string>{"mesi"})
+        opt.protocols.clear();
     } else if (arg.rfind("--threads=", 0) == 0) {
       const std::string v = value("--threads=");
       unsigned long t = 0;
@@ -144,11 +159,19 @@ std::optional<int> maybe_orchestrate(int argc, char** argv,
   return shard::run_sharded(o, stdout);
 }
 
+Protocol protocol_of_point(const driver::SpecPoint& pt) {
+  Protocol p = Protocol::kMesi;
+  if (!pt.protocol.empty() && !protocol_from_name(pt.protocol, &p))
+    throw std::runtime_error("unknown protocol: " + pt.protocol);
+  return p;
+}
+
 sim::RunSummary run_workload(const apps::AppInfo& app, apps::Scale scale,
                              unsigned nodes, bool verbose,
-                             std::uint64_t seed) {
+                             std::uint64_t seed, Protocol protocol) {
   MachineConfig cfg = default_config(nodes);
   cfg.phase.interval_instructions = apps::scaled_interval(app.name, scale);
+  cfg.protocol = protocol;
   cfg.seed = seed;
   const auto t0 = std::chrono::steady_clock::now();
   sim::Machine machine(cfg);

@@ -59,6 +59,11 @@ struct BenchOptions {
   std::vector<std::string> app_names;  ///< empty = all four paper apps
   std::vector<unsigned> node_counts;   ///< empty = the bench's defaults
   std::string csv_dir;                 ///< when set, also dump CSV files
+  /// Coherence protocols to sweep (--protocol=msi,mesi,moesi). Empty =
+  /// protocol not swept: the machines run the default (MESI) and records
+  /// carry no protocol field. parse_options() normalizes an explicit
+  /// {"mesi"} to empty, so --protocol=mesi is byte-identical to no flag.
+  std::vector<std::string> protocols;
   unsigned threads = 1;                ///< sweep workers; 0 = one per core
   bool verbose = false;
   shard::ShardPlan shard;              ///< --shard=i/N (worker mode)
@@ -111,10 +116,16 @@ std::optional<int> maybe_orchestrate(int argc, char** argv,
 /// Runs `app` on a Table I machine with `nodes` processors at `scale`,
 /// with the sampling interval scaled to the workload per DESIGN.md and the
 /// machine's RNG streams seeded from `seed` (pass spec_seed(point) inside
-/// sweeps so parallel and serial runs agree bit-for-bit).
+/// sweeps so parallel and serial runs agree bit-for-bit). `protocol`
+/// selects the coherence-policy tables the fabric runs (default MESI).
 sim::RunSummary run_workload(const apps::AppInfo& app, apps::Scale scale,
                              unsigned nodes, bool verbose,
-                             std::uint64_t seed);
+                             std::uint64_t seed,
+                             Protocol protocol = Protocol::kMesi);
+
+/// SpecPoint::protocol -> Protocol: empty means "not swept" (MESI).
+/// Throws on a name protocol_from_name() rejects.
+Protocol protocol_of_point(const driver::SpecPoint& pt);
 
 /// Apps selected by --apps, in Table II order (default: all four).
 std::vector<const apps::AppInfo*> selected_apps(const BenchOptions& opt);
@@ -168,12 +179,16 @@ shard::StreamRecord make_stream_record(
   rec.spec_index = pt.index;
   rec.key = driver::spec_label(pt);
   rec.seed = seed_of(pt);
-  rec.metrics = shard::JsonObject()
-                    .add("app", pt.app)
-                    .add("nodes", static_cast<std::uint64_t>(pt.nodes))
-                    .add("variant", pt.detector)
-                    .add("param", pt.threshold)
-                    .add("scale", std::string(apps::scale_name(pt.scale)))
+  shard::JsonObject ctx;
+  ctx.add("app", pt.app)
+      .add("nodes", static_cast<std::uint64_t>(pt.nodes))
+      .add("variant", pt.detector)
+      .add("param", pt.threshold);
+  // Protocol rides in the envelope only when the sweep varies it, so
+  // every pre-existing stream stays byte-identical (readers default the
+  // absent field to "mesi").
+  if (!pt.protocol.empty()) ctx.add("protocol", pt.protocol);
+  rec.metrics = ctx.add("scale", std::string(apps::scale_name(pt.scale)))
                     .add_raw("m", metrics(pt, reduced))
                     .str();
   return rec;
@@ -268,12 +283,14 @@ int run_reduced_sweep(
   driver::SweepSpec spec;
   for (const auto* app : apps_selected) spec.apps.push_back(app->name);
   spec.node_counts = nodes;
+  spec.protocols = opt.protocols;
   spec.scale = opt.scale;
   return sharded_sweep<sim::RunSummary, R>(
       spec.expand(), opt, bench_name,
       [&opt](const driver::SpecPoint& pt) {
         return run_workload(apps::app_by_name(pt.app), pt.scale, pt.nodes,
-                            opt.verbose, driver::spec_seed(pt));
+                            opt.verbose, driver::spec_seed(pt),
+                            protocol_of_point(pt));
       },
       reduce,
       [](const driver::SpecPoint& pt) { return driver::spec_seed(pt); },

@@ -11,22 +11,39 @@ namespace {
 /// Initial slot count per slice: small enough to be free at 64 nodes,
 /// large enough that short runs never rebuild.
 constexpr std::size_t kInitialSlots = 1024;
+
+/// Pre-size ceiling: 2^20 slots keeps a deliberately oversized hint from
+/// committing more than ~24 MB of lanes per slice up front; a genuinely
+/// larger working set still grows normally from there.
+constexpr std::size_t kMaxPresizeSlots = std::size_t{1} << 20;
+
+/// Capacity for `expected_lines` entries at the <= 1/2 load entry()
+/// maintains: next power of two at or above 2x the expectation.
+std::size_t presize_slots(std::size_t expected_lines) {
+  if (expected_lines == 0) return kInitialSlots;
+  std::size_t cap = std::bit_ceil(expected_lines * 2);
+  if (cap < kInitialSlots) cap = kInitialSlots;
+  if (cap > kMaxPresizeSlots) cap = kMaxPresizeSlots;
+  return cap;
+}
 }  // namespace
 
 unsigned DirEntry::sharer_count() const {
   return static_cast<unsigned>(std::popcount(sharers));
 }
 
-Directory::Directory(NodeId home)
+Directory::Directory(NodeId home, std::size_t expected_lines)
     : home_(home),
-      keys_(kInitialSlots, kEmptyKey),
-      entries_(kInitialSlots) {}
+      keys_(presize_slots(expected_lines), kEmptyKey),
+      entries_(keys_.size()) {}
 
 DirEntry& Directory::entry(Addr line_addr) {
   DSM_ASSERT(line_addr != kEmptyKey);
   // Keep load below 1/2 before probing so the returned reference is not
-  // invalidated by this call's own insert.
-  if ((size_ + 1) * 2 > keys_.size()) rebuild(keys_.size() * 2);
+  // invalidated by this call's own insert. Growth jumps 4x: a slice that
+  // outruns its pre-size is mid-warm-up, and quartering the rebuild count
+  // costs at most one doubling of the final table.
+  if ((size_ + 1) * 2 > keys_.size()) rebuild(keys_.size() * 4);
   std::size_t i = slot_of(line_addr);
   const std::size_t mask = keys_.size() - 1;
   while (keys_[i] != kEmptyKey) {

@@ -7,7 +7,7 @@
 
 namespace dsm::coh {
 
-using mem::Mesi;
+using mem::LineState;
 using net::TrafficClass;
 
 const char* data_source_name(DataSource s) {
@@ -23,12 +23,22 @@ const char* data_source_name(DataSource s) {
 }
 
 CoherenceFabric::Node::Node(const MachineConfig& cfg, NodeId id)
-    : l1(cfg.l1), l2(cfg.l2), dir(id), ctrl(cfg, id) {}
+    : l1(cfg.l1),
+      l2(cfg.l2),
+      // Pre-size the directory slice for its steady-state share: under
+      // round-robin page homing each slice tracks about one node's worth
+      // of cached (L1 ⊆ L2) lines. 2x headroom absorbs homing imbalance,
+      // so the growth rebuilds that used to dominate warm-up never run.
+      dir(id, (cfg.l2.size_bytes / cfg.l2.line_bytes) * 2),
+      ctrl(cfg, id) {}
 
 CoherenceFabric::CoherenceFabric(const MachineConfig& cfg,
                                  net::Network& network,
                                  mem::HomeMap& home_map)
-    : cfg_(cfg), network_(network), home_map_(&home_map) {
+    : cfg_(cfg),
+      pol_(&policy_for(cfg.protocol)),
+      network_(network),
+      home_map_(&home_map) {
   DSM_ASSERT_MSG(cfg.num_nodes <= 64,
                  "full-map directory uses a 64-bit sharer bitset");
   nodes_.reserve(cfg.num_nodes);
@@ -74,17 +84,18 @@ AccessOutcome CoherenceFabric::access(NodeId node, Addr addr, bool is_write,
 
   // ---- L1: one tag walk, reused below ----
   const mem::Cache::LineRef w1 = me.l1.lookup(line);
-  const Mesi s1 = me.l1.state_of(w1);
-  if (s1 != Mesi::kInvalid) {
-    const bool writable = (s1 == Mesi::kModified || s1 == Mesi::kExclusive);
-    if (!is_write || writable) {
+  const LineState s1 = me.l1.state_of(w1);
+  if (s1 != LineState::kInvalid) {
+    if (!is_write || store_permitted(*pol_, s1)) {
       me.l1.touch(w1);
-      if (is_write && s1 == Mesi::kExclusive) {
-        // Silent E->M upgrade, mirrored in the (inclusive) L2.
-        me.l1.set_state(w1, Mesi::kModified);
+      const LineState next = pol_->store_hit[static_cast<unsigned>(s1)];
+      if (is_write && next != s1) {
+        // Silent store-hit upgrade (E->M under MESI/MOESI), mirrored in
+        // the (inclusive) L2.
+        me.l1.set_state(w1, next);
         const mem::Cache::LineRef w2 = me.l2.lookup(line);
         DSM_ASSERT(w2);
-        me.l2.set_state(w2, Mesi::kModified);
+        me.l2.set_state(w2, next);
       }
       ++me.stats.l1_hits;
       out.l1_hit = true;
@@ -102,17 +113,17 @@ AccessOutcome CoherenceFabric::access(NodeId node, Addr addr, bool is_write,
 
   // ---- L2: one tag walk, reused below ----
   const mem::Cache::LineRef w2 = me.l2.lookup(line);
-  const Mesi s2 = me.l2.state_of(w2);
-  const bool l2_has_data = (s2 != Mesi::kInvalid);
-  const bool l2_writable = (s2 == Mesi::kModified || s2 == Mesi::kExclusive);
+  const LineState s2 = me.l2.state_of(w2);
+  const bool l2_has_data = (s2 != LineState::kInvalid);
+  const bool l2_writable = store_permitted(*pol_, s2);
   lat += cfg_.l2.latency_cycles;
   if (l2_has_data && (!is_write || l2_writable)) {
     me.l2.touch(w2);
     ++me.stats.l2_hits;
-    Mesi grant = s2;
+    LineState grant = s2;
     if (is_write) {
-      grant = Mesi::kModified;
-      me.l2.set_state(w2, Mesi::kModified);
+      grant = pol_->store_hit[static_cast<unsigned>(s2)];
+      me.l2.set_state(w2, grant);
     }
     // Refill L1 from L2 (w1 may be a resident S way on a read after an L1
     // conflict miss).
@@ -121,10 +132,10 @@ AccessOutcome CoherenceFabric::access(NodeId node, Addr addr, bool is_write,
       me.l1.set_state(w1, grant);
     } else {
       const auto v1 = me.l1.fill(line, grant);
-      if (v1 && v1->state == Mesi::kModified) {
+      if (v1 && v1->state == LineState::kModified) {
         const mem::Cache::LineRef wv = me.l2.lookup(v1->line_addr);
         DSM_ASSERT_MSG(wv, "L1/L2 inclusion broken");
-        me.l2.set_state(wv, Mesi::kModified);
+        me.l2.set_state(wv, LineState::kModified);
       }
     }
     out.latency = lat;
@@ -158,20 +169,28 @@ Cycle CoherenceFabric::directory_request(NodeId requestor, Addr line,
   const bool requestor_had_data = static_cast<bool>(l2_ref);
   // Every switch arm assigns grant; kInvalid would trip fill_hierarchy's
   // assert if one ever stopped doing so.
-  Mesi grant = Mesi::kInvalid;
+  LineState grant = LineState::kInvalid;
 
   switch (e.state) {
     case DirEntry::State::kUncached: {
-      // Fetch from home memory; grant E (read) or M (write) — MESI gives
-      // exclusivity to a sole cacher.
+      // Fetch from home memory. A write is granted M everywhere; what a
+      // sole READER gets is the policy's call — E under MESI/MOESI (so a
+      // later store upgrades silently), plain S under MSI.
       lat += h.ctrl.request(line, now + lat, data_bytes(), requestor);
       lat += network_.message_latency(home, requestor, data_bytes(),
                                       now + lat, TrafficClass::kData);
-      grant = is_write ? Mesi::kModified : Mesi::kExclusive;
-      e.state = DirEntry::State::kExclusive;
+      if (is_write) {
+        grant = LineState::kModified;
+        e.state = DirEntry::State::kExclusive;
+        e.owner = requestor;
+      } else {
+        grant = pol_->sole_read_grant;
+        e.state = pol_->sole_read_dir;
+        e.owner = (e.state == DirEntry::State::kExclusive) ? requestor
+                                                           : kNoNode;
+      }
       e.sharers = 0;
       e.add_sharer(requestor);
-      e.owner = requestor;
       out.source = (home == requestor) ? DataSource::kLocalMem
                                        : DataSource::kRemoteMem;
       if (home == requestor) ++me.stats.local_mem; else ++me.stats.remote_mem;
@@ -215,7 +234,7 @@ Cycle CoherenceFabric::directory_request(NodeId requestor, Addr line,
           if (home == requestor) ++me.stats.local_mem;
           else ++me.stats.remote_mem;
         }
-        grant = Mesi::kModified;
+        grant = LineState::kModified;
         e.state = DirEntry::State::kExclusive;
         e.sharers = 0;
         e.add_sharer(requestor);
@@ -225,7 +244,7 @@ Cycle CoherenceFabric::directory_request(NodeId requestor, Addr line,
         lat += h.ctrl.request(line, now + lat, data_bytes(), requestor);
         lat += network_.message_latency(home, requestor, data_bytes(),
                                         now + lat, TrafficClass::kData);
-        grant = Mesi::kShared;
+        grant = LineState::kShared;
         e.add_sharer(requestor);
         out.source = (home == requestor) ? DataSource::kLocalMem
                                          : DataSource::kRemoteMem;
@@ -244,13 +263,13 @@ Cycle CoherenceFabric::directory_request(NodeId requestor, Addr line,
                                       TrafficClass::kCoherence);
       const mem::Cache::LineRef ow1 = owner.l1.lookup(line);
       const mem::Cache::LineRef ow2 = owner.l2.lookup(line);
-      const Mesi owner_l1 = owner.l1.state_of(ow1);
-      const Mesi owner_l2 = owner.l2.state_of(ow2);
-      DSM_ASSERT_MSG(owner_l2 == Mesi::kExclusive ||
-                         owner_l2 == Mesi::kModified,
+      const LineState owner_l1 = owner.l1.state_of(ow1);
+      const LineState owner_l2 = owner.l2.state_of(ow2);
+      DSM_ASSERT_MSG(owner_l2 == LineState::kExclusive ||
+                         owner_l2 == LineState::kModified,
                      "directory owner must hold the line E or M");
       const bool was_dirty =
-          owner_l1 == Mesi::kModified || owner_l2 == Mesi::kModified;
+          owner_l1 == LineState::kModified || owner_l2 == LineState::kModified;
       if (is_write) {
         owner.l1.invalidate(ow1);
         owner.l2.invalidate(ow2);
@@ -259,22 +278,32 @@ Cycle CoherenceFabric::directory_request(NodeId requestor, Addr line,
         e.sharers = 0;
         e.add_sharer(requestor);
         e.owner = requestor;
-        grant = Mesi::kModified;
+        grant = LineState::kModified;
       } else {
         owner.l1.downgrade(ow1);
-        owner.l2.downgrade(ow2);
-        if (was_dirty) {
-          // Sharing writeback: the home's memory is refreshed off the
-          // requestor's critical path, but the controller is occupied.
-          h.ctrl.request(line, now + lat, data_bytes(), q);
-          network_.message_latency(q, home, data_bytes(), now + lat,
-                                   TrafficClass::kData);
-          ++owner.stats.writebacks;
+        if (pol_->has_owned && was_dirty) {
+          // MOESI: the dirty owner keeps its data as Owned and forwards
+          // it cache-to-cache below — no memory writeback; home memory
+          // stays stale until the O copy is evicted. The owner stays
+          // registered (and a sharer) so later requests forward to it.
+          owner.l2.set_state(ow2, LineState::kOwned);
+          e.state = DirEntry::State::kOwned;
+          e.add_sharer(requestor);
+        } else {
+          owner.l2.downgrade(ow2);
+          if (was_dirty) {
+            // Sharing writeback: the home's memory is refreshed off the
+            // requestor's critical path, but the controller is occupied.
+            h.ctrl.request(line, now + lat, data_bytes(), q);
+            network_.message_latency(q, home, data_bytes(), now + lat,
+                                     TrafficClass::kData);
+            ++owner.stats.writebacks;
+          }
+          e.state = DirEntry::State::kShared;
+          e.add_sharer(requestor);
+          e.owner = kNoNode;
         }
-        e.state = DirEntry::State::kShared;
-        e.add_sharer(requestor);
-        e.owner = kNoNode;
-        grant = Mesi::kShared;
+        grant = LineState::kShared;
       }
       // Cache-to-cache transfer, owner -> requestor.
       lat += network_.message_latency(q, requestor, data_bytes(), now + lat,
@@ -283,22 +312,89 @@ Cycle CoherenceFabric::directory_request(NodeId requestor, Addr line,
       ++me.stats.cache_to_cache;
       break;
     }
+    case DirEntry::State::kOwned: {
+      // MOESI only: a dirty Owned copy exists at e.owner; home memory is
+      // stale, so data always comes from the owner, never from h.ctrl.
+      DSM_ASSERT_MSG(pol_->has_owned, "kOwned entry under a non-MOESI policy");
+      const NodeId q = e.owner;
+      DSM_ASSERT(q != kNoNode);
+      if (is_write) {
+        // Invalidate every sharer but the requestor (the owner included,
+        // unless the requestor IS the owner upgrading its O copy); acks
+        // return in parallel, so the cost is the slowest round trip.
+        Cycle max_inval = 0;
+        for_each_set_bit(
+            e.sharers & ~(std::uint64_t{1} << requestor), [&](unsigned qb) {
+              const NodeId s = static_cast<NodeId>(qb);
+              Cycle t = network_.message_latency(home, s, control_bytes(),
+                                                 now + lat,
+                                                 TrafficClass::kCoherence);
+              nodes_[s].l1.invalidate(line);
+              nodes_[s].l2.invalidate(line);
+              t += network_.message_latency(s, home, control_bytes(),
+                                            now + lat + t,
+                                            TrafficClass::kCoherence);
+              max_inval = std::max(max_inval, t);
+              ++me.stats.invalidations_sent;
+              ++out.invalidations;
+            });
+        lat += max_inval;
+        if (requestor_had_data) {
+          // The requestor already holds the data (S, or O when it is the
+          // owner): permission only.
+          lat += network_.message_latency(home, requestor, control_bytes(),
+                                          now + lat, TrafficClass::kCoherence);
+          out.source = DataSource::kUpgrade;
+          ++me.stats.upgrades;
+        } else {
+          // Memory is stale: forward the request to the (just
+          // invalidated) owner, which supplies the only valid data.
+          DSM_ASSERT_MSG(q != requestor, "ownerless O-line write");
+          lat += network_.message_latency(home, q, control_bytes(), now + lat,
+                                          TrafficClass::kCoherence);
+          lat += network_.message_latency(q, requestor, data_bytes(),
+                                          now + lat, TrafficClass::kData);
+          out.source = DataSource::kRemoteCache;
+          ++me.stats.cache_to_cache;
+        }
+        grant = LineState::kModified;
+        e.state = DirEntry::State::kExclusive;
+        e.sharers = 0;
+        e.add_sharer(requestor);
+        e.owner = requestor;
+      } else {
+        // Read: forward from the owner, cache-to-cache; the owner keeps
+        // O and the directory entry is untouched except for the new
+        // sharer. (The owner itself never read-misses an O line — its L2
+        // serves it — so q != requestor here.)
+        DSM_ASSERT_MSG(q != requestor, "owner read-missed its own O line");
+        lat += network_.message_latency(home, q, control_bytes(), now + lat,
+                                        TrafficClass::kCoherence);
+        lat += network_.message_latency(q, requestor, data_bytes(), now + lat,
+                                        TrafficClass::kData);
+        e.add_sharer(requestor);
+        grant = LineState::kShared;
+        out.source = DataSource::kRemoteCache;
+        ++me.stats.cache_to_cache;
+      }
+      break;
+    }
   }
 
   // Install / upgrade locally. The cached tag-walk handles are still valid:
   // everything above only touched other nodes' caches.
   if (out.source == DataSource::kUpgrade) {
     DSM_ASSERT(l2_ref);
-    me.l2.set_state(l2_ref, Mesi::kModified);
+    me.l2.set_state(l2_ref, LineState::kModified);
     if (l1_ref) {
-      me.l1.set_state(l1_ref, Mesi::kModified);
+      me.l1.set_state(l1_ref, LineState::kModified);
       me.l1.touch(l1_ref);
     } else {
-      const auto v1 = me.l1.fill(line, Mesi::kModified);
-      if (v1 && v1->state == Mesi::kModified) {
+      const auto v1 = me.l1.fill(line, LineState::kModified);
+      if (v1 && v1->state == LineState::kModified) {
         const mem::Cache::LineRef wv = me.l2.lookup(v1->line_addr);
         DSM_ASSERT(wv);
-        me.l2.set_state(wv, Mesi::kModified);
+        me.l2.set_state(wv, LineState::kModified);
       }
     }
   } else {
@@ -307,7 +403,7 @@ Cycle CoherenceFabric::directory_request(NodeId requestor, Addr line,
   return lat;
 }
 
-Cycle CoherenceFabric::fill_hierarchy(NodeId requestor, Addr line, Mesi st,
+Cycle CoherenceFabric::fill_hierarchy(NodeId requestor, Addr line, LineState st,
                                       Cycle now) {
   Node& me = nodes_[requestor];
   Cycle lat = 0;
@@ -316,10 +412,10 @@ Cycle CoherenceFabric::fill_hierarchy(NodeId requestor, Addr line, Mesi st,
   const auto v2 = me.l2.fill(line, st);
   if (v2) lat += handle_l2_eviction(requestor, *v2, now);
   const auto v1 = me.l1.fill(line, st);
-  if (v1 && v1->state == Mesi::kModified) {
+  if (v1 && v1->state == LineState::kModified) {
     const mem::Cache::LineRef wv = me.l2.lookup(v1->line_addr);
     DSM_ASSERT_MSG(wv, "L1/L2 inclusion broken");
-    me.l2.set_state(wv, Mesi::kModified);
+    me.l2.set_state(wv, LineState::kModified);
   }
   return lat;
 }
@@ -328,24 +424,41 @@ Cycle CoherenceFabric::handle_l2_eviction(NodeId evictor, const mem::Victim& v,
                                           Cycle now) {
   Node& me = nodes_[evictor];
   // Inclusion: purge the L1 copy; it may carry the dirty bit.
-  const Mesi l1_state = me.l1.invalidate(v.line_addr);
-  const bool dirty =
-      v.state == Mesi::kModified || l1_state == Mesi::kModified;
+  const LineState l1_state = me.l1.invalidate(v.line_addr);
+  const bool dirty = v.state == LineState::kModified ||
+                     v.state == LineState::kOwned ||
+                     l1_state == LineState::kModified;
 
   const NodeId vhome = home_map_->home_of(v.line_addr, evictor);
   Node& h = nodes_[vhome];
 
   if (dirty) {
     // Dirty writeback: buffered off the critical path; the traffic and the
-    // home controller occupancy are still real. The line returns to
-    // kUncached, so its entry is erased in place — no entry() probe first:
-    // the dirty path never reads the directory state it is about to drop.
+    // home controller occupancy are still real.
     ++me.stats.writebacks;
     const Cycle arrive =
         now + network_.message_latency(evictor, vhome, data_bytes(), now,
                                        TrafficClass::kData);
     h.ctrl.request(v.line_addr, arrive, data_bytes(), evictor);
-    h.dir.erase(v.line_addr);
+    if (!pol_->has_owned) {
+      // MSI/MESI: a dirty line is the only copy, so it returns to
+      // kUncached and its entry is erased in place — no entry() probe
+      // first: this path never reads the state it is about to drop.
+      h.dir.erase(v.line_addr);
+      return 0;
+    }
+    // MOESI: an evicted O line may leave S copies behind. The writeback
+    // just refreshed home memory, so the survivors' entry is a plain
+    // kShared; the line is erased only when the evictor held the sole
+    // copy (M, or O with no other sharer).
+    DirEntry& e = h.dir.entry(v.line_addr);
+    e.remove_sharer(evictor);
+    if (e.sharer_count() == 0) {
+      h.dir.erase(v.line_addr);
+    } else {
+      e.state = DirEntry::State::kShared;
+      e.owner = kNoNode;
+    }
     return 0;
   }
 
@@ -371,20 +484,27 @@ void CoherenceFabric::flush_all() {
 
 void CoherenceFabric::check_invariants() const {
   const unsigned n = static_cast<unsigned>(nodes_.size());
-  // 1) L1 subset of L2 with compatible states.
+  // 1) L1 subset of L2 with compatible states, and no state the policy
+  //    cannot install (no E under MSI, no O outside MOESI).
   for (unsigned p = 0; p < n; ++p) {
     for (const Addr line : nodes_[p].l1.resident_lines()) {
       DSM_ASSERT_MSG(nodes_[p].l2.probe(line), "L1 line missing from L2");
-      const Mesi s1 = nodes_[p].l1.state(line);
-      const Mesi s2 = nodes_[p].l2.state(line);
-      if (s1 == Mesi::kModified)
-        DSM_ASSERT_MSG(s2 == Mesi::kModified, "dirty L1 over non-M L2");
-      if (s1 == Mesi::kExclusive)
-        DSM_ASSERT_MSG(s2 == Mesi::kExclusive || s2 == Mesi::kModified,
+      const LineState s1 = nodes_[p].l1.state(line);
+      const LineState s2 = nodes_[p].l2.state(line);
+      DSM_ASSERT_MSG(state_allowed(*pol_, s1),
+                     "L1 state unreachable under this protocol");
+      if (s1 == LineState::kModified)
+        DSM_ASSERT_MSG(s2 == LineState::kModified, "dirty L1 over non-M L2");
+      if (s1 == LineState::kExclusive)
+        DSM_ASSERT_MSG(s2 == LineState::kExclusive || s2 == LineState::kModified,
                        "E in L1 over weaker L2");
+      if (s1 == LineState::kOwned)
+        DSM_ASSERT_MSG(s2 == LineState::kOwned, "O in L1 over non-O L2");
     }
   }
-  // 2) Directory agrees with the caches.
+  // 2) Directory agrees with the caches. Under MOESI this also enforces
+  //    the single-Owner rule: two O copies of one line would each demand
+  //    e.owner == themselves.
   for (unsigned home = 0; home < n; ++home) {
     // Walk every line any L2 holds whose home is this node.
     for (unsigned p = 0; p < n; ++p) {
@@ -393,15 +513,25 @@ void CoherenceFabric::check_invariants() const {
         const DirEntry e = nodes_[home].dir.peek(line);
         DSM_ASSERT_MSG(e.is_sharer(static_cast<NodeId>(p)),
                        "cache holds line the directory does not attribute");
-        const Mesi s = nodes_[p].l2.state(line);
-        if (s == Mesi::kExclusive || s == Mesi::kModified) {
+        const LineState s = nodes_[p].l2.state(line);
+        DSM_ASSERT_MSG(state_allowed(*pol_, s),
+                       "L2 state unreachable under this protocol");
+        if (s == LineState::kExclusive || s == LineState::kModified) {
           DSM_ASSERT_MSG(e.state == DirEntry::State::kExclusive &&
                              e.owner == static_cast<NodeId>(p),
                          "E/M copy without directory ownership");
           DSM_ASSERT_MSG(e.sharer_count() == 1, "owner plus extra sharers");
+        } else if (s == LineState::kOwned) {
+          DSM_ASSERT_MSG(e.state == DirEntry::State::kOwned &&
+                             e.owner == static_cast<NodeId>(p),
+                         "O copy without directory kOwned ownership");
         } else {
-          DSM_ASSERT_MSG(e.state == DirEntry::State::kShared,
-                         "S copy but directory not in Shared");
+          DSM_ASSERT_MSG(e.state == DirEntry::State::kShared ||
+                             e.state == DirEntry::State::kOwned,
+                         "S copy but directory not in Shared/Owned");
+          if (e.state == DirEntry::State::kOwned)
+            DSM_ASSERT_MSG(e.owner != static_cast<NodeId>(p),
+                           "registered owner holds S, not O");
         }
       }
     }

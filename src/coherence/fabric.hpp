@@ -1,19 +1,25 @@
 // fabric.hpp — the coherence fabric: per-node L1/L2 cache hierarchies, the
-// distributed full-map MESI directory, home memory controllers, and the
+// distributed full-map directory, home memory controllers, and the
 // interconnect, composed into a single `access()` entry point used by the
 // core model for every committed load/store.
+//
+// The protocol the fabric runs (MSI, MESI — the paper's baseline — or
+// MOESI) is a CohPolicy table (coherence/policy.hpp) selected once at
+// construction from MachineConfig::protocol; the access path reads the
+// table through one pointer and never branches on the Protocol enum.
 //
 // Timing approximation: remote caches are mutated functionally at request
 // time while all latency is charged to the requestor — the standard
 // approximation in deterministic, cooperatively scheduled DSM simulators.
 // Clean (S/E) evictions update the directory precisely without a message;
-// dirty (M) evictions pay the full writeback path.
+// dirty (M, and MOESI's O) evictions pay the full writeback path.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "coherence/directory.hpp"
+#include "coherence/policy.hpp"
 #include "common/config.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
@@ -81,11 +87,18 @@ class CoherenceFabric {
   unsigned nodes() const { return cfg_.num_nodes; }
   unsigned line_bytes() const { return cfg_.l2.line_bytes; }
 
+  /// The protocol tables this fabric was constructed with.
+  const CohPolicy& policy() const { return *pol_; }
+
   /// Drops all cached state (between benchmark runs).
   void flush_all();
 
-  /// Verifies global MESI invariants (single owner, inclusive hierarchy,
-  /// directory/cache agreement); aborts on violation. For tests.
+  /// Verifies global coherence invariants (single owner, inclusive
+  /// hierarchy, directory/cache agreement), including the per-protocol
+  /// ones: no state the policy cannot install (no E under MSI, no O
+  /// outside MOESI), and every Owned line registered to exactly one
+  /// owner whose directory entry is kOwned. Aborts on violation. For
+  /// tests.
   void check_invariants() const;
 
  private:
@@ -110,15 +123,18 @@ class CoherenceFabric {
 
   /// Installs `line` into requestor's L2+L1 with state `st`, handling
   /// inclusion victims and dirty writebacks. Returns added latency.
-  Cycle fill_hierarchy(NodeId requestor, Addr line, mem::Mesi st, Cycle now);
+  Cycle fill_hierarchy(NodeId requestor, Addr line, mem::LineState st, Cycle now);
 
   /// Handles an L2 victim: directory update + writeback if dirty.
   Cycle handle_l2_eviction(NodeId evictor, const mem::Victim& v, Cycle now);
 
-  unsigned control_bytes() const { return 8; }
+  unsigned control_bytes() const { return cfg_.network.control_bytes; }
   unsigned data_bytes() const { return cfg_.l2.line_bytes; }
 
   const MachineConfig& cfg_;
+  /// Protocol tables, selected once in the constructor — the only
+  /// protocol dispatch the fabric ever performs.
+  const CohPolicy* pol_;
   net::Network& network_;
   mem::HomeMap* home_map_;
   /// Node state by value: the per-access path indexes straight into the

@@ -1,0 +1,17 @@
+#include "coherence/policy.hpp"
+
+#include "common/assert.hpp"
+
+namespace dsm::coh {
+
+const CohPolicy& policy_for(Protocol p) {
+  switch (p) {
+    case Protocol::kMsi: return kMsiPolicy;
+    case Protocol::kMesi: return kMesiPolicy;
+    case Protocol::kMoesi: return kMoesiPolicy;
+  }
+  DSM_ASSERT_MSG(false, "unknown protocol");
+  return kMesiPolicy;
+}
+
+}  // namespace dsm::coh

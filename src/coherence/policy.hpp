@@ -1,0 +1,116 @@
+// policy.hpp — the coherence-protocol seam of the fabric: everything that
+// distinguishes MSI from MESI from MOESI, folded into one table-driven
+// value type (CohPolicy) the fabric consults instead of hard-coding MESI
+// decisions inline.
+//
+// Dispatch discipline: the three protocol tables are constexpr objects;
+// the fabric selects `const CohPolicy*` ONCE at construction from
+// MachineConfig::protocol and every per-access decision is a table load
+// or boolean test off that pointer — no virtual calls, no allocation, no
+// branching on the Protocol enum anywhere on the access path. The MESI
+// table reproduces the fabric's previous inline logic decision-for-
+// decision, so --protocol=mesi (the default) is bit-identical to the
+// pre-seam simulator.
+//
+// What actually varies between the protocols of this family:
+//  * write permission of a cached state      -> `writable[]`
+//  * the silent store-hit transition         -> `store_hit[]` (E->M)
+//  * what a sole reader is granted           -> `sole_read_grant`,
+//    and how the directory records it        -> `sole_read_dir`
+//    (MESI/MOESI grant E speculatively; MSI grants S)
+//  * what a dirty owner does on a read probe -> `has_owned`
+//    (MOESI keeps the dirty line as Owned and forwards cache-to-cache
+//    with NO memory writeback; MSI/MESI downgrade to S and refresh the
+//    home memory with a sharing writeback)
+// Everything else — the directory walk, invalidation fan-out, upgrade
+// vs. fetch, eviction bookkeeping — is protocol-independent and stays in
+// fabric.cpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "coherence/directory.hpp"
+#include "common/config.hpp"
+#include "memory/cache.hpp"
+
+namespace dsm::coh {
+
+/// Per-protocol transition/metadata tables. Per-state arrays are indexed
+/// by static_cast<unsigned>(mem::LineState).
+struct CohPolicy {
+  Protocol protocol;
+  const char* name;
+
+  /// Which cached states satisfy a store without a directory transaction.
+  std::array<bool, mem::kNumLineStates> writable;
+  /// Next state on a store hit to a writable state (the silent E->M
+  /// upgrade under MESI/MOESI; identity elsewhere). Only consulted for
+  /// states `writable` admits.
+  std::array<mem::LineState, mem::kNumLineStates> store_hit;
+  /// Which cached states the protocol can ever install (invariant checks).
+  std::array<bool, mem::kNumLineStates> reachable;
+
+  /// State granted to the sole cacher on a read of an uncached line, and
+  /// the directory state recording it. MESI/MOESI: E / kExclusive (a
+  /// later store upgrades silently); MSI: S / kShared.
+  mem::LineState sole_read_grant;
+  DirEntry::State sole_read_dir;
+
+  /// True when the protocol has an Owned state: a dirty owner answering a
+  /// read probe keeps its data as O (directory -> kOwned, owner retained)
+  /// and forwards cache-to-cache instead of downgrading to S behind a
+  /// sharing writeback. Memory stays stale until the O copy is evicted.
+  bool has_owned;
+};
+
+// clang-format off
+// Table rows are per LineState:              I      S      E      M      O
+inline constexpr CohPolicy kMsiPolicy{
+    Protocol::kMsi, "msi",
+    /*writable*/  {false, false, false, true,  false},
+    /*store_hit*/ {mem::LineState::kInvalid, mem::LineState::kShared,
+                   mem::LineState::kExclusive, mem::LineState::kModified,
+                   mem::LineState::kOwned},
+    /*reachable*/ {true,  true,  false, true,  false},
+    mem::LineState::kShared, DirEntry::State::kShared,
+    /*has_owned*/ false,
+};
+
+inline constexpr CohPolicy kMesiPolicy{
+    Protocol::kMesi, "mesi",
+    /*writable*/  {false, false, true,  true,  false},
+    /*store_hit*/ {mem::LineState::kInvalid, mem::LineState::kShared,
+                   mem::LineState::kModified, mem::LineState::kModified,
+                   mem::LineState::kOwned},
+    /*reachable*/ {true,  true,  true,  true,  false},
+    mem::LineState::kExclusive, DirEntry::State::kExclusive,
+    /*has_owned*/ false,
+};
+
+inline constexpr CohPolicy kMoesiPolicy{
+    Protocol::kMoesi, "moesi",
+    /*writable*/  {false, false, true,  true,  false},
+    /*store_hit*/ {mem::LineState::kInvalid, mem::LineState::kShared,
+                   mem::LineState::kModified, mem::LineState::kModified,
+                   mem::LineState::kOwned},
+    /*reachable*/ {true,  true,  true,  true,  true},
+    mem::LineState::kExclusive, DirEntry::State::kExclusive,
+    /*has_owned*/ true,
+};
+// clang-format on
+
+/// The table for `p`; a reference to one of the constexpr objects above.
+const CohPolicy& policy_for(Protocol p);
+
+/// True when `s` is a state `pol` can install in a cache (I always is).
+inline bool state_allowed(const CohPolicy& pol, mem::LineState s) {
+  return pol.reachable[static_cast<unsigned>(s)];
+}
+
+/// True when a store to a line cached in `s` needs no directory work.
+inline bool store_permitted(const CohPolicy& pol, mem::LineState s) {
+  return pol.writable[static_cast<unsigned>(s)];
+}
+
+}  // namespace dsm::coh

@@ -46,6 +46,10 @@ std::string MachineConfig::validate() const {
   if (core.mlp_overlap < 0.0 || core.mlp_overlap >= 1.0)
     err << "mlp_overlap must be in [0,1); ";
   if (memory.bandwidth_gbps <= 0.0) err << "bandwidth must be positive; ";
+  if (network.control_bytes == 0)
+    err << "control_bytes must be > 0; ";
+  if (network.control_bytes > l2.line_bytes)
+    err << "control message larger than a data line; ";
   return err.str();
 }
 
@@ -60,6 +64,26 @@ MachineConfig default_config(unsigned nodes) {
   cfg.l1.line_bytes = 32;  // match L2 line size (Table I lists 32 B lines)
   DSM_ASSERT_MSG(cfg.validate().empty(), "default config must validate");
   return cfg;
+}
+
+const char* protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::kMsi: return "msi";
+    case Protocol::kMesi: return "mesi";
+    case Protocol::kMoesi: return "moesi";
+  }
+  return "?";
+}
+
+bool protocol_from_name(const std::string& name, Protocol* out) {
+  for (const Protocol p :
+       {Protocol::kMsi, Protocol::kMesi, Protocol::kMoesi}) {
+    if (name == protocol_name(p)) {
+      *out = p;
+      return true;
+    }
+  }
+  return false;
 }
 
 const char* topology_name(Topology t) {

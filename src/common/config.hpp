@@ -69,12 +69,21 @@ struct MemoryConfig {
 /// router, 16 ns pin-to-pin).
 enum class Topology : std::uint8_t { kHypercube, kMesh2D, kTorus2D, kRing };
 
+/// Coherence protocol run by the directory fabric. MESI is the paper's
+/// baseline; MSI and MOESI are table-driven variants of the same fabric
+/// (src/coherence/policy.hpp) selected once at machine construction.
+enum class Protocol : std::uint8_t { kMsi, kMesi, kMoesi };
+
 struct NetworkConfig {
   Topology topology = Topology::kHypercube;
   double router_frequency_hz = 400e6;  ///< one flit per router cycle
   double pin_to_pin_ns = 16.0;         ///< per-hop wire + pipeline latency
   unsigned link_bytes_per_flit = 8;
   unsigned header_flits = 1;
+  /// Payload bytes of a coherence control message (requests, invalidations,
+  /// acks, upgrade grants) — everything on the wire that is not a data
+  /// line. Previously a constant inline in the fabric.
+  unsigned control_bytes = 8;
   /// Epoch length (in processor cycles) for link-utilization tracking used
   /// by the analytical contention model.
   Cycle contention_epoch_cycles = 8192;
@@ -108,6 +117,7 @@ struct SyncConfig {
 /// Whole-machine configuration.
 struct MachineConfig {
   unsigned num_nodes = 8;  ///< paper studies 2, 8, 32
+  Protocol protocol = Protocol::kMesi;  ///< coherence protocol variant
   CoreConfig core;
   PredictorConfig predictor;
   CacheConfig l1;        ///< Table I defaults
@@ -142,5 +152,11 @@ MachineConfig default_config(unsigned nodes);
 std::string format_table1(const MachineConfig& cfg);
 
 const char* topology_name(Topology t);
+
+/// Lower-case sweepable name: "msi" | "mesi" | "moesi".
+const char* protocol_name(Protocol p);
+
+/// Inverse of protocol_name (case-sensitive); false on an unknown name.
+bool protocol_from_name(const std::string& name, Protocol* out);
 
 }  // namespace dsm

@@ -34,23 +34,27 @@ std::vector<SpecPoint> SweepSpec::expand() const {
       detectors.empty() ? std::vector<std::string>{""} : detectors;
   const std::vector<double> thr_axis =
       thresholds.empty() ? std::vector<double>{0.0} : thresholds;
+  const std::vector<std::string> proto_axis =
+      protocols.empty() ? std::vector<std::string>{""} : protocols;
 
   std::vector<SpecPoint> points;
   points.reserve(apps_axis.size() * nodes_axis.size() * det_axis.size() *
-                 thr_axis.size());
+                 thr_axis.size() * proto_axis.size());
   for (const auto& a : apps_axis)
     for (const unsigned n : nodes_axis)
       for (const auto& d : det_axis)
-        for (const double t : thr_axis) {
-          SpecPoint pt;
-          pt.app = a;
-          pt.nodes = n;
-          pt.detector = d;
-          pt.threshold = t;
-          pt.scale = scale;
-          pt.index = points.size();
-          points.push_back(std::move(pt));
-        }
+        for (const double t : thr_axis)
+          for (const auto& pr : proto_axis) {
+            SpecPoint pt;
+            pt.app = a;
+            pt.nodes = n;
+            pt.detector = d;
+            pt.threshold = t;
+            pt.protocol = pr;
+            pt.scale = scale;
+            pt.index = points.size();
+            points.push_back(std::move(pt));
+          }
   return points;
 }
 
@@ -64,6 +68,9 @@ std::uint64_t spec_seed(const SpecPoint& pt) {
   static_assert(sizeof thr_bits == sizeof pt.threshold);
   std::memcpy(&thr_bits, &pt.threshold, sizeof thr_bits);
   fnv_bytes(h, &thr_bits, sizeof thr_bits);
+  // Hash the protocol only when the sweep actually varies it, so every
+  // pre-protocol-axis point keeps its historical seed bit-for-bit.
+  if (!pt.protocol.empty()) fnv_str(h, pt.protocol);
   const std::uint64_t scale = static_cast<std::uint64_t>(pt.scale);
   fnv_bytes(h, &scale, sizeof scale);
   // The simulator multiplies the seed before splitting per-processor
@@ -75,6 +82,7 @@ std::string spec_label(const SpecPoint& pt) {
   std::string label = pt.app.empty() ? std::string("run") : pt.app;
   if (pt.nodes != 0) label += "/" + std::to_string(pt.nodes) + "p";
   if (!pt.detector.empty()) label += "/" + pt.detector;
+  if (!pt.protocol.empty()) label += "/" + pt.protocol;
   return label;
 }
 

@@ -5,12 +5,13 @@
 
 namespace dsm::mem {
 
-const char* mesi_name(Mesi s) {
+const char* state_name(LineState s) {
   switch (s) {
-    case Mesi::kInvalid: return "I";
-    case Mesi::kShared: return "S";
-    case Mesi::kExclusive: return "E";
-    case Mesi::kModified: return "M";
+    case LineState::kInvalid: return "I";
+    case LineState::kShared: return "S";
+    case LineState::kExclusive: return "E";
+    case LineState::kModified: return "M";
+    case LineState::kOwned: return "O";
   }
   return "?";
 }
@@ -21,7 +22,7 @@ Cache::Cache(const CacheConfig& cfg)
             (static_cast<std::uint64_t>(cfg.line_bytes) * cfg.associativity)),
       line_shift_(log2_exact(cfg.line_bytes)),
       tags_(sets_ * cfg.associativity, kNoTag),
-      states_(sets_ * cfg.associativity, Mesi::kInvalid),
+      states_(sets_ * cfg.associativity, LineState::kInvalid),
       lru_(sets_ * cfg.associativity, 0) {
   DSM_ASSERT(is_pow2(cfg.line_bytes));
   DSM_ASSERT(is_pow2(sets_));
@@ -52,21 +53,21 @@ void Cache::touch(LineRef ref) {
   ++hits_;
 }
 
-void Cache::set_state(LineRef ref, Mesi s) {
+void Cache::set_state(LineRef ref, LineState s) {
   DSM_ASSERT_MSG(ref, "set_state on absent line");
-  DSM_ASSERT(s != Mesi::kInvalid);
+  DSM_ASSERT(s != LineState::kInvalid);
   states_[ref.idx_] = s;
 }
 
-Mesi Cache::state(Addr addr) const {
+LineState Cache::state(Addr addr) const {
   const std::uint64_t i = find(addr);
-  return i != LineRef::kAbsent ? states_[i] : Mesi::kInvalid;
+  return i != LineRef::kAbsent ? states_[i] : LineState::kInvalid;
 }
 
-void Cache::set_state(Addr addr, Mesi s) {
+void Cache::set_state(Addr addr, LineState s) {
   const std::uint64_t i = find(addr);
   DSM_ASSERT_MSG(i != LineRef::kAbsent, "set_state on absent line");
-  DSM_ASSERT(s != Mesi::kInvalid);
+  DSM_ASSERT(s != LineState::kInvalid);
   states_[i] = s;
 }
 
@@ -81,8 +82,8 @@ bool Cache::access(Addr addr) {
   return true;
 }
 
-std::optional<Victim> Cache::fill(Addr addr, Mesi s) {
-  DSM_ASSERT(s != Mesi::kInvalid);
+std::optional<Victim> Cache::fill(Addr addr, LineState s) {
+  DSM_ASSERT(s != LineState::kInvalid);
   const Addr line = line_of(addr);
   const std::uint64_t base = set_index(line) * cfg_.associativity;
   // One walk serves both the absence check and the victim scan (the old
@@ -107,7 +108,7 @@ std::optional<Victim> Cache::fill(Addr addr, Mesi s) {
     }
   }
   std::optional<Victim> out;
-  if (states_[victim] != Mesi::kInvalid) {
+  if (states_[victim] != LineState::kInvalid) {
     out = Victim{tags_[victim], states_[victim]};
     ++evictions_;
   }
@@ -117,36 +118,36 @@ std::optional<Victim> Cache::fill(Addr addr, Mesi s) {
   return out;
 }
 
-Mesi Cache::invalidate(Addr addr) { return invalidate(lookup(addr)); }
+LineState Cache::invalidate(Addr addr) { return invalidate(lookup(addr)); }
 
-Mesi Cache::invalidate(LineRef ref) {
-  if (!ref) return Mesi::kInvalid;
-  const Mesi prior = states_[ref.idx_];
-  states_[ref.idx_] = Mesi::kInvalid;
+LineState Cache::invalidate(LineRef ref) {
+  if (!ref) return LineState::kInvalid;
+  const LineState prior = states_[ref.idx_];
+  states_[ref.idx_] = LineState::kInvalid;
   tags_[ref.idx_] = kNoTag;
   ++invals_;
   return prior;
 }
 
-Mesi Cache::downgrade(Addr addr) { return downgrade(lookup(addr)); }
+LineState Cache::downgrade(Addr addr) { return downgrade(lookup(addr)); }
 
-Mesi Cache::downgrade(LineRef ref) {
-  if (!ref) return Mesi::kInvalid;
-  const Mesi prior = states_[ref.idx_];
-  if (prior == Mesi::kExclusive || prior == Mesi::kModified)
-    states_[ref.idx_] = Mesi::kShared;
+LineState Cache::downgrade(LineRef ref) {
+  if (!ref) return LineState::kInvalid;
+  const LineState prior = states_[ref.idx_];
+  if (prior == LineState::kExclusive || prior == LineState::kModified)
+    states_[ref.idx_] = LineState::kShared;
   return prior;
 }
 
 void Cache::flush() {
-  for (auto& s : states_) s = Mesi::kInvalid;
+  for (auto& s : states_) s = LineState::kInvalid;
   for (auto& t : tags_) t = kNoTag;
 }
 
 std::vector<Addr> Cache::resident_lines() const {
   std::vector<Addr> out;
   for (std::size_t i = 0; i < tags_.size(); ++i)
-    if (states_[i] != Mesi::kInvalid) out.push_back(tags_[i]);
+    if (states_[i] != LineState::kInvalid) out.push_back(tags_[i]);
   return out;
 }
 

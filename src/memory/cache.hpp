@@ -1,6 +1,6 @@
 // cache.hpp — generic set-associative cache with true-LRU replacement and
-// per-line MESI state, used for both the L1 (16 kB direct-mapped) and the
-// L2 (2 MB, 8-way, 32 B lines) of Table I.
+// a per-line coherence state (LineState below), used for both the L1
+// (16 kB direct-mapped) and the L2 (2 MB, 8-way, 32 B lines) of Table I.
 //
 // The cache is *functional*: it tracks tags, LRU order, and coherence
 // state. Timing is composed by the node model (memory/mem_controller.hpp,
@@ -27,15 +27,29 @@
 
 namespace dsm::mem {
 
-/// MESI coherence state of a cached line.
-enum class Mesi : std::uint8_t { kInvalid, kShared, kExclusive, kModified };
+/// Protocol-agnostic coherence state of a cached line. Which states are
+/// reachable depends on the protocol the fabric runs (coherence/policy.hpp):
+/// MSI uses {I,S,M}, MESI adds kExclusive, MOESI adds kOwned — dirty but
+/// shared, the cache-to-cache forwarding source that spares the memory
+/// writeback. The cache itself is policy-free: it stores whatever state the
+/// fabric installs.
+enum class LineState : std::uint8_t {
+  kInvalid,
+  kShared,
+  kExclusive,
+  kModified,
+  kOwned,
+};
 
-const char* mesi_name(Mesi s);
+/// Number of LineState values (transition tables index by state).
+inline constexpr unsigned kNumLineStates = 5;
+
+const char* state_name(LineState s);
 
 /// A line evicted to make room for an allocation.
 struct Victim {
   Addr line_addr = 0;  ///< line-aligned byte address
-  Mesi state = Mesi::kInvalid;
+  LineState state = LineState::kInvalid;
 };
 
 class Cache {
@@ -99,8 +113,8 @@ class Cache {
   LineRef lookup(Addr addr) const { return LineRef(find(addr)); }
 
   /// Present-line state via a handle (kInvalid for a falsy handle).
-  Mesi state_of(LineRef ref) const {
-    return ref ? states_[ref.idx_] : Mesi::kInvalid;
+  LineState state_of(LineRef ref) const {
+    return ref ? states_[ref.idx_] : LineState::kInvalid;
   }
 
   /// Marks a resident line most-recently-used and counts a hit — the
@@ -111,16 +125,16 @@ class Cache {
   void record_miss() { ++misses_; }
 
   /// Updates the state behind a valid handle (handle form of set_state).
-  void set_state(LineRef ref, Mesi s);
+  void set_state(LineRef ref, LineState s);
 
   /// True when the line is present in any valid state. Does not touch LRU.
   bool probe(Addr addr) const { return find(addr) != LineRef::kAbsent; }
 
   /// Present-line state (kInvalid when absent).
-  Mesi state(Addr addr) const;
+  LineState state(Addr addr) const;
 
   /// Updates the state of a present line; no-op -> assertion when absent.
-  void set_state(Addr addr, Mesi s);
+  void set_state(Addr addr, LineState s);
 
   /// Marks the line most-recently-used and counts a hit. Returns false
   /// (and counts a miss) when absent.
@@ -129,20 +143,20 @@ class Cache {
   /// Allocates the line in state `s`, evicting the LRU way if the set is
   /// full. Returns the victim when one was displaced. The line must not
   /// already be present.
-  std::optional<Victim> fill(Addr addr, Mesi s);
+  std::optional<Victim> fill(Addr addr, LineState s);
 
   /// Removes the line (remote invalidation / inclusion victim). Returns
   /// its prior state (kInvalid when it was absent).
-  Mesi invalidate(Addr addr);
+  LineState invalidate(Addr addr);
 
   /// Handle form: invalidates the way behind `ref` (falsy → kInvalid).
-  Mesi invalidate(LineRef ref);
+  LineState invalidate(LineRef ref);
 
   /// Downgrades Exclusive/Modified to Shared; returns prior state.
-  Mesi downgrade(Addr addr);
+  LineState downgrade(Addr addr);
 
   /// Handle form: downgrades the way behind `ref` (falsy → kInvalid).
-  Mesi downgrade(LineRef ref);
+  LineState downgrade(LineRef ref);
 
   /// Drops every line (used between application runs).
   void flush();
@@ -176,7 +190,7 @@ class Cache {
   unsigned line_shift_;
   // SoA lanes, each sets_ * associativity, indexed set * assoc + way.
   std::vector<Addr> tags_;            ///< line address, or kNoTag if empty
-  std::vector<Mesi> states_;          ///< kInvalid iff tags_[] == kNoTag
+  std::vector<LineState> states_;          ///< kInvalid iff tags_[] == kNoTag
   std::vector<std::uint64_t> lru_;    ///< larger = more recent
   std::uint64_t tick_ = 0;
   std::uint64_t hits_ = 0;

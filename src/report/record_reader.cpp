@@ -83,6 +83,7 @@ bool read_record(const std::string& line, RecordView* out,
   const JsonValue* variant = metrics->find("variant");
   const JsonValue* param = metrics->find("param");
   const JsonValue* scale = metrics->find("scale");
+  const JsonValue* protocol = metrics->find("protocol");
   const JsonValue* m = metrics->find("m");
   if (!app || !app->is_string())
     return fail(error, "metrics context is missing string field 'app'");
@@ -94,6 +95,10 @@ bool read_record(const std::string& line, RecordView* out,
     return fail(error, "metrics context is missing numeric field 'param'");
   if (!scale || !scale->is_string())
     return fail(error, "metrics context is missing string field 'scale'");
+  // Optional: present only when the sweep varies the coherence protocol.
+  if (protocol && (!protocol->is_string() || protocol->string().empty()))
+    return fail(error,
+                "metrics context field 'protocol' must be a non-empty string");
   if (!m || !m->is_object())
     return fail(error, "metrics context is missing object field 'm'");
 
@@ -106,6 +111,7 @@ bool read_record(const std::string& line, RecordView* out,
   out->variant = variant->string();
   out->param = param->number();
   out->scale = scale->string();
+  out->protocol = protocol ? protocol->string() : "mesi";
   // Move the metrics subtree out of the parsed root, which dies with this
   // call (cheap: the vectors inside move).
   out->metrics = std::move(*const_cast<JsonValue*>(metrics));

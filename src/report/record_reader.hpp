@@ -40,6 +40,11 @@ struct RecordView {
   std::string variant;      ///< SpecPoint::detector (topology, size, ...)
   double param = 0.0;       ///< SpecPoint::threshold (factor, ...)
   std::string scale;        ///< "paper" | "bench" | "test"
+  /// SpecPoint::protocol. Optional in the envelope: sweeps that don't
+  /// vary the protocol omit the field (keeping their records byte-stable
+  /// across the protocol seam), and the reader fills in the machine
+  /// default, "mesi".
+  std::string protocol = "mesi";
 
   JsonValue metrics;        ///< the full metrics object (context + "m")
 

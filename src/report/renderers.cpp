@@ -1,4 +1,4 @@
-// renderers.cpp — the renderer registry and the 13 per-harness
+// renderers.cpp — the renderer registry and the 14 per-harness
 // record→text renderers. Each renderer is the ONLY formatting point for
 // its harness's human output: bench mains reduce configurations to
 // metrics records and both the live sweep and `dsm_report render` replay
@@ -393,6 +393,60 @@ class TopologyRenderer : public Renderer {
   TableWriter table_ = make_table();
 };
 
+// ---- ablation_protocol ----
+
+class ProtocolRenderer : public Renderer {
+ public:
+  explicit ProtocolRenderer(const RenderOptions&) {}
+
+  void record(const RecordView& rec) override {
+    if (!header_) {
+      std::printf("== Ablation: coherence protocol x topology x nodes "
+                  "(scale: %s) ==\n\n",
+                  rec.scale.c_str());
+      header_ = true;
+    }
+    // One table per app x node count; the topology (variant) and protocol
+    // axes are innermost in spec order and become the table's rows.
+    if (grouped_ && (rec.app != group_app_ || rec.nodes != group_nodes_))
+      flush();
+    group_app_ = rec.app;
+    group_nodes_ = rec.nodes;
+    grouped_ = true;
+    const JsonValue& m = rec.m();
+    table_.add_row({rec.variant, rec.protocol,
+                    TableWriter::fmt(m.at("mean_cpi").number(), 3),
+                    std::to_string(m.at("cache_to_cache").unsigned_int()),
+                    std::to_string(m.at("upgrades").unsigned_int()),
+                    std::to_string(m.at("invalidations").unsigned_int()),
+                    std::to_string(m.at("writebacks").unsigned_int()),
+                    std::to_string(m.at("remote_mem").unsigned_int())});
+  }
+
+  int finish() override {
+    if (grouped_) flush();
+    return 0;
+  }
+
+ private:
+  static TableWriter make_table() {
+    return TableWriter({"topology", "protocol", "mean CPI", "c2c",
+                        "upgrades", "invals", "writebacks", "remote mem"});
+  }
+
+  void flush() {
+    std::printf("-- %s @ %up --\n%s\n", group_app_.c_str(), group_nodes_,
+                table_.to_text().c_str());
+    table_ = make_table();
+  }
+
+  bool header_ = false;
+  bool grouped_ = false;
+  std::string group_app_;
+  unsigned group_nodes_ = 0;
+  TableWriter table_ = make_table();
+};
+
 // ---- overhead_bandwidth ----
 
 class OverheadRenderer : public Renderer {
@@ -620,6 +674,7 @@ const std::vector<Registration>& registry() {
       reg<FootprintRenderer>("ablation_footprint"),
       reg<IntervalsRenderer>("ablation_intervals"),
       reg<TopologyRenderer>("ablation_topology"),
+      reg<ProtocolRenderer>("ablation_protocol"),
       reg<OverheadRenderer>("overhead_bandwidth"),
       reg<PredictorsRenderer>("predictors_eval"),
       reg<MicroDetectorRenderer>("micro_detector"),

@@ -16,9 +16,12 @@
 //    "seed":"0x<hex>","metrics":{...}}
 // v2 = v1 plus the mandatory context envelope bench_util wraps inside
 // `metrics` (the bump makes pre-envelope stores fail with version skew,
-// not a missing-field diagnostic). The normative schema description
-// lives in README.md, "NDJSON record schema"; the strict offline
-// validator is report/record_reader.hpp.
+// not a missing-field diagnostic). The envelope later grew an OPTIONAL
+// `protocol` field (present only when the coherence-protocol axis is
+// swept; readers default it to "mesi") — optional precisely so every
+// pre-protocol v2 store still parses and byte-compares, no v3 needed.
+// The normative schema description lives in README.md, "NDJSON record
+// schema"; the strict offline validator is report/record_reader.hpp.
 #pragma once
 
 #include <cstddef>

@@ -11,7 +11,7 @@
 namespace dsm::coh {
 namespace {
 
-using mem::Mesi;
+using mem::LineState;
 
 /// Harness: a fabric over n nodes with round-robin page homes.
 struct Rig {
@@ -38,8 +38,8 @@ TEST(FabricTest, ColdReadMissGrantsExclusive) {
   const auto out = r.fabric.access(0, a, /*write=*/false, 0);
   EXPECT_FALSE(out.l1_hit);
   EXPECT_EQ(out.source, DataSource::kLocalMem);
-  EXPECT_EQ(r.fabric.l1(0).state(a), Mesi::kExclusive);
-  EXPECT_EQ(r.fabric.l2(0).state(a), Mesi::kExclusive);
+  EXPECT_EQ(r.fabric.l1(0).state(a), LineState::kExclusive);
+  EXPECT_EQ(r.fabric.l2(0).state(a), LineState::kExclusive);
   const auto e = r.fabric.directory(0).peek(a);
   EXPECT_EQ(e.state, DirEntry::State::kExclusive);
   EXPECT_EQ(e.owner, 0u);
@@ -72,8 +72,8 @@ TEST(FabricTest, SilentExclusiveToModifiedUpgrade) {
   const auto out = r.fabric.access(0, a, true, 10);  // silent E->M
   EXPECT_TRUE(out.l1_hit);
   EXPECT_EQ(out.latency, r.cfg.l1.latency_cycles);
-  EXPECT_EQ(r.fabric.l1(0).state(a), Mesi::kModified);
-  EXPECT_EQ(r.fabric.l2(0).state(a), Mesi::kModified);
+  EXPECT_EQ(r.fabric.l1(0).state(a), LineState::kModified);
+  EXPECT_EQ(r.fabric.l2(0).state(a), LineState::kModified);
   r.fabric.check_invariants();
 }
 
@@ -83,8 +83,8 @@ TEST(FabricTest, SecondReaderDowngradesOwnerToShared) {
   r.fabric.access(0, a, false, 0);   // node 0: E
   const auto out = r.fabric.access(1, a, false, 100);
   EXPECT_EQ(out.source, DataSource::kRemoteCache);
-  EXPECT_EQ(r.fabric.l2(0).state(a), Mesi::kShared);
-  EXPECT_EQ(r.fabric.l2(1).state(a), Mesi::kShared);
+  EXPECT_EQ(r.fabric.l2(0).state(a), LineState::kShared);
+  EXPECT_EQ(r.fabric.l2(1).state(a), LineState::kShared);
   const auto e = r.fabric.directory(2).peek(a);
   EXPECT_EQ(e.state, DirEntry::State::kShared);
   EXPECT_TRUE(e.is_sharer(0));
@@ -99,7 +99,7 @@ TEST(FabricTest, DirtyOwnerWritesBackOnRemoteRead) {
   const auto wb_before = r.fabric.stats(0).writebacks;
   r.fabric.access(1, a, false, 100);
   EXPECT_EQ(r.fabric.stats(0).writebacks, wb_before + 1);
-  EXPECT_EQ(r.fabric.l2(0).state(a), Mesi::kShared);
+  EXPECT_EQ(r.fabric.l2(0).state(a), LineState::kShared);
   r.fabric.check_invariants();
 }
 
@@ -113,7 +113,7 @@ TEST(FabricTest, WriteInvalidatesAllSharers) {
     EXPECT_FALSE(r.fabric.l1(n).probe(a)) << n;
     EXPECT_FALSE(r.fabric.l2(n).probe(a)) << n;
   }
-  EXPECT_EQ(r.fabric.l2(5).state(a), Mesi::kModified);
+  EXPECT_EQ(r.fabric.l2(5).state(a), LineState::kModified);
   const auto e = r.fabric.directory(0).peek(a);
   EXPECT_EQ(e.state, DirEntry::State::kExclusive);
   EXPECT_EQ(e.owner, 5u);
@@ -128,7 +128,7 @@ TEST(FabricTest, SharedUpgradeTransfersNoData) {
   const auto out = r.fabric.access(0, a, true, 100);
   EXPECT_EQ(out.source, DataSource::kUpgrade);
   EXPECT_EQ(out.invalidations, 1u);
-  EXPECT_EQ(r.fabric.l2(0).state(a), Mesi::kModified);
+  EXPECT_EQ(r.fabric.l2(0).state(a), LineState::kModified);
   EXPECT_FALSE(r.fabric.l2(1).probe(a));
   EXPECT_EQ(r.fabric.stats(0).upgrades, 1u);
   r.fabric.check_invariants();
@@ -141,7 +141,7 @@ TEST(FabricTest, WriteMissStealsFromDirtyOwner) {
   const auto out = r.fabric.access(1, a, true, 100);
   EXPECT_EQ(out.source, DataSource::kRemoteCache);
   EXPECT_FALSE(r.fabric.l2(0).probe(a));
-  EXPECT_EQ(r.fabric.l2(1).state(a), Mesi::kModified);
+  EXPECT_EQ(r.fabric.l2(1).state(a), LineState::kModified);
   const auto e = r.fabric.directory(3).peek(a);
   EXPECT_EQ(e.owner, 1u);
   r.fabric.check_invariants();

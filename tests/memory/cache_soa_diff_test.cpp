@@ -41,9 +41,9 @@ class RefCache {
     return a & ~static_cast<Addr>(cfg_.line_bytes - 1);
   }
 
-  Mesi state(Addr addr) const {
+  LineState state(Addr addr) const {
     const Way* w = find(addr);
-    return w ? w->state : Mesi::kInvalid;
+    return w ? w->state : LineState::kInvalid;
   }
 
   bool probe(Addr addr) const { return find(addr) != nullptr; }
@@ -59,25 +59,25 @@ class RefCache {
     return true;
   }
 
-  void set_state(Addr addr, Mesi s) {
+  void set_state(Addr addr, LineState s) {
     Way* w = find(addr);
     ASSERT_TRUE(w != nullptr);
     w->state = s;
   }
 
-  std::optional<Victim> fill(Addr addr, Mesi s) {
+  std::optional<Victim> fill(Addr addr, LineState s) {
     const Addr line = line_of(addr);
     Way* base = &ways_[set_index(line) * cfg_.associativity];
     Way* victim = nullptr;
     for (unsigned w = 0; w < cfg_.associativity; ++w) {
-      if (base[w].state == Mesi::kInvalid) {
+      if (base[w].state == LineState::kInvalid) {
         victim = &base[w];
         break;
       }
       if (victim == nullptr || base[w].lru < victim->lru) victim = &base[w];
     }
     std::optional<Victim> out;
-    if (victim->state != Mesi::kInvalid) {
+    if (victim->state != LineState::kInvalid) {
       out = Victim{victim->tag, victim->state};
       ++evictions_;
     }
@@ -87,32 +87,32 @@ class RefCache {
     return out;
   }
 
-  Mesi invalidate(Addr addr) {
+  LineState invalidate(Addr addr) {
     Way* w = find(addr);
-    if (w == nullptr) return Mesi::kInvalid;
-    const Mesi prior = w->state;
-    w->state = Mesi::kInvalid;
+    if (w == nullptr) return LineState::kInvalid;
+    const LineState prior = w->state;
+    w->state = LineState::kInvalid;
     ++invals_;
     return prior;
   }
 
-  Mesi downgrade(Addr addr) {
+  LineState downgrade(Addr addr) {
     Way* w = find(addr);
-    if (w == nullptr) return Mesi::kInvalid;
-    const Mesi prior = w->state;
-    if (prior == Mesi::kExclusive || prior == Mesi::kModified)
-      w->state = Mesi::kShared;
+    if (w == nullptr) return LineState::kInvalid;
+    const LineState prior = w->state;
+    if (prior == LineState::kExclusive || prior == LineState::kModified)
+      w->state = LineState::kShared;
     return prior;
   }
 
   void flush() {
-    for (auto& w : ways_) w.state = Mesi::kInvalid;
+    for (auto& w : ways_) w.state = LineState::kInvalid;
   }
 
   std::vector<Addr> resident_lines() const {
     std::vector<Addr> out;
     for (const auto& w : ways_)
-      if (w.state != Mesi::kInvalid) out.push_back(w.tag);
+      if (w.state != LineState::kInvalid) out.push_back(w.tag);
     return out;
   }
 
@@ -124,7 +124,7 @@ class RefCache {
  private:
   struct Way {
     Addr tag = 0;
-    Mesi state = Mesi::kInvalid;
+    LineState state = LineState::kInvalid;
     std::uint64_t lru = 0;
   };
 
@@ -136,7 +136,7 @@ class RefCache {
     const Addr line = line_of(addr);
     Way* base = &ways_[set_index(line) * cfg_.associativity];
     for (unsigned w = 0; w < cfg_.associativity; ++w) {
-      if (base[w].state != Mesi::kInvalid && base[w].tag == line)
+      if (base[w].state != LineState::kInvalid && base[w].tag == line)
         return &base[w];
     }
     return nullptr;
@@ -178,7 +178,7 @@ void run_diff(const CacheConfig& cfg, std::uint64_t ops, std::uint64_t seed) {
     return x;
   };
   const std::uint64_t lines = 4 * cfg.size_bytes / cfg.line_bytes;
-  const Mesi states[3] = {Mesi::kShared, Mesi::kExclusive, Mesi::kModified};
+  const LineState states[3] = {LineState::kShared, LineState::kExclusive, LineState::kModified};
 
   for (std::uint64_t i = 0; i < ops; ++i) {
     const Addr a = (rnd() % lines) * cfg.line_bytes + (rnd() % cfg.line_bytes);
@@ -187,14 +187,14 @@ void run_diff(const CacheConfig& cfg, std::uint64_t ops, std::uint64_t seed) {
       // The fabric's hit pattern: one lookup, then state read + touch or
       // miss counting, with an optional write upgrade.
       const auto h = soa.lookup(a);
-      const Mesi want = ref.state(a);
+      const LineState want = ref.state(a);
       ASSERT_EQ(soa.state_of(h), want) << "op " << i;
-      if (want != Mesi::kInvalid) {
+      if (want != LineState::kInvalid) {
         ref.access(a);
         soa.touch(h);
-        if ((rnd() & 1) != 0 && want != Mesi::kInvalid) {
-          ref.set_state(a, Mesi::kModified);
-          soa.set_state(h, Mesi::kModified);
+        if ((rnd() & 1) != 0 && want != LineState::kInvalid) {
+          ref.set_state(a, LineState::kModified);
+          soa.set_state(h, LineState::kModified);
         }
       } else {
         ref.access(a);
@@ -204,7 +204,7 @@ void run_diff(const CacheConfig& cfg, std::uint64_t ops, std::uint64_t seed) {
       // Fill-if-absent with a random grant state; victims must agree in
       // identity AND dirtiness — the writeback path hangs off both.
       if (!ref.probe(a)) {
-        const Mesi s = states[rnd() % 3];
+        const LineState s = states[rnd() % 3];
         const auto vr = ref.fill(a, s);
         const auto vs = soa.fill(a, s);
         ASSERT_EQ(vr.has_value(), vs.has_value()) << "op " << i;

@@ -21,7 +21,7 @@ TEST(CacheTest, MissThenHit) {
   Cache c(small_cache(2));
   EXPECT_FALSE(c.access(0x100));
   EXPECT_EQ(c.misses(), 1u);
-  c.fill(0x100, Mesi::kShared);
+  c.fill(0x100, LineState::kShared);
   EXPECT_TRUE(c.access(0x100));
   EXPECT_EQ(c.hits(), 1u);
   EXPECT_TRUE(c.access(0x11f));  // same 32-byte line
@@ -30,21 +30,21 @@ TEST(CacheTest, MissThenHit) {
 
 TEST(CacheTest, StateTracking) {
   Cache c(small_cache(2));
-  c.fill(0x40, Mesi::kExclusive);
-  EXPECT_EQ(c.state(0x40), Mesi::kExclusive);
-  c.set_state(0x40, Mesi::kModified);
-  EXPECT_EQ(c.state(0x40), Mesi::kModified);
-  EXPECT_EQ(c.state(0x9999), Mesi::kInvalid);
+  c.fill(0x40, LineState::kExclusive);
+  EXPECT_EQ(c.state(0x40), LineState::kExclusive);
+  c.set_state(0x40, LineState::kModified);
+  EXPECT_EQ(c.state(0x40), LineState::kModified);
+  EXPECT_EQ(c.state(0x9999), LineState::kInvalid);
 }
 
 TEST(CacheTest, LruEvictsLeastRecentlyUsed) {
   // 2-way, 16 sets: lines 0, 512, 1024 map to set 0 (line 32B, 16 sets ->
   // set stride 512).
   Cache c(small_cache(2));
-  c.fill(0, Mesi::kShared);
-  c.fill(512, Mesi::kShared);
+  c.fill(0, LineState::kShared);
+  c.fill(512, LineState::kShared);
   c.access(0);  // 0 is now MRU; 512 is LRU
-  const auto victim = c.fill(1024, Mesi::kShared);
+  const auto victim = c.fill(1024, LineState::kShared);
   ASSERT_TRUE(victim.has_value());
   EXPECT_EQ(victim->line_addr, 512u);
   EXPECT_TRUE(c.probe(0));
@@ -55,34 +55,34 @@ TEST(CacheTest, LruEvictsLeastRecentlyUsed) {
 
 TEST(CacheTest, VictimCarriesDirtyState) {
   Cache c(small_cache(1));  // direct-mapped
-  c.fill(0, Mesi::kModified);
-  const auto victim = c.fill(1024, Mesi::kShared);  // same set
+  c.fill(0, LineState::kModified);
+  const auto victim = c.fill(1024, LineState::kShared);  // same set
   ASSERT_TRUE(victim.has_value());
-  EXPECT_EQ(victim->state, Mesi::kModified);
+  EXPECT_EQ(victim->state, LineState::kModified);
 }
 
 TEST(CacheTest, InvalidateReturnsPriorState) {
   Cache c(small_cache(2));
-  c.fill(0x40, Mesi::kModified);
-  EXPECT_EQ(c.invalidate(0x40), Mesi::kModified);
+  c.fill(0x40, LineState::kModified);
+  EXPECT_EQ(c.invalidate(0x40), LineState::kModified);
   EXPECT_FALSE(c.probe(0x40));
-  EXPECT_EQ(c.invalidate(0x40), Mesi::kInvalid);  // second time: absent
+  EXPECT_EQ(c.invalidate(0x40), LineState::kInvalid);  // second time: absent
   EXPECT_EQ(c.invalidations_received(), 1u);
 }
 
 TEST(CacheTest, DowngradeOnlyWeakensExclusivity) {
   Cache c(small_cache(2));
-  c.fill(0x40, Mesi::kModified);
-  EXPECT_EQ(c.downgrade(0x40), Mesi::kModified);
-  EXPECT_EQ(c.state(0x40), Mesi::kShared);
-  EXPECT_EQ(c.downgrade(0x40), Mesi::kShared);  // S stays S
-  EXPECT_EQ(c.state(0x40), Mesi::kShared);
+  c.fill(0x40, LineState::kModified);
+  EXPECT_EQ(c.downgrade(0x40), LineState::kModified);
+  EXPECT_EQ(c.state(0x40), LineState::kShared);
+  EXPECT_EQ(c.downgrade(0x40), LineState::kShared);  // S stays S
+  EXPECT_EQ(c.state(0x40), LineState::kShared);
 }
 
 TEST(CacheTest, FlushDropsEverything) {
   Cache c(small_cache(2));
-  c.fill(0, Mesi::kShared);
-  c.fill(64, Mesi::kModified);
+  c.fill(0, LineState::kShared);
+  c.fill(64, LineState::kModified);
   c.flush();
   EXPECT_FALSE(c.probe(0));
   EXPECT_FALSE(c.probe(64));
@@ -91,7 +91,7 @@ TEST(CacheTest, FlushDropsEverything) {
 
 TEST(CacheTest, HitRate) {
   Cache c(small_cache(2));
-  c.fill(0, Mesi::kShared);
+  c.fill(0, LineState::kShared);
   c.access(0);
   c.access(0);
   c.access(64);  // miss
@@ -100,13 +100,13 @@ TEST(CacheTest, HitRate) {
 
 TEST(CacheDeathTest, DoubleFillAborts) {
   Cache c(small_cache(2));
-  c.fill(0x40, Mesi::kShared);
-  EXPECT_DEATH(c.fill(0x40, Mesi::kShared), "already-present");
+  c.fill(0x40, LineState::kShared);
+  EXPECT_DEATH(c.fill(0x40, LineState::kShared), "already-present");
 }
 
 TEST(CacheDeathTest, SetStateOnAbsentLineAborts) {
   Cache c(small_cache(2));
-  EXPECT_DEATH(c.set_state(0x40, Mesi::kShared), "absent");
+  EXPECT_DEATH(c.set_state(0x40, LineState::kShared), "absent");
 }
 
 // ---- property sweep over geometries ----
@@ -131,11 +131,11 @@ TEST_P(CacheGeometryTest, CapacityIsRespected) {
   const std::uint64_t lines = cfg.size_bytes / cfg.line_bytes;
   // Fill exactly capacity distinct lines: no evictions.
   for (std::uint64_t i = 0; i < lines; ++i)
-    c.fill(i * cfg.line_bytes, Mesi::kShared);
+    c.fill(i * cfg.line_bytes, LineState::kShared);
   EXPECT_EQ(c.evictions(), 0u);
   EXPECT_EQ(c.resident_lines().size(), lines);
   // One more line in any set must evict.
-  c.fill(lines * cfg.line_bytes, Mesi::kShared);
+  c.fill(lines * cfg.line_bytes, LineState::kShared);
   EXPECT_EQ(c.evictions(), 1u);
   EXPECT_EQ(c.resident_lines().size(), lines);
 }
@@ -146,7 +146,7 @@ TEST_P(CacheGeometryTest, SequentialRefillAllHits) {
   const std::uint64_t lines = cfg.size_bytes / cfg.line_bytes;
   for (std::uint64_t i = 0; i < lines; ++i) {
     c.access(i * cfg.line_bytes);
-    c.fill(i * cfg.line_bytes, Mesi::kShared);
+    c.fill(i * cfg.line_bytes, LineState::kShared);
   }
   for (std::uint64_t i = 0; i < lines; ++i)
     EXPECT_TRUE(c.access(i * cfg.line_bytes)) << i;
@@ -168,20 +168,20 @@ TEST(CacheLookupTest, HandleMirrorsAddressApi) {
   // Absent line: falsy handle, kInvalid state, miss counting matches
   // a missing access().
   EXPECT_FALSE(c.lookup(0x100));
-  EXPECT_EQ(c.state_of(c.lookup(0x100)), Mesi::kInvalid);
+  EXPECT_EQ(c.state_of(c.lookup(0x100)), LineState::kInvalid);
   c.record_miss();
   EXPECT_EQ(c.misses(), 1u);
   // Present line: truthy handle, state/touch/set_state agree with the
   // address forms.
-  c.fill(0x100, Mesi::kShared);
+  c.fill(0x100, LineState::kShared);
   const auto h = c.lookup(0x11f);  // same 32-byte line
   ASSERT_TRUE(h);
   EXPECT_EQ(c.state_of(h), c.state(0x100));
   c.touch(h);
   EXPECT_EQ(c.hits(), 1u);
-  c.set_state(h, Mesi::kModified);
-  EXPECT_EQ(c.state(0x100), Mesi::kModified);
-  EXPECT_EQ(c.invalidate(c.lookup(0x100)), Mesi::kModified);
+  c.set_state(h, LineState::kModified);
+  EXPECT_EQ(c.state(0x100), LineState::kModified);
+  EXPECT_EQ(c.invalidate(c.lookup(0x100)), LineState::kModified);
   EXPECT_FALSE(c.probe(0x100));
 }
 
@@ -193,8 +193,8 @@ TEST(CacheLookupTest, HandleMirrorsAddressApi) {
 TEST(CacheLookupTest, HandlesStayValidAcrossTouchAndSetState) {
   Cache c(small_cache(2));
   // Two lines in the same set (2-way, 16 sets, set stride 512).
-  c.fill(0, Mesi::kShared);
-  c.fill(512, Mesi::kExclusive);
+  c.fill(0, LineState::kShared);
+  c.fill(512, LineState::kExclusive);
   const auto ha = c.lookup(0);
   const auto hb = c.lookup(512);
   ASSERT_TRUE(ha);
@@ -202,16 +202,16 @@ TEST(CacheLookupTest, HandlesStayValidAcrossTouchAndSetState) {
   // Interleave LRU movement and state writes through both handles; each
   // must keep denoting its own line.
   c.touch(ha);
-  c.set_state(hb, Mesi::kModified);
-  EXPECT_EQ(c.state_of(ha), Mesi::kShared);
-  EXPECT_EQ(c.state_of(hb), Mesi::kModified);
+  c.set_state(hb, LineState::kModified);
+  EXPECT_EQ(c.state_of(ha), LineState::kShared);
+  EXPECT_EQ(c.state_of(hb), LineState::kModified);
   c.touch(hb);
-  c.set_state(ha, Mesi::kModified);
+  c.set_state(ha, LineState::kModified);
   c.downgrade(hb);
-  EXPECT_EQ(c.state_of(ha), Mesi::kModified);
-  EXPECT_EQ(c.state_of(hb), Mesi::kShared);
-  EXPECT_EQ(c.state(0), Mesi::kModified);
-  EXPECT_EQ(c.state(512), Mesi::kShared);
+  EXPECT_EQ(c.state_of(ha), LineState::kModified);
+  EXPECT_EQ(c.state_of(hb), LineState::kShared);
+  EXPECT_EQ(c.state(0), LineState::kModified);
+  EXPECT_EQ(c.state(512), LineState::kShared);
   // The handles were touched twice each on top of the two fills.
   EXPECT_EQ(c.hits(), 2u);
 }
@@ -222,10 +222,10 @@ TEST(CacheTest, ResidentLinesAreSetMajorDeterministic) {
   // ways in fill order within a set — regardless of fill or LRU order.
   Cache c(small_cache(2));
   const Addr set3 = 3 * 32, set1 = 1 * 32, set0 = 0;
-  c.fill(set3, Mesi::kShared);
-  c.fill(set1 + 512, Mesi::kShared);   // set 1, first-filled way
-  c.fill(set0 + 1024, Mesi::kShared);
-  c.fill(set1, Mesi::kShared);         // set 1, second way
+  c.fill(set3, LineState::kShared);
+  c.fill(set1 + 512, LineState::kShared);   // set 1, first-filled way
+  c.fill(set0 + 1024, LineState::kShared);
+  c.fill(set1, LineState::kShared);         // set 1, second way
   c.access(set3);                      // LRU movement must not reorder
   const std::vector<Addr> want = {set0 + 1024, set1 + 512, set1, set3};
   EXPECT_EQ(c.resident_lines(), want);
@@ -249,16 +249,16 @@ TEST(CacheLookupTest, RandomizedLockstepAgainstOldSequences) {
     const unsigned op = rnd() % 5;
     if (op == 0) {
       // Old: state + access (+ set_state on a hit) — the L1 hit pattern.
-      const Mesi so = old_api.state(a);
+      const LineState so = old_api.state(a);
       const bool write = rnd() & 1;
       const auto h = new_api.lookup(a);
       ASSERT_EQ(new_api.state_of(h), so);
-      if (so != Mesi::kInvalid) {
+      if (so != LineState::kInvalid) {
         old_api.access(a);
         new_api.touch(h);
         if (write) {
-          old_api.set_state(a, Mesi::kModified);
-          new_api.set_state(h, Mesi::kModified);
+          old_api.set_state(a, LineState::kModified);
+          new_api.set_state(h, LineState::kModified);
         }
       } else {
         old_api.access(a);
@@ -266,8 +266,8 @@ TEST(CacheLookupTest, RandomizedLockstepAgainstOldSequences) {
       }
     } else if (op == 1) {
       if (!old_api.probe(a)) {
-        old_api.fill(a, Mesi::kExclusive);
-        new_api.fill(a, Mesi::kExclusive);
+        old_api.fill(a, LineState::kExclusive);
+        new_api.fill(a, LineState::kExclusive);
       }
     } else if (op == 2) {
       ASSERT_EQ(old_api.invalidate(a), new_api.invalidate(new_api.lookup(a)));

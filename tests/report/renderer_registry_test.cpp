@@ -53,9 +53,9 @@ TEST(RendererRegistryTest, EveryHarnessHasARenderer) {
   const std::vector<std::string> expected = {
       "fig2_bbv_baseline", "fig4_bbv_ddv",       "table1_architecture",
       "table2_applications", "ablation_ddv_terms", "ablation_footprint",
-      "ablation_intervals", "ablation_topology",  "overhead_bandwidth",
-      "predictors_eval",    "micro_detector",     "perf_hotpath",
-      "perf_sim",
+      "ablation_intervals", "ablation_topology",  "ablation_protocol",
+      "overhead_bandwidth", "predictors_eval",    "micro_detector",
+      "perf_hotpath",       "perf_sim",
   };
   const auto names = renderer_names();
   EXPECT_EQ(names.size(), expected.size());
