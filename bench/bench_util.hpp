@@ -64,6 +64,16 @@ struct BenchOptions {
   /// carry no protocol field. parse_options() normalizes an explicit
   /// {"mesi"} to empty, so --protocol=mesi is byte-identical to no flag.
   std::vector<std::string> protocols;
+  /// Batch sizes to sweep (--batch=1,4,16 — a comma list). Empty = batch
+  /// not swept: no axis, no envelope field, historical seeds intact.
+  std::vector<unsigned> batches;
+  /// Batch size as a plain execution knob (--batch=N, a single value):
+  /// every machine in the sweep runs MachineConfig::batch_size = N with
+  /// nothing else changed — seeds, records, and rendered output are
+  /// byte-identical to --batch=1, which is the point (batching never
+  /// changes simulated results). parse_options() normalizes a single
+  /// --batch=1 to exactly the no-flag state.
+  unsigned batch_size = 1;
   unsigned threads = 1;                ///< sweep workers; 0 = one per core
   bool verbose = false;
   shard::ShardPlan shard;              ///< --shard=i/N (worker mode)
@@ -117,11 +127,14 @@ std::optional<int> maybe_orchestrate(int argc, char** argv,
 /// with the sampling interval scaled to the workload per DESIGN.md and the
 /// machine's RNG streams seeded from `seed` (pass spec_seed(point) inside
 /// sweeps so parallel and serial runs agree bit-for-bit). `protocol`
-/// selects the coherence-policy tables the fabric runs (default MESI).
+/// selects the coherence-policy tables the fabric runs (default MESI);
+/// `batch_size` sets the Machine→fabric gather size (host-side only —
+/// simulated output is identical for every value).
 sim::RunSummary run_workload(const apps::AppInfo& app, apps::Scale scale,
                              unsigned nodes, bool verbose,
                              std::uint64_t seed,
-                             Protocol protocol = Protocol::kMesi);
+                             Protocol protocol = Protocol::kMesi,
+                             unsigned batch_size = 1);
 
 /// SpecPoint::protocol -> Protocol: empty means "not swept" (MESI).
 /// Throws on a name protocol_from_name() rejects.
@@ -184,10 +197,11 @@ shard::StreamRecord make_stream_record(
       .add("nodes", static_cast<std::uint64_t>(pt.nodes))
       .add("variant", pt.detector)
       .add("param", pt.threshold);
-  // Protocol rides in the envelope only when the sweep varies it, so
-  // every pre-existing stream stays byte-identical (readers default the
-  // absent field to "mesi").
+  // Protocol/batch ride in the envelope only when the sweep varies them,
+  // so every pre-existing stream stays byte-identical (readers default
+  // the absent fields to "mesi" / 1).
   if (!pt.protocol.empty()) ctx.add("protocol", pt.protocol);
+  if (pt.batch != 0) ctx.add("batch", static_cast<std::uint64_t>(pt.batch));
   rec.metrics = ctx.add("scale", std::string(apps::scale_name(pt.scale)))
                     .add_raw("m", metrics(pt, reduced))
                     .str();
@@ -284,13 +298,15 @@ int run_reduced_sweep(
   for (const auto* app : apps_selected) spec.apps.push_back(app->name);
   spec.node_counts = nodes;
   spec.protocols = opt.protocols;
+  spec.batches = opt.batches;
   spec.scale = opt.scale;
   return sharded_sweep<sim::RunSummary, R>(
       spec.expand(), opt, bench_name,
       [&opt](const driver::SpecPoint& pt) {
         return run_workload(apps::app_by_name(pt.app), pt.scale, pt.nodes,
                             opt.verbose, driver::spec_seed(pt),
-                            protocol_of_point(pt));
+                            protocol_of_point(pt),
+                            pt.batch != 0 ? pt.batch : opt.batch_size);
       },
       reduce,
       [](const driver::SpecPoint& pt) { return driver::spec_seed(pt); },

@@ -17,15 +17,18 @@
 // machine-readable trajectory. The `total_latency` / message/byte counts
 // per configuration are simulated results and must be bit-identical
 // across optimization PRs — only the wall-clock numbers may change.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.hpp"
 #include "coherence/fabric.hpp"
+#include "common/assert.hpp"
 #include "common/bitops.hpp"
 #include "common/rng.hpp"
 #include "common/table_writer.hpp"
@@ -43,6 +46,7 @@ struct HotConfig {
 
 struct HotResult {
   HotConfig cfg{};
+  unsigned batch = 0;  ///< swept batch label (0 when the axis is unswept)
   std::uint64_t accesses = 0;
   double seconds = 0.0;
   // Deterministic simulation checksums — identical before/after any
@@ -85,7 +89,23 @@ std::uint64_t stream_seed(const HotConfig& hc) {
   return hash_combine(static_cast<std::uint64_t>(hc.topo) + 1, hc.nodes);
 }
 
-HotResult time_config(const HotConfig& hc, std::uint64_t accesses) {
+// The advance hook replays the serial loop's bookkeeping between batch
+// members, so the batched drive produces bit-identical checksums.
+struct BatchTick {
+  HotResult* res;
+  Cycle now;
+};
+
+Cycle batch_tick(void* ctx, std::size_t /*index*/,
+                 const coh::AccessOutcome& out) {
+  auto* bt = static_cast<BatchTick*>(ctx);
+  bt->res->total_latency += out.latency;
+  bt->now += 4 + (out.latency >> 3);
+  return bt->now;
+}
+
+HotResult time_config(const HotConfig& hc, std::uint64_t accesses,
+                      unsigned batch) {
   MachineConfig cfg = default_config(hc.nodes);
   cfg.network.topology = hc.topo;
   net::Network network(cfg);
@@ -108,31 +128,55 @@ HotResult time_config(const HotConfig& hc, std::uint64_t accesses) {
   HotResult res;
   res.cfg = hc;
   res.accesses = accesses;
-  Cycle now = 0;
-  const auto t0 = std::chrono::steady_clock::now();
-  for (std::uint64_t i = 0; i < accesses; ++i) {
-    const NodeId node = static_cast<NodeId>(i % hc.nodes);
+  // The synthetic stream is generated from the RNG and per-node stream
+  // positions alone — never from an outcome — so the batched drive can
+  // stage `batch` requests up front without changing the address trace.
+  auto next_req = [&](std::uint64_t i) {
+    coh::CoherenceFabric::AccessReq rq;
+    rq.node = static_cast<NodeId>(i % hc.nodes);
     const std::uint64_t r = rng.next_u64();
     const unsigned pick = static_cast<unsigned>(r % 100);
-    Addr a;
-    bool write;
     if (pick < 50) {
       // Streaming private access: mostly misses once warm.
-      a = priv_base + (Addr{node} << 30) +
-          (priv_pos[node]++ % priv_lines) * line;
-      write = ((r >> 32) & 3) == 0;
+      rq.addr = priv_base + (Addr{rq.node} << 30) +
+                (priv_pos[rq.node]++ % priv_lines) * line;
+      rq.write = ((r >> 32) & 3) == 0;
     } else if (pick < 85) {
       // Read-mostly shared set: L1/L2 hits and shared fills.
-      a = shared_base + ((r >> 8) % kSharedLines) * line;
-      write = false;
+      rq.addr = shared_base + ((r >> 8) % kSharedLines) * line;
+      rq.write = false;
     } else {
       // Contended write set: upgrades + invalidation fan-out.
-      a = shared_base + ((r >> 8) % kHotLines) * line;
-      write = true;
+      rq.addr = shared_base + ((r >> 8) % kHotLines) * line;
+      rq.write = true;
     }
-    const auto out = fabric.access(node, a, write, now);
-    res.total_latency += out.latency;
-    now += 4 + (out.latency >> 3);
+    return rq;
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  if (batch <= 1) {
+    Cycle now = 0;
+    for (std::uint64_t i = 0; i < accesses; ++i) {
+      const auto rq = next_req(i);
+      const auto out = fabric.access(rq.node, rq.addr, rq.write, now);
+      res.total_latency += out.latency;
+      now += 4 + (out.latency >> 3);
+    }
+  } else {
+    coh::CoherenceFabric::AccessReq reqs[coh::CoherenceFabric::kMaxBatch];
+    coh::AccessOutcome outs[coh::CoherenceFabric::kMaxBatch];
+    BatchTick bt{&res, 0};
+    for (std::uint64_t i = 0; i < accesses;) {
+      const std::size_t n = static_cast<std::size_t>(
+          std::min<std::uint64_t>(batch, accesses - i));
+      for (std::size_t k = 0; k < n; ++k) reqs[k] = next_req(i + k);
+      // batch_tick never stops the batch, so one call completes it.
+      const std::size_t done = fabric.access_batch(
+          std::span<const coh::CoherenceFabric::AccessReq>(reqs, n),
+          std::span<coh::AccessOutcome>(outs, n), bt.now, &batch_tick, &bt);
+      DSM_ASSERT(done == n);
+      i += n;
+    }
   }
   const auto t1 = std::chrono::steady_clock::now();
   res.seconds = std::chrono::duration<double>(t1 - t0).count();
@@ -156,14 +200,20 @@ void write_json(const std::string& path, apps::Scale scale,
   f << "  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
+    // Swept batch values label their rows; unswept runs keep the
+    // pre-batching row shape byte-for-byte.
+    char batch_field[32] = "";
+    if (r.batch != 0)
+      std::snprintf(batch_field, sizeof(batch_field), "\"batch\": %u, ",
+                    r.batch);
     char buf[512];
     std::snprintf(buf, sizeof(buf),
-                  "    {\"topology\": \"%s\", \"nodes\": %u, "
+                  "    {\"topology\": \"%s\", \"nodes\": %u, %s"
                   "\"ops_per_sec\": %.0f, \"ns_per_access\": %.1f, "
                   "\"total_latency\": %llu, \"net_messages\": %llu, "
                   "\"net_bytes\": %llu}%s\n",
-                  topology_name(r.cfg.topo), r.cfg.nodes, r.ops_per_sec(),
-                  r.ns_per_access(),
+                  topology_name(r.cfg.topo), r.cfg.nodes, batch_field,
+                  r.ops_per_sec(), r.ns_per_access(),
                   static_cast<unsigned long long>(r.total_latency),
                   static_cast<unsigned long long>(r.net_messages),
                   static_cast<unsigned long long>(r.net_bytes),
@@ -221,16 +271,25 @@ int main(int argc, char** argv) {
     configs.push_back(c);
   }
 
-  // One spec point per configuration; the topology rides the variant
-  // label so the config key reads "run/8p/Hypercube".
+  // One spec point per configuration × batch value; the topology rides
+  // the variant label so the config key reads "run/8p/Hypercube" (with a
+  // "/bN" suffix when the batch axis is swept). The seed is the config's
+  // stream seed regardless of batch, so every batch value replays the
+  // identical access trace — the checksum columns MUST agree across a
+  // swept batch axis, which is the bit-identity demonstration.
+  const std::vector<unsigned> batch_axis =
+      opt.batches.empty() ? std::vector<unsigned>{0} : opt.batches;
   std::vector<driver::SpecPoint> points;
   for (const auto& c : configs) {
-    driver::SpecPoint pt;
-    pt.nodes = c.nodes;
-    pt.detector = topology_name(c.topo);
-    pt.scale = opt.scale;
-    pt.index = points.size();
-    points.push_back(std::move(pt));
+    for (const unsigned b : batch_axis) {
+      driver::SpecPoint pt;
+      pt.nodes = c.nodes;
+      pt.detector = topology_name(c.topo);
+      pt.batch = b;
+      pt.scale = opt.scale;
+      pt.index = points.size();
+      points.push_back(std::move(pt));
+    }
   }
 
   // Wall-clock is a live-only measurement (stderr + JSON trajectory);
@@ -239,11 +298,15 @@ int main(int argc, char** argv) {
   const int rc = bench::sharded_sweep<HotResult, HotResult>(
       points, opt, "perf_hotpath",
       [&](const driver::SpecPoint& pt) {
-        return time_config(configs[pt.index], accesses);
+        HotResult r = time_config(configs[pt.index / batch_axis.size()],
+                                  accesses,
+                                  pt.batch != 0 ? pt.batch : opt.batch_size);
+        r.batch = pt.batch;
+        return r;
       },
       [](const driver::SpecPoint&, HotResult&& r) { return r; },
       [&](const driver::SpecPoint& pt) {
-        return stream_seed(configs[pt.index]);
+        return stream_seed(configs[pt.index / batch_axis.size()]);
       },
       [](const driver::SpecPoint&, const HotResult& r) {
         // Deterministic checksums only: wall-clock would break the
@@ -260,9 +323,11 @@ int main(int argc, char** argv) {
       });
   if (stream) return rc;
 
-  TableWriter wall({"topology", "nodes", "Maccess/s", "ns/access"});
+  TableWriter wall({"topology", "nodes", "batch", "Maccess/s", "ns/access"});
   for (const auto& r : results) {
+    const unsigned eff = r.batch != 0 ? r.batch : opt.batch_size;
     wall.add_row({topology_name(r.cfg.topo), std::to_string(r.cfg.nodes),
+                  std::to_string(eff),
                   TableWriter::fmt(r.ops_per_sec() / 1e6, 3),
                   TableWriter::fmt(r.ns_per_access(), 4)});
   }

@@ -46,10 +46,12 @@ struct SimResult {
 };
 
 SimResult time_config(const apps::AppInfo& app, apps::Scale scale,
-                      unsigned nodes, std::uint64_t seed) {
+                      unsigned nodes, std::uint64_t seed,
+                      unsigned batch_size) {
   const auto t0 = std::chrono::steady_clock::now();
   const sim::RunSummary run =
-      bench::run_workload(app, scale, nodes, /*verbose=*/false, seed);
+      bench::run_workload(app, scale, nodes, /*verbose=*/false, seed,
+                          Protocol::kMesi, batch_size);
   const auto t1 = std::chrono::steady_clock::now();
 
   SimResult r;
@@ -81,14 +83,20 @@ void write_json(const std::string& path, apps::Scale scale,
   f << "  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
+    // Swept batch values label their rows; unswept runs keep the
+    // pre-batching row shape byte-for-byte.
+    char batch_field[32] = "";
+    if (points[i].batch != 0)
+      std::snprintf(batch_field, sizeof(batch_field), "\"batch\": %u, ",
+                    points[i].batch);
     char buf[512];
     std::snprintf(buf, sizeof(buf),
-                  "    {\"app\": \"%s\", \"nodes\": %u, "
+                  "    {\"app\": \"%s\", \"nodes\": %u, %s"
                   "\"sim_mips\": %.3f, \"seconds\": %.3f, "
                   "\"instructions\": %llu, \"cycles\": %llu, "
                   "\"net_messages\": %llu, \"net_bytes\": %llu}%s\n",
-                  points[i].app.c_str(), points[i].nodes, r.sim_mips(),
-                  r.seconds,
+                  points[i].app.c_str(), points[i].nodes, batch_field,
+                  r.sim_mips(), r.seconds,
                   static_cast<unsigned long long>(r.instructions),
                   static_cast<unsigned long long>(r.cycles),
                   static_cast<unsigned long long>(r.net_messages),
@@ -138,6 +146,7 @@ int main(int argc, char** argv) {
   driver::SweepSpec spec;
   for (const auto* app : apps_selected) spec.apps.push_back(app->name);
   spec.node_counts = nodes;
+  spec.batches = opt.batches;
   spec.scale = opt.scale;
   const auto points = spec.expand();
 
@@ -149,7 +158,8 @@ int main(int argc, char** argv) {
       points, opt, "perf_sim",
       [&](const driver::SpecPoint& pt) {
         return time_config(apps::app_by_name(pt.app), pt.scale, pt.nodes,
-                           driver::spec_seed(pt));
+                           driver::spec_seed(pt),
+                           pt.batch != 0 ? pt.batch : opt.batch_size);
       },
       [](const driver::SpecPoint&, SimResult&& r) { return r; },
       [](const driver::SpecPoint& pt) { return driver::spec_seed(pt); },

@@ -69,21 +69,151 @@ AccessOutcome CoherenceFabric::access(NodeId node, Addr addr, bool is_write,
   Node& me = nodes_[node];
   const Addr line = me.l2.line_of(addr);
 
-  AccessOutcome out;
-  out.write = is_write;
-  out.home = home_map_->home_of(line, node);
-  if (is_write) ++me.stats.stores; else ++me.stats.loads;
-
   // Overlap the host-memory misses this access is about to take: the L2
   // set lanes and the home directory's probe slot are independent lines,
   // so putting them in flight now turns the walk below from a chain of
   // serialized misses into parallel ones. Hints only — no simulated
-  // state or timing changes.
+  // state or timing changes. (peek_home keeps first-touch assignment
+  // where it always happened, inside do_access; an unassigned page has
+  // no directory slot to warm anyway.)
   me.l2.prefetch_set(line);
-  nodes_[out.home].dir.prefetch(line);
+  const NodeId ph = home_map_->peek_home(line);
+  if (ph != kNoNode) nodes_[ph].dir.prefetch(line);
 
-  // ---- L1: one tag walk, reused below ----
+  AccessOutcome out;
+  do_access(node, line, is_write, now, out, me.l1.lookup(line), nullptr,
+            nullptr);
+  return out;
+}
+
+bool CoherenceFabric::access_l1_fast(NodeId node, Addr addr, bool is_write,
+                                     AccessOutcome& out) {
+  DSM_ASSERT(node < nodes_.size());
+  Node& me = nodes_[node];
+  const Addr line = me.l2.line_of(addr);
   const mem::Cache::LineRef w1 = me.l1.lookup(line);
+  const LineState s1 = me.l1.state_of(w1);
+  if (s1 == LineState::kInvalid ||
+      (is_write && !store_permitted(*pol_, s1)))
+    return false;
+  // access()'s L1-hit arm, verbatim. The up-front prefetch hints are
+  // host-side only and useless on a hit, so they are skipped; a resident
+  // line's page is always already assigned, so home_of cannot first-touch
+  // here and reads the same answer the serial path would.
+  out = AccessOutcome{};
+  out.write = is_write;
+  out.home = home_map_->home_of(line, node);
+  if (is_write) ++me.stats.stores; else ++me.stats.loads;
+  me.l1.touch(w1);
+  if (is_write) {
+    const LineState next = pol_->store_hit[static_cast<unsigned>(s1)];
+    if (next != s1) {
+      me.l1.set_state(w1, next);
+      const mem::Cache::LineRef w2 = me.l2.lookup(line);
+      DSM_ASSERT(w2);
+      me.l2.set_state(w2, next);
+    }
+  }
+  ++me.stats.l1_hits;
+  out.l1_hit = true;
+  out.latency = cfg_.l1.latency_cycles;
+  out.source = DataSource::kL1;
+  return true;
+}
+
+std::size_t CoherenceFabric::access_batch(std::span<const AccessReq> reqs,
+                                          std::span<AccessOutcome> outs,
+                                          Cycle now, BatchAdvanceFn advance,
+                                          void* ctx) {
+  const std::size_t n = reqs.size();
+  DSM_ASSERT_MSG(n <= kMaxBatch, "batch exceeds kMaxBatch");
+  DSM_ASSERT(outs.size() >= n);
+  if (n == 0) return 0;
+
+  // ---- Stage 1: walk every member's tag lanes and put the host-DRAM
+  // lines stage 2/3 will need in flight — the L2 set lanes, the home
+  // directory slot, and each predicted miss's predicted-victim home
+  // slot. Everything here is const (no LRU movement, no counters, no
+  // first-touch assignment), so the resolution stage below replays the
+  // exact serial sequence. Stack arrays only: the steady state stays
+  // allocation-free.
+  Addr lines[kMaxBatch];
+  mem::Cache::LineRef w1s[kMaxBatch];
+  mem::Cache::FillCursor c2s[kMaxBatch];
+  bool staged_c2[kMaxBatch];
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId node = reqs[i].node;
+    DSM_ASSERT(node < nodes_.size());
+    Node& me = nodes_[node];
+    const Addr line = me.l2.line_of(reqs[i].addr);
+    lines[i] = line;
+    me.l2.prefetch_set(line);
+    const NodeId ph = home_map_->peek_home(line);
+    if (ph != kNoNode) nodes_[ph].dir.prefetch(line);
+    w1s[i] = me.l1.lookup(line);
+    const LineState s1 = me.l1.state_of(w1s[i]);
+    const bool l1_serves =
+        s1 != LineState::kInvalid &&
+        (!reqs[i].write || store_permitted(*pol_, s1));
+    staged_c2[i] = !l1_serves;
+    if (!l1_serves) {
+      c2s[i] = me.l2.lookup_for_fill(line);
+      if (!c2s[i].ref &&
+          c2s[i].victim_line != mem::Cache::FillCursor::kNoLine) {
+        const NodeId vh = home_map_->peek_home(c2s[i].victim_line);
+        if (vh != kNoNode) nodes_[vh].dir.prefetch(c2s[i].victim_line);
+      }
+    }
+  }
+
+  // ---- Stage 2/3: resolve strictly in order through the same code the
+  // serial path runs, reusing each staged walk unless an earlier member
+  // disturbed its set (then re-walk — same-line/same-set conflicts
+  // degrade to ordered singles). States behind a handle are always
+  // re-read live in do_access; the masks only guard the *structural*
+  // validity of handles and the LRU-dependent victim choice.
+  // A single-member batch (common when a sync point flushes a partial
+  // gather) has no earlier members to disturb it and no later members to
+  // inform: skip the disturbance bookkeeping entirely.
+  BatchScope scope;
+  BatchScope* const sp = n > 1 ? &scope : nullptr;
+  Cycle t = now;
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId node = reqs[i].node;
+    Node& me = nodes_[node];
+    const Addr line = lines[i];
+    mem::Cache::LineRef w1 = w1s[i];
+    if (sp && sp->l1_stale(node, me.l1.set_of(line))) w1 = me.l1.lookup(line);
+    const mem::Cache::FillCursor* hint = nullptr;
+    if (staged_c2[i]) {
+      const bool stale =
+          sp != nullptr &&
+          (c2s[i].ref ? sp->l2_ref_stale(node, me.l2.set_of(line))
+                      : sp->l2_cursor_stale(node, me.l2.set_of(line)));
+      if (!stale) hint = &c2s[i];
+    }
+    outs[i] = AccessOutcome{};
+    do_access(node, line, reqs[i].write, t, outs[i], w1, hint, sp);
+    if (advance) {
+      const Cycle next = advance(ctx, i, outs[i]);
+      if (next == kBatchStop) return i + 1;
+      t = next;
+    }
+  }
+  return n;
+}
+
+void CoherenceFabric::do_access(NodeId node, Addr line, bool is_write,
+                                Cycle now, AccessOutcome& out,
+                                mem::Cache::LineRef w1,
+                                const mem::Cache::FillCursor* l2_cursor,
+                                BatchScope* scope) {
+  Node& me = nodes_[node];
+  out.write = is_write;
+  out.home = home_map_->home_of(line, node);
+  if (is_write) ++me.stats.stores; else ++me.stats.loads;
+
+  // ---- L1: one tag walk (done by the caller), reused below ----
   const LineState s1 = me.l1.state_of(w1);
   if (s1 != LineState::kInvalid) {
     if (!is_write || store_permitted(*pol_, s1)) {
@@ -101,7 +231,7 @@ AccessOutcome CoherenceFabric::access(NodeId node, Addr addr, bool is_write,
       out.l1_hit = true;
       out.latency = cfg_.l1.latency_cycles;
       out.source = DataSource::kL1;
-      return out;
+      return;
     }
     // L1 hit in S but we need write permission: fall through to the
     // directory upgrade path. Count the tag probe, not a hit.
@@ -111,14 +241,19 @@ AccessOutcome CoherenceFabric::access(NodeId node, Addr addr, bool is_write,
 
   Cycle lat = cfg_.l1.latency_cycles;
 
-  // ---- L2: one tag walk, reused below ----
-  const mem::Cache::LineRef w2 = me.l2.lookup(line);
+  // ---- L2: ONE fused walk answers presence, fill way, and predicted
+  // victim (lookup_for_fill) — the refill path below never re-walks the
+  // set. A batch caller may hand the walk in pre-staged.
+  const mem::Cache::FillCursor c2 =
+      l2_cursor ? *l2_cursor : me.l2.lookup_for_fill(line);
+  const mem::Cache::LineRef w2 = c2.ref;
   const LineState s2 = me.l2.state_of(w2);
   const bool l2_has_data = (s2 != LineState::kInvalid);
   const bool l2_writable = store_permitted(*pol_, s2);
   lat += cfg_.l2.latency_cycles;
   if (l2_has_data && (!is_write || l2_writable)) {
     me.l2.touch(w2);
+    if (scope) scope->note_l2_moved(node, me.l2.set_of(line));
     ++me.stats.l2_hits;
     LineState grant = s2;
     if (is_write) {
@@ -132,6 +267,7 @@ AccessOutcome CoherenceFabric::access(NodeId node, Addr addr, bool is_write,
       me.l1.set_state(w1, grant);
     } else {
       const auto v1 = me.l1.fill(line, grant);
+      if (scope) scope->note_l1(node, me.l1.set_of(line));
       if (v1 && v1->state == LineState::kModified) {
         const mem::Cache::LineRef wv = me.l2.lookup(v1->line_addr);
         DSM_ASSERT_MSG(wv, "L1/L2 inclusion broken");
@@ -140,22 +276,34 @@ AccessOutcome CoherenceFabric::access(NodeId node, Addr addr, bool is_write,
     }
     out.latency = lat;
     out.source = DataSource::kL2;
-    return out;
+    return;
   }
-  if (l2_has_data) me.l2.touch(w2);  // S-upgrade: data present, touch LRU
+  if (l2_has_data) {
+    me.l2.touch(w2);  // S-upgrade: data present, touch LRU
+    if (scope) scope->note_l2_moved(node, me.l2.set_of(line));
+  } else if (!scope && c2.victim_line != mem::Cache::FillCursor::kNoLine) {
+    // True miss: the fill below will displace the predicted victim, whose
+    // home-directory slot the up-front prefetch did not cover. Warm it
+    // now, while the directory round-trip below hides the host latency.
+    // (Batch stage 1 already issued this hint for staged misses.)
+    const NodeId vh = home_map_->peek_home(c2.victim_line);
+    if (vh != kNoNode) nodes_[vh].dir.prefetch(c2.victim_line);
+  }
 
   // ---- Directory ----
-  lat += directory_request(node, line, is_write, now + lat, out, w1, w2);
+  lat += directory_request(node, line, is_write, now + lat, out, w1, c2,
+                           scope);
   out.latency = lat;
-  return out;
 }
 
 Cycle CoherenceFabric::directory_request(NodeId requestor, Addr line,
                                          bool is_write, Cycle now,
                                          AccessOutcome& out,
                                          mem::Cache::LineRef l1_ref,
-                                         mem::Cache::LineRef l2_ref) {
+                                         const mem::Cache::FillCursor& l2_cursor,
+                                         BatchScope* scope) {
   Node& me = nodes_[requestor];
+  const mem::Cache::LineRef l2_ref = l2_cursor.ref;
   const NodeId home = out.home;
   Node& h = nodes_[home];
   Cycle lat = 0;
@@ -211,6 +359,10 @@ Cycle CoherenceFabric::directory_request(NodeId requestor, Addr line,
                                                  TrafficClass::kCoherence);
               nodes_[q].l1.invalidate(line);
               nodes_[q].l2.invalidate(line);
+              if (scope) {
+                scope->note_l1(q, nodes_[q].l1.set_of(line));
+                scope->note_l2(q, nodes_[q].l2.set_of(line));
+              }
               t += network_.message_latency(q, home, control_bytes(),
                                             now + lat + t,
                                             TrafficClass::kCoherence);
@@ -273,6 +425,10 @@ Cycle CoherenceFabric::directory_request(NodeId requestor, Addr line,
       if (is_write) {
         owner.l1.invalidate(ow1);
         owner.l2.invalidate(ow2);
+        if (scope) {
+          scope->note_l1(q, owner.l1.set_of(line));
+          scope->note_l2(q, owner.l2.set_of(line));
+        }
         ++me.stats.invalidations_sent;
         ++out.invalidations;
         e.sharers = 0;
@@ -331,6 +487,10 @@ Cycle CoherenceFabric::directory_request(NodeId requestor, Addr line,
                                                  TrafficClass::kCoherence);
               nodes_[s].l1.invalidate(line);
               nodes_[s].l2.invalidate(line);
+              if (scope) {
+                scope->note_l1(s, nodes_[s].l1.set_of(line));
+                scope->note_l2(s, nodes_[s].l2.set_of(line));
+              }
               t += network_.message_latency(s, home, control_bytes(),
                                             now + lat + t,
                                             TrafficClass::kCoherence);
@@ -391,6 +551,7 @@ Cycle CoherenceFabric::directory_request(NodeId requestor, Addr line,
       me.l1.touch(l1_ref);
     } else {
       const auto v1 = me.l1.fill(line, LineState::kModified);
+      if (scope) scope->note_l1(requestor, me.l1.set_of(line));
       if (v1 && v1->state == LineState::kModified) {
         const mem::Cache::LineRef wv = me.l2.lookup(v1->line_addr);
         DSM_ASSERT(wv);
@@ -398,20 +559,27 @@ Cycle CoherenceFabric::directory_request(NodeId requestor, Addr line,
       }
     }
   } else {
-    lat += fill_hierarchy(requestor, line, grant, now + lat);
+    lat += fill_hierarchy(requestor, line, grant, now + lat, l2_cursor, scope);
   }
   return lat;
 }
 
 Cycle CoherenceFabric::fill_hierarchy(NodeId requestor, Addr line, LineState st,
-                                      Cycle now) {
+                                      Cycle now,
+                                      const mem::Cache::FillCursor& l2_cursor,
+                                      BatchScope* scope) {
   Node& me = nodes_[requestor];
   Cycle lat = 0;
-  // fill() itself asserts the line is absent, so no extra probe here: the
-  // refill path pays exactly one associative search per cache level.
-  const auto v2 = me.l2.fill(line, st);
-  if (v2) lat += handle_l2_eviction(requestor, *v2, now);
+  // The L2 allocation reuses the miss cursor from do_access's fused walk
+  // (fill_at asserts its freshness), so the whole refill path pays ONE
+  // associative search of the L2 set — the directory path in between
+  // never mutates the requestor's caches. The L1 fill still walks its
+  // (direct-mapped: walk-free) set.
+  const auto v2 = me.l2.fill_at(l2_cursor, line, st);
+  if (scope) scope->note_l2(requestor, me.l2.set_of(line));
+  if (v2) lat += handle_l2_eviction(requestor, *v2, now, scope);
   const auto v1 = me.l1.fill(line, st);
+  if (scope) scope->note_l1(requestor, me.l1.set_of(line));
   if (v1 && v1->state == LineState::kModified) {
     const mem::Cache::LineRef wv = me.l2.lookup(v1->line_addr);
     DSM_ASSERT_MSG(wv, "L1/L2 inclusion broken");
@@ -421,10 +589,11 @@ Cycle CoherenceFabric::fill_hierarchy(NodeId requestor, Addr line, LineState st,
 }
 
 Cycle CoherenceFabric::handle_l2_eviction(NodeId evictor, const mem::Victim& v,
-                                          Cycle now) {
+                                          Cycle now, BatchScope* scope) {
   Node& me = nodes_[evictor];
   // Inclusion: purge the L1 copy; it may carry the dirty bit.
   const LineState l1_state = me.l1.invalidate(v.line_addr);
+  if (scope) scope->note_l1(evictor, me.l1.set_of(v.line_addr));
   const bool dirty = v.state == LineState::kModified ||
                      v.state == LineState::kOwned ||
                      l1_state == LineState::kModified;

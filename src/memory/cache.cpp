@@ -82,6 +82,77 @@ bool Cache::access(Addr addr) {
   return true;
 }
 
+Cache::FillCursor Cache::lookup_for_fill(Addr addr) const {
+  const Addr line = line_of(addr);
+  const std::uint64_t set = set_index(line);
+  FillCursor cur;
+  if (cfg_.associativity == 1) {
+    // Direct-mapped: the set IS the way — hit, victim, and fill slot all
+    // name the same index, so no walk at all.
+    if (tags_[set] == line) {
+      cur.ref = LineRef(set);
+      return cur;
+    }
+    cur.slot = set;
+    if (states_[set] != LineState::kInvalid) cur.victim_line = tags_[set];
+    return cur;
+  }
+  // One walk answers both questions fill() and find() used to walk for
+  // separately. Victim policy must stay bit-identical to fill()'s: first
+  // empty way, else strict min-LRU in way order (ties keep the earlier
+  // way).
+  const std::uint64_t base = set * cfg_.associativity;
+  std::uint64_t victim = base;
+  bool found_empty = false;
+  bool have_victim = false;
+  for (unsigned w = 0; w < cfg_.associativity; ++w) {
+    const std::uint64_t i = base + w;
+    if (tags_[i] == line) {
+      cur.ref = LineRef(i);
+      return cur;
+    }
+    if (found_empty) continue;
+    if (tags_[i] == kNoTag) {
+      victim = i;
+      found_empty = true;
+      continue;
+    }
+    if (!have_victim || lru_[i] < lru_[victim]) {
+      victim = i;
+      have_victim = true;
+    }
+  }
+  cur.slot = victim;
+  if (states_[victim] != LineState::kInvalid) cur.victim_line = tags_[victim];
+  return cur;
+}
+
+std::optional<Victim> Cache::fill_at(const FillCursor& cur, Addr addr,
+                                     LineState s) {
+  DSM_ASSERT(s != LineState::kInvalid);
+  DSM_ASSERT_MSG(!cur.ref, "fill_at with a hit cursor");
+  const Addr line = line_of(addr);
+  DSM_ASSERT_MSG(set_index(line) == cur.slot / cfg_.associativity,
+                 "fill_at cursor from a different set");
+  // Staleness tripwire: the slot must still hold exactly the victim the
+  // walk saw (or still be empty). Structural changes to the set between
+  // the walk and the fill would divert the victim choice; callers track
+  // disturbed sets and re-walk instead of reaching here.
+  DSM_ASSERT_MSG(
+      tags_[cur.slot] ==
+          (cur.victim_line == FillCursor::kNoLine ? kNoTag : cur.victim_line),
+      "fill_at with a stale cursor");
+  std::optional<Victim> out;
+  if (states_[cur.slot] != LineState::kInvalid) {
+    out = Victim{tags_[cur.slot], states_[cur.slot]};
+    ++evictions_;
+  }
+  tags_[cur.slot] = line;
+  states_[cur.slot] = s;
+  lru_[cur.slot] = ++tick_;
+  return out;
+}
+
 std::optional<Victim> Cache::fill(Addr addr, LineState s) {
   DSM_ASSERT(s != LineState::kInvalid);
   const Addr line = line_of(addr);

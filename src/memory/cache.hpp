@@ -112,6 +112,43 @@ class Cache {
   /// associative search.
   LineRef lookup(Addr addr) const { return LineRef(find(addr)); }
 
+  /// Result of one lookup_for_fill() walk: either the line is resident
+  /// (`ref` truthy) or the walk has already chosen the way fill() would
+  /// allocate (`slot`) and the line that allocation would displace
+  /// (`victim_line`, kNoLine when the chosen way is empty). The cursor
+  /// follows the same LineRef slot rules, plus one more: the victim
+  /// choice depends on the set's LRU order, so a touch() anywhere in the
+  /// same set also stales `slot`/`victim_line` (fill_at asserts the tag
+  /// lane still agrees, which catches structural staleness but not pure
+  /// LRU movement — callers must re-walk after any same-set touch).
+  struct FillCursor {
+    static constexpr Addr kNoLine = ~Addr{0};
+    LineRef ref;                 ///< truthy on hit
+    std::uint64_t slot = 0;      ///< set*assoc+way fill would use (miss only)
+    Addr victim_line = kNoLine;  ///< line fill would displace, kNoLine if none
+  };
+
+  /// Fused miss/refill walk: ONE tag+LRU pass that answers both "is the
+  /// line resident?" and, when it is not, "which way will the fill take
+  /// and what does it evict?" — where lookup() + fill() pay two cold-lane
+  /// walks of the same set. The victim policy is bit-identical to
+  /// fill()'s: first empty way, else strict min-LRU in way order (ties
+  /// keep the earlier way).
+  FillCursor lookup_for_fill(Addr addr) const;
+
+  /// Allocates `addr`'s line in state `s` at the way a lookup_for_fill()
+  /// miss cursor chose, returning the displaced victim exactly like
+  /// fill() — without re-walking the set. Asserts the cursor is not
+  /// stale (the slot still holds the victim the walk saw).
+  std::optional<Victim> fill_at(const FillCursor& cur, Addr addr,
+                                LineState s);
+
+  /// Set index of `addr`'s line — the granularity at which fills,
+  /// invalidations, and LRU touches invalidate outstanding LineRef /
+  /// FillCursor handles (the batched access path tracks disturbed sets
+  /// at exactly this granularity).
+  std::uint64_t set_of(Addr addr) const { return set_index(line_of(addr)); }
+
   /// Present-line state via a handle (kInvalid for a falsy handle).
   LineState state_of(LineRef ref) const {
     return ref ? states_[ref.idx_] : LineState::kInvalid;

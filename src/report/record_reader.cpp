@@ -84,6 +84,7 @@ bool read_record(const std::string& line, RecordView* out,
   const JsonValue* param = metrics->find("param");
   const JsonValue* scale = metrics->find("scale");
   const JsonValue* protocol = metrics->find("protocol");
+  const JsonValue* batch = metrics->find("batch");
   const JsonValue* m = metrics->find("m");
   if (!app || !app->is_string())
     return fail(error, "metrics context is missing string field 'app'");
@@ -99,6 +100,10 @@ bool read_record(const std::string& line, RecordView* out,
   if (protocol && (!protocol->is_string() || protocol->string().empty()))
     return fail(error,
                 "metrics context field 'protocol' must be a non-empty string");
+  // Optional: present only when the sweep varies the batch size.
+  if (batch && (!batch->is_number() || batch->unsigned_int() == 0))
+    return fail(error,
+                "metrics context field 'batch' must be a positive integer");
   if (!m || !m->is_object())
     return fail(error, "metrics context is missing object field 'm'");
 
@@ -112,6 +117,7 @@ bool read_record(const std::string& line, RecordView* out,
   out->param = param->number();
   out->scale = scale->string();
   out->protocol = protocol ? protocol->string() : "mesi";
+  out->batch = batch ? static_cast<unsigned>(batch->unsigned_int()) : 1;
   // Move the metrics subtree out of the parsed root, which dies with this
   // call (cheap: the vectors inside move).
   out->metrics = std::move(*const_cast<JsonValue*>(metrics));

@@ -13,6 +13,8 @@
 // by default.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -128,6 +130,37 @@ class Machine {
   void end_interval(unsigned tid);
   void maybe_yield(unsigned tid);
 
+  /// Deferred accesses of one processor, gathered by op_mem when
+  /// cfg_.batch_size > 1 and drained through fabric_.access_batch.
+  /// Deferral is invisible to the simulation: load/store return nothing,
+  /// every ThreadCtx operation that could observe machine state flushes
+  /// first, and the batch's advance callback replays op_mem's clock/
+  /// interval/yield bookkeeping per member at the exact serial times —
+  /// so the simulated sequence is bit-identical to batch_size=1.
+  struct PendingMem {
+    std::array<coh::CoherenceFabric::AccessReq,
+               coh::CoherenceFabric::kMaxBatch>
+        reqs;
+    std::size_t count = 0;
+  };
+  /// Drains tid's pending accesses (no-op when none). Called before any
+  /// operation that must observe their effects.
+  void flush_mem(unsigned tid) {
+    if (pending_[tid].count != 0) drain_pending(tid);
+  }
+  void drain_pending(unsigned tid);
+  /// access_batch advance callback: op_mem's post-access bookkeeping
+  /// (DDV row, exposed stall, clock, interval accounting, cooperative
+  /// yield) for one batch member. Returns the member-local clock, or
+  /// kBatchStop after a yield (other threads ran — the rest of the
+  /// batch restages from live cache state).
+  static Cycle batch_advance(void* ctx, std::size_t i,
+                             const coh::AccessOutcome& out);
+  struct BatchCtx {
+    Machine* m;
+    unsigned tid;
+  };
+
   MachineConfig cfg_;
   net::Network network_;
   mem::HomeMap home_map_;
@@ -141,7 +174,9 @@ class Machine {
   std::vector<std::unique_ptr<cpu::CoreModel>> cores_;
   std::vector<std::unique_ptr<ProcState>> procs_;
   std::vector<HotLane> lanes_;  ///< one per processor, see HotLane
+  std::vector<PendingMem> pending_;  ///< one per processor, see PendingMem
   InstrCount interval_len_;
+  unsigned batch_n_ = 1;  ///< cfg_.batch_size, hoisted for op_mem
   bool ran_ = false;
 };
 
