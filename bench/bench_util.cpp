@@ -56,6 +56,13 @@ const char* usage_text() {
       "                             merge their NDJSON streams (spec order)\n"
       "  --shard=i/N                run shard i of N only, emitting NDJSON\n"
       "                             records instead of tables (worker mode)\n"
+      "  --obs-stats                attach each machine's deterministic\n"
+      "                             metrics snapshot to its record (the\n"
+      "                             envelope's \"obs\" field; view with\n"
+      "                             `dsm_report stats`)\n"
+      "  --trace=FILE               dump the per-node binary event trace to\n"
+      "                             FILE (multi-point sweeps: FILE.<index>);\n"
+      "                             convert with `dsm_report trace`\n"
       "  --verbose                  progress logging\n";
 }
 
@@ -147,6 +154,12 @@ ParseResult parse_options(int argc, char** argv) {
       opt.shard_set = true;
     } else if (arg.rfind("--csv=", 0) == 0) {
       opt.csv_dir = value("--csv=");
+    } else if (arg == "--obs-stats") {
+      opt.obs_stats = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      opt.trace_path = value("--trace=");
+      if (opt.trace_path.empty())
+        return fail(std::move(res), "empty --trace path");
     } else if (arg == "--verbose") {
       opt.verbose = true;
       set_log_level(LogLevel::kInfo);
@@ -190,15 +203,30 @@ Protocol protocol_of_point(const driver::SpecPoint& pt) {
   return p;
 }
 
+ObsConfig obs_config_for_point(const BenchOptions& opt,
+                               const driver::SpecPoint& pt,
+                               bool multi_point) {
+  ObsConfig obs;
+  obs.stats = opt.obs_stats;
+  if (!opt.trace_path.empty()) {
+    obs.trace = true;
+    obs.trace_path = multi_point
+                         ? opt.trace_path + "." + std::to_string(pt.index)
+                         : opt.trace_path;
+  }
+  return obs;
+}
+
 sim::RunSummary run_workload(const apps::AppInfo& app, apps::Scale scale,
                              unsigned nodes, bool verbose,
                              std::uint64_t seed, Protocol protocol,
-                             unsigned batch_size) {
+                             unsigned batch_size, const ObsConfig& obs) {
   MachineConfig cfg = default_config(nodes);
   cfg.phase.interval_instructions = apps::scaled_interval(app.name, scale);
   cfg.protocol = protocol;
   cfg.batch_size = batch_size;
   cfg.seed = seed;
+  cfg.obs = obs;
   const auto t0 = std::chrono::steady_clock::now();
   sim::Machine machine(cfg);
   sim::RunSummary run = machine.run(app.factory(scale));

@@ -75,6 +75,13 @@ struct BenchOptions {
   /// --batch=1 to exactly the no-flag state.
   unsigned batch_size = 1;
   unsigned threads = 1;                ///< sweep workers; 0 = one per core
+  /// --obs-stats: run every machine with the deterministic metrics
+  /// registry on and attach the snapshot to each record as the envelope's
+  /// "obs" field. Off by default — records stay byte-identical to seeds.
+  bool obs_stats = false;
+  /// --trace=FILE: dump each machine's binary event trace here (multi-
+  /// point sweeps suffix ".<spec_index>"). Empty = tracing off.
+  std::string trace_path;
   bool verbose = false;
   shard::ShardPlan shard;              ///< --shard=i/N (worker mode)
   bool shard_set = false;              ///< --shard appeared: stream mode
@@ -130,11 +137,22 @@ std::optional<int> maybe_orchestrate(int argc, char** argv,
 /// selects the coherence-policy tables the fabric runs (default MESI);
 /// `batch_size` sets the Machine→fabric gather size (host-side only —
 /// simulated output is identical for every value).
+/// `obs` configures the observability layer (metrics registry / event
+/// trace); the default runs with everything off, which is byte-identical
+/// to the pre-observability simulator.
 sim::RunSummary run_workload(const apps::AppInfo& app, apps::Scale scale,
                              unsigned nodes, bool verbose,
                              std::uint64_t seed,
                              Protocol protocol = Protocol::kMesi,
-                             unsigned batch_size = 1);
+                             unsigned batch_size = 1,
+                             const ObsConfig& obs = ObsConfig{});
+
+/// The per-point ObsConfig for opt: stats from --obs-stats, trace from
+/// --trace=FILE (suffixed ".<spec_index>" when the sweep has more than
+/// one point, so dumps never overwrite each other).
+ObsConfig obs_config_for_point(const BenchOptions& opt,
+                               const driver::SpecPoint& pt,
+                               bool multi_point);
 
 /// SpecPoint::protocol -> Protocol: empty means "not swept" (MESI).
 /// Throws on a name protocol_from_name() rejects.
@@ -187,7 +205,8 @@ shard::StreamRecord make_stream_record(
     const driver::SpecPoint& pt, const R& reduced,
     const std::function<std::uint64_t(const driver::SpecPoint&)>& seed_of,
     const std::function<std::string(const driver::SpecPoint&, const R&)>&
-        metrics) {
+        metrics,
+    const std::string& obs_json = {}) {
   shard::StreamRecord rec;
   rec.spec_index = pt.index;
   rec.key = driver::spec_label(pt);
@@ -202,9 +221,11 @@ shard::StreamRecord make_stream_record(
   // the absent fields to "mesi" / 1).
   if (!pt.protocol.empty()) ctx.add("protocol", pt.protocol);
   if (pt.batch != 0) ctx.add("batch", static_cast<std::uint64_t>(pt.batch));
-  rec.metrics = ctx.add("scale", std::string(apps::scale_name(pt.scale)))
-                    .add_raw("m", metrics(pt, reduced))
-                    .str();
+  ctx.add("scale", std::string(apps::scale_name(pt.scale)));
+  // The deterministic metrics snapshot, present only under --obs-stats —
+  // same optional-field precedent as protocol/batch above.
+  if (!obs_json.empty()) ctx.add_raw("obs", obs_json);
+  rec.metrics = ctx.add_raw("m", metrics(pt, reduced)).str();
   return rec;
 }
 
@@ -221,6 +242,9 @@ shard::StreamRecord make_stream_record(
 ///     when set, sees each reduced result first — for live-only side
 ///     products like perf_hotpath's wall-clock JSON, which have no place
 ///     in deterministic records.
+/// `obs_of`, when set, supplies the record's optional "obs" envelope
+/// field (the machine's deterministic metrics snapshot); return "" for
+/// no field.
 /// Returns the exit code (the renderer's finish() verdict; 0 in stream
 /// mode). Template arguments are explicit at call sites (lambdas do not
 /// deduce through std::function).
@@ -234,7 +258,9 @@ int sharded_sweep(
     const std::function<std::string(const driver::SpecPoint&, const R&)>&
         metrics,
     const std::function<void(const driver::SpecPoint&, const R&)>&
-        live_observe = {}) {
+        live_observe = {},
+    const std::function<std::string(const driver::SpecPoint&, const R&)>&
+        obs_of = {}) {
   const auto local = opt.shard.select(points);
   const driver::ExperimentRunner runner(opt.threads);
   const std::function<Raw(const driver::SpecPoint&)> guarded =
@@ -251,7 +277,9 @@ int sharded_sweep(
     shard::StreamSink sink(stdout, bench_name);
     runner.map_reduce<Raw, R>(
         local, guarded, reduce, [&](const driver::SpecPoint& pt, R&& r) {
-          sink.emit(make_stream_record<R>(pt, r, seed_of, metrics));
+          sink.emit(make_stream_record<R>(
+              pt, r, seed_of, metrics,
+              obs_of ? obs_of(pt, r) : std::string()));
         });
     return 0;
   }
@@ -265,7 +293,9 @@ int sharded_sweep(
       local, guarded, reduce, [&](const driver::SpecPoint& pt, R&& r) {
         if (live_observe) live_observe(pt, r);
         const std::string line = shard::format_record(
-            bench_name, make_stream_record<R>(pt, r, seed_of, metrics));
+            bench_name,
+            make_stream_record<R>(pt, r, seed_of, metrics,
+                                  obs_of ? obs_of(pt, r) : std::string()));
         report::RecordView view;
         std::string err;
         if (!report::read_record(line, &view, &err))
@@ -300,17 +330,39 @@ int run_reduced_sweep(
   spec.protocols = opt.protocols;
   spec.batches = opt.batches;
   spec.scale = opt.scale;
-  return sharded_sweep<sim::RunSummary, R>(
-      spec.expand(), opt, bench_name,
-      [&opt](const driver::SpecPoint& pt) {
+  const auto points = spec.expand();
+  const bool multi = points.size() > 1;
+  // Carry the machine's deterministic metrics snapshot past the harness
+  // reducer, which neither knows nor cares about it; the envelope layer
+  // attaches it as the record's "obs" field. Always "" when --obs-stats
+  // is off, so the wrapper changes no bytes in the default mode.
+  struct Wrapped {
+    R r;
+    std::string obs;
+  };
+  return sharded_sweep<sim::RunSummary, Wrapped>(
+      points, opt, bench_name,
+      [&opt, multi](const driver::SpecPoint& pt) {
         return run_workload(apps::app_by_name(pt.app), pt.scale, pt.nodes,
                             opt.verbose, driver::spec_seed(pt),
                             protocol_of_point(pt),
-                            pt.batch != 0 ? pt.batch : opt.batch_size);
+                            pt.batch != 0 ? pt.batch : opt.batch_size,
+                            obs_config_for_point(opt, pt, multi));
       },
-      reduce,
+      [&reduce](const driver::SpecPoint& pt, sim::RunSummary&& run) {
+        std::string obs = std::move(run.obs_json);
+        return Wrapped{reduce(pt, std::move(run)), std::move(obs)};
+      },
       [](const driver::SpecPoint& pt) { return driver::spec_seed(pt); },
-      metrics, live_observe);
+      [&metrics](const driver::SpecPoint& pt, const Wrapped& w) {
+        return metrics(pt, w.r);
+      },
+      live_observe
+          ? std::function<void(const driver::SpecPoint&, const Wrapped&)>(
+                [&live_observe](const driver::SpecPoint& pt,
+                                const Wrapped& w) { live_observe(pt, w.r); })
+          : std::function<void(const driver::SpecPoint&, const Wrapped&)>(),
+      [](const driver::SpecPoint&, const Wrapped& w) { return w.obs; });
 }
 
 }  // namespace dsm::bench

@@ -1,0 +1,149 @@
+# obs_equivalence.cmake — ctest script enforcing the observability
+# layer's two determinism contracts end to end for one harness:
+#
+#   1. METRIC DETERMINISM: with --obs-stats the NDJSON stream (records now
+#      carrying the machine's `obs` snapshot) must be byte-identical
+#      across execution modes — single shard worker, in-process
+#      --shards=2 --threads=2 orchestration, and --batch=4 — across the
+#      full protocol axis. The snapshot is derived from simulated events
+#      only, so how the host schedules the work must not show.
+#   2. NON-PERTURBATION: switching stats AND tracing on must leave the
+#      live human stdout byte-identical to a plain run — observability
+#      watches the simulation, it never feeds back into it.
+#
+# Plus the offline consumers: `dsm_report validate --merged` and
+# `dsm_report stats` must accept the obs-carrying stream, and the dumped
+# binary trace must pass `dsm_report trace --validate` and convert to
+# non-empty Chrome trace-event JSON.
+#
+# Variables: HARNESS (binary path), HARNESS_ARGS (;-list incl. the
+#            protocol axis), TRACE_ARGS (;-list, a single-spec-point
+#            config so the trace lands in ONE file), DSM_REPORT
+#            (dsm_report binary path), TAG, WORK_DIR.
+
+set(ref "${WORK_DIR}/${TAG}_ref.ndjson")
+set(threaded "${WORK_DIR}/${TAG}_threads.ndjson")
+set(batched "${WORK_DIR}/${TAG}_batch4.ndjson")
+
+# 1a. Reference stream: one shard worker with stats on.
+execute_process(
+  COMMAND ${HARNESS} ${HARNESS_ARGS} --obs-stats --shard=0/1
+  OUTPUT_FILE ${ref}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${HARNESS} --obs-stats --shard=0/1 exited with ${rc}")
+endif()
+file(READ ${ref} ref_bytes)
+if(ref_bytes STREQUAL "")
+  message(FATAL_ERROR "reference stream ${ref} is empty")
+endif()
+string(FIND "${ref_bytes}" "\"obs\":" obs_pos)
+if(obs_pos EQUAL -1)
+  message(FATAL_ERROR
+    "reference stream carries no 'obs' snapshot despite --obs-stats")
+endif()
+
+# 1b. Same points through the in-process orchestrator with worker threads.
+execute_process(
+  COMMAND ${HARNESS} ${HARNESS_ARGS} --obs-stats --shards=2 --threads=2
+  OUTPUT_FILE ${threaded}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--obs-stats --shards=2 --threads=2 exited with ${rc}")
+endif()
+file(READ ${threaded} threaded_bytes)
+if(NOT ref_bytes STREQUAL threaded_bytes)
+  message(FATAL_ERROR
+    "obs snapshots differ between --shard=0/1 and --shards=2 --threads=2:\n"
+    "  reference: ${ref}\n  threaded:  ${threaded}")
+endif()
+
+# 1c. Same points with the batched access path.
+execute_process(
+  COMMAND ${HARNESS} ${HARNESS_ARGS} --obs-stats --shard=0/1 --batch=4
+  OUTPUT_FILE ${batched}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--obs-stats --shard=0/1 --batch=4 exited with ${rc}")
+endif()
+file(READ ${batched} batched_bytes)
+if(NOT ref_bytes STREQUAL batched_bytes)
+  message(FATAL_ERROR
+    "obs snapshots differ between --batch=1 and --batch=4:\n"
+    "  reference: ${ref}\n  batched:   ${batched}")
+endif()
+
+# Offline consumers of the obs-carrying stream.
+execute_process(
+  COMMAND ${DSM_REPORT} validate --merged ${ref}
+  OUTPUT_QUIET
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dsm_report validate --merged rejected ${ref} (${rc})")
+endif()
+execute_process(
+  COMMAND ${DSM_REPORT} stats ${ref}
+  OUTPUT_VARIABLE stats_out
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dsm_report stats exited with ${rc}")
+endif()
+if(stats_out STREQUAL "")
+  message(FATAL_ERROR "dsm_report stats printed nothing for ${ref}")
+endif()
+
+# 2. Live human stdout must not move when stats+tracing switch on.
+set(plain_out "${WORK_DIR}/${TAG}_live_plain.txt")
+set(obs_out "${WORK_DIR}/${TAG}_live_obs.txt")
+set(trace_bin "${WORK_DIR}/${TAG}.trace")
+execute_process(
+  COMMAND ${HARNESS} ${TRACE_ARGS}
+  OUTPUT_FILE ${plain_out}
+  RESULT_VARIABLE rc_plain)
+execute_process(
+  COMMAND ${HARNESS} ${TRACE_ARGS} --obs-stats --trace=${trace_bin}
+  OUTPUT_FILE ${obs_out}
+  RESULT_VARIABLE rc_obs)
+if(NOT rc_plain EQUAL 0 OR NOT rc_obs EQUAL 0)
+  message(FATAL_ERROR
+    "live runs exited with ${rc_plain} (plain) / ${rc_obs} (observed)")
+endif()
+file(READ ${plain_out} plain_bytes)
+file(READ ${obs_out} obs_bytes)
+if(plain_bytes STREQUAL "")
+  message(FATAL_ERROR "plain live output ${plain_out} is empty")
+endif()
+if(NOT plain_bytes STREQUAL obs_bytes)
+  message(FATAL_ERROR
+    "--obs-stats --trace changed the live stdout (observability must not "
+    "perturb the simulation):\n  plain: ${plain_out}\n  observed: ${obs_out}")
+endif()
+if(NOT EXISTS ${trace_bin})
+  message(FATAL_ERROR "trace run left no dump at ${trace_bin}")
+endif()
+
+# The dumped trace must validate and convert to Chrome trace-event JSON.
+execute_process(
+  COMMAND ${DSM_REPORT} trace --validate ${trace_bin}
+  OUTPUT_QUIET
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dsm_report trace --validate rejected ${trace_bin}")
+endif()
+set(chrome_json "${WORK_DIR}/${TAG}_chrome.json")
+execute_process(
+  COMMAND ${DSM_REPORT} trace ${trace_bin}
+  OUTPUT_FILE ${chrome_json}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dsm_report trace conversion exited with ${rc}")
+endif()
+file(READ ${chrome_json} chrome_bytes)
+string(FIND "${chrome_bytes}" "\"traceEvents\"" te_pos)
+if(te_pos EQUAL -1)
+  message(FATAL_ERROR "${chrome_json} is not Chrome trace-event JSON")
+endif()
+
+message(STATUS "obs equivalence OK (${TAG}): snapshots byte-identical "
+               "across shard/threads/batch, live stdout unperturbed, "
+               "trace validated and converted")

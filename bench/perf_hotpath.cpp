@@ -34,6 +34,8 @@
 #include "common/table_writer.hpp"
 #include "memory/home_map.hpp"
 #include "network/network.hpp"
+#include "obs/observability.hpp"
+#include "obs/prof.hpp"
 
 namespace {
 
@@ -54,6 +56,8 @@ struct HotResult {
   std::uint64_t total_latency = 0;
   std::uint64_t net_messages = 0;
   std::uint64_t net_bytes = 0;
+  /// Deterministic metrics snapshot ("" unless --obs-stats).
+  std::string obs_json;
 
   double ops_per_sec() const {
     return seconds > 0.0 ? static_cast<double>(accesses) / seconds : 0.0;
@@ -105,13 +109,16 @@ Cycle batch_tick(void* ctx, std::size_t /*index*/,
 }
 
 HotResult time_config(const HotConfig& hc, std::uint64_t accesses,
-                      unsigned batch) {
+                      unsigned batch, const ObsConfig& obs_cfg) {
   MachineConfig cfg = default_config(hc.nodes);
   cfg.network.topology = hc.topo;
-  net::Network network(cfg);
+  // Fabric-level driver, no Machine: construct the observability layer
+  // standalone, exactly as Machine would, and hand it to both consumers.
+  obs::Observability obs(obs_cfg, hc.nodes);
+  net::Network network(cfg, &obs);
   mem::HomeMap home_map(hc.nodes, cfg.memory.page_bytes,
                         mem::Placement::kRoundRobin);
-  coh::CoherenceFabric fabric(cfg, network, home_map);
+  coh::CoherenceFabric fabric(cfg, network, home_map, &obs);
 
   Rng rng(stream_seed(hc));
   const Addr line = cfg.l2.line_bytes;
@@ -182,6 +189,12 @@ HotResult time_config(const HotConfig& hc, std::uint64_t accesses,
   res.seconds = std::chrono::duration<double>(t1 - t0).count();
   res.net_messages = network.total_messages();
   res.net_bytes = network.total_bytes();
+  res.obs_json = obs.snapshot_json();
+  if (obs_cfg.trace && !obs_cfg.trace_path.empty()) {
+    std::string err;
+    if (!obs.trace_buffer().dump(obs_cfg.trace_path, &err))
+      std::fprintf(stderr, "warning: trace dump failed: %s\n", err.c_str());
+  }
   return res;
 }
 
@@ -196,6 +209,10 @@ void write_json(const std::string& path, apps::Scale scale,
   f << "  \"bench\": \"perf_hotpath\",\n";
   f << "  \"scale\": \"" << apps::scale_name(scale) << "\",\n";
   f << "  \"host\": " << bench::host_context_json() << ",\n";
+  // Present only in -DDSM_OBS_PROF=ON builds: the self-profiler's stage
+  // breakdown for this process (all configs pooled).
+  if (obs::prof_enabled())
+    f << "  \"prof\": " << obs::prof_report_json() << ",\n";
   f << "  \"accesses_per_config\": " << accesses << ",\n";
   f << "  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -298,9 +315,10 @@ int main(int argc, char** argv) {
   const int rc = bench::sharded_sweep<HotResult, HotResult>(
       points, opt, "perf_hotpath",
       [&](const driver::SpecPoint& pt) {
-        HotResult r = time_config(configs[pt.index / batch_axis.size()],
-                                  accesses,
-                                  pt.batch != 0 ? pt.batch : opt.batch_size);
+        HotResult r = time_config(
+            configs[pt.index / batch_axis.size()], accesses,
+            pt.batch != 0 ? pt.batch : opt.batch_size,
+            bench::obs_config_for_point(opt, pt, points.size() > 1));
         r.batch = pt.batch;
         return r;
       },
@@ -320,8 +338,15 @@ int main(int argc, char** argv) {
       },
       [&](const driver::SpecPoint&, const HotResult& r) {
         results.push_back(r);
+      },
+      [](const driver::SpecPoint&, const HotResult& r) {
+        return r.obs_json;
       });
   if (stream) return rc;
+
+  if (obs::prof_enabled())
+    std::fprintf(stderr, "self-profiler (tsc, inclusive):\n%s\n",
+                 obs::prof_report_text().c_str());
 
   TableWriter wall({"topology", "nodes", "batch", "Maccess/s", "ns/access"});
   for (const auto& r : results) {

@@ -23,6 +23,7 @@
 #include "bench/bench_util.hpp"
 #include "common/table_writer.hpp"
 #include "driver/sweep_spec.hpp"
+#include "obs/prof.hpp"
 
 namespace {
 
@@ -38,6 +39,8 @@ struct SimResult {
   std::uint64_t net_bytes = 0;
   // Live-only measurement.
   double seconds = 0.0;
+  /// Deterministic metrics snapshot ("" unless --obs-stats).
+  std::string obs_json;
 
   double sim_mips() const {
     return seconds > 0.0 ? static_cast<double>(instructions) / seconds / 1e6
@@ -47,15 +50,16 @@ struct SimResult {
 
 SimResult time_config(const apps::AppInfo& app, apps::Scale scale,
                       unsigned nodes, std::uint64_t seed,
-                      unsigned batch_size) {
+                      unsigned batch_size, const ObsConfig& obs) {
   const auto t0 = std::chrono::steady_clock::now();
-  const sim::RunSummary run =
+  sim::RunSummary run =
       bench::run_workload(app, scale, nodes, /*verbose=*/false, seed,
-                          Protocol::kMesi, batch_size);
+                          Protocol::kMesi, batch_size, obs);
   const auto t1 = std::chrono::steady_clock::now();
 
   SimResult r;
   r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.obs_json = std::move(run.obs_json);
   for (unsigned p = 0; p < nodes; ++p) {
     r.instructions += run.instructions[p];
     r.cycles += run.final_cycles[p];
@@ -80,6 +84,10 @@ void write_json(const std::string& path, apps::Scale scale,
   f << "  \"bench\": \"perf_sim\",\n";
   f << "  \"scale\": \"" << apps::scale_name(scale) << "\",\n";
   f << "  \"host\": " << bench::host_context_json() << ",\n";
+  // Present only in -DDSM_OBS_PROF=ON builds: the self-profiler's stage
+  // breakdown for this process (all configs pooled).
+  if (obs::prof_enabled())
+    f << "  \"prof\": " << obs::prof_report_json() << ",\n";
   f << "  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
@@ -159,7 +167,9 @@ int main(int argc, char** argv) {
       [&](const driver::SpecPoint& pt) {
         return time_config(apps::app_by_name(pt.app), pt.scale, pt.nodes,
                            driver::spec_seed(pt),
-                           pt.batch != 0 ? pt.batch : opt.batch_size);
+                           pt.batch != 0 ? pt.batch : opt.batch_size,
+                           bench::obs_config_for_point(opt, pt,
+                                                       points.size() > 1));
       },
       [](const driver::SpecPoint&, SimResult&& r) { return r; },
       [](const driver::SpecPoint& pt) { return driver::spec_seed(pt); },
@@ -177,8 +187,15 @@ int main(int argc, char** argv) {
       [&](const driver::SpecPoint& pt, const SimResult& r) {
         done_points.push_back(pt);
         results.push_back(r);
+      },
+      [](const driver::SpecPoint&, const SimResult& r) {
+        return r.obs_json;
       });
   if (stream) return rc;
+
+  if (obs::prof_enabled())
+    std::fprintf(stderr, "self-profiler (tsc, inclusive):\n%s\n",
+                 obs::prof_report_text().c_str());
 
   TableWriter wall({"app", "nodes", "sim MIPS", "seconds"});
   for (std::size_t i = 0; i < results.size(); ++i) {

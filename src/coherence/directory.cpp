@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "common/bitops.hpp"
+#include "obs/prof.hpp"
 
 namespace dsm::coh {
 
@@ -39,17 +40,23 @@ Directory::Directory(NodeId home, std::size_t expected_lines)
 
 DirEntry& Directory::entry(Addr line_addr) {
   DSM_ASSERT(line_addr != kEmptyKey);
+  DSM_PROF_SCOPE(kDirProbe);
   // Keep load below 1/2 before probing so the returned reference is not
   // invalidated by this call's own insert. Growth jumps 4x: a slice that
   // outruns its pre-size is mid-warm-up, and quartering the rebuild count
   // costs at most one doubling of the final table.
   if ((size_ + 1) * 2 > keys_.size()) rebuild(keys_.size() * 4);
-  std::size_t i = slot_of(line_addr);
+  const std::size_t start = slot_of(line_addr);
   const std::size_t mask = keys_.size() - 1;
+  std::size_t i = start;
   while (keys_[i] != kEmptyKey) {
-    if (keys_[i] == line_addr) return entries_[i];
+    if (keys_[i] == line_addr) {
+      probe_hist_.record((i - start) & mask);
+      return entries_[i];
+    }
     i = (i + 1) & mask;
   }
+  probe_hist_.record((i - start) & mask);
   keys_[i] = line_addr;
   entries_[i] = DirEntry{};
   ++size_;
@@ -68,8 +75,10 @@ DirEntry Directory::peek(Addr line_addr) const {
 
 void Directory::erase(Addr line_addr) {
   const std::size_t mask = keys_.size() - 1;
-  std::size_t i = slot_of(line_addr);
+  const std::size_t start = slot_of(line_addr);
+  std::size_t i = start;
   while (keys_[i] != kEmptyKey && keys_[i] != line_addr) i = (i + 1) & mask;
+  probe_hist_.record((i - start) & mask);
   if (keys_[i] == kEmptyKey) return;  // absent
   // Backward-shift deletion (Knuth 6.4 R): walk the cluster after the
   // hole; an element whose home slot lies cyclically outside (hole, j]
@@ -110,6 +119,36 @@ void Directory::rebuild(std::size_t new_cap) {
     keys_[i] = spare_keys_[s];
     entries_[i] = spare_entries_[s];
   }
+}
+
+void Directory::check_invariants() const {
+  const std::size_t cap = keys_.size();
+  DSM_ASSERT_MSG(is_pow2(cap), "slice capacity must be a power of two");
+  // A table at or past half load would let entry()'s insert walk
+  // arbitrarily far — and a FULL table would spin the probe loops
+  // forever. entry() grows before this can happen; erase() only shrinks
+  // the load. (size_ == number of live keys, checked below.)
+  DSM_ASSERT_MSG(size_ * 2 <= cap, "slice load exceeds 1/2");
+  const std::size_t mask = cap - 1;
+  std::size_t used = 0;
+  for (std::size_t i = 0; i < cap; ++i) {
+    if (keys_[i] == kEmptyKey) continue;
+    ++used;
+    // The probe length of keys_[i] — its cyclic distance from its home
+    // slot — can never exceed the live-entry count (a linear-probe chain
+    // is a run of occupied slots), let alone the slice capacity.
+    const std::size_t home = slot_of(keys_[i]);
+    const std::size_t dist = (i - home) & mask;
+    DSM_ASSERT_MSG(dist <= size_, "probe length exceeds live entries");
+    DSM_ASSERT_MSG(dist < cap, "probe length exceeds slice capacity");
+    // Findability: the chain from the home slot must reach slot i
+    // without crossing an empty slot, or entry()/peek()/erase() would
+    // miss a stored key — the failure a buggy backward-shift causes.
+    for (std::size_t j = home; j != i; j = (j + 1) & mask)
+      DSM_ASSERT_MSG(keys_[j] != kEmptyKey,
+                     "probe chain to a live key crosses an empty slot");
+  }
+  DSM_ASSERT_MSG(used == size_, "size_ disagrees with occupied slots");
 }
 
 void Directory::compact() {

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/metrics.hpp"
 
 namespace dsm::coh {
 
@@ -104,6 +105,23 @@ class Directory {
 
   std::size_t tracked_lines() const { return size_; }
 
+  std::size_t capacity() const { return keys_.size(); }
+
+  /// Observability hook: every entry()/erase() records its probe length
+  /// (slots walked past the home slot) into `h`. A null handle — the
+  /// default — costs one predicted branch per probe.
+  void set_probe_histogram(obs::HistogramHandle h) { probe_hist_ = h; }
+
+  /// Verifies the slice's open-addressing invariants and aborts on
+  /// violation: load stays at or below the 1/2 entry() maintains (a full
+  /// table would spin the probe loops forever), every stored key is
+  /// reachable from its home slot through occupied slots only (backward-
+  /// shift erase() must never break a probe chain), probe length never
+  /// exceeds the live-entry count (hence never the slice capacity), and
+  /// size_ matches the occupied slots. O(capacity + total probe length);
+  /// for tests.
+  void check_invariants() const;
+
  private:
   /// Key-lane value of an unused slot. Real keys are line addresses with
   /// their low (line-offset) bits clear, so all-ones can never collide.
@@ -123,6 +141,7 @@ class Directory {
 
   NodeId home_;
   std::size_t size_ = 0;  ///< used slots
+  obs::HistogramHandle probe_hist_;  ///< null unless observability is on
   // SoA lanes, same capacity: keys_[i] == kEmptyKey marks slot i unused;
   // entries_[i] is meaningful only when keys_[i] holds a line address.
   std::vector<Addr> keys_;

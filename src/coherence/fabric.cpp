@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "common/bitops.hpp"
+#include "obs/prof.hpp"
 
 namespace dsm::coh {
 
@@ -34,7 +35,8 @@ CoherenceFabric::Node::Node(const MachineConfig& cfg, NodeId id)
 
 CoherenceFabric::CoherenceFabric(const MachineConfig& cfg,
                                  net::Network& network,
-                                 mem::HomeMap& home_map)
+                                 mem::HomeMap& home_map,
+                                 obs::Observability* obs)
     : cfg_(cfg),
       pol_(&policy_for(cfg.protocol)),
       network_(network),
@@ -43,6 +45,33 @@ CoherenceFabric::CoherenceFabric(const MachineConfig& cfg,
                  "full-map directory uses a 64-bit sharer bitset");
   nodes_.reserve(cfg.num_nodes);
   for (NodeId n = 0; n < cfg.num_nodes; ++n) nodes_.emplace_back(cfg, n);
+  if (obs != nullptr) {
+    trace_ = obs->trace();
+    if (obs->stats_enabled()) {
+      obs_.trans_uncached_read = obs->counter("coh.trans.uncached_read");
+      obs_.trans_uncached_write = obs->counter("coh.trans.uncached_write");
+      obs_.trans_shared_read = obs->counter("coh.trans.shared_read");
+      obs_.trans_shared_write = obs->counter("coh.trans.shared_write");
+      obs_.trans_exclusive_read = obs->counter("coh.trans.exclusive_read");
+      obs_.trans_exclusive_write = obs->counter("coh.trans.exclusive_write");
+      obs_.trans_owned_read = obs->counter("coh.trans.owned_read");
+      obs_.trans_owned_write = obs->counter("coh.trans.owned_write");
+      obs_.fill_with_victim = obs->counter("coh.fill.with_victim");
+      obs_.fill_no_victim = obs->counter("coh.fill.no_victim");
+      obs_.evict_writeback = obs->counter("coh.evict.writeback");
+      obs_.evict_clean = obs->counter("coh.evict.clean");
+      obs_.batch_groups = obs->counter("host.batch.groups");
+      obs_.batch_members = obs->counter("host.batch.members");
+      obs_.batch_staged_miss = obs->counter("host.batch.staged_miss");
+      obs_.batch_degrade = obs->counter("host.batch.degrade_to_serial");
+      // One histogram shared by every slice: probe lengths are a
+      // property of the table algorithm, and per-home increments happen
+      // in the same simulated order regardless of execution mode, so
+      // the merged distribution stays deterministic.
+      const obs::HistogramHandle probes = obs->histogram("dir.probe_len", 16);
+      for (auto& node : nodes_) node.dir.set_probe_histogram(probes);
+    }
+  }
 }
 
 mem::Cache& CoherenceFabric::l1(NodeId n) { return nodes_.at(n).l1; }
@@ -141,27 +170,33 @@ std::size_t CoherenceFabric::access_batch(std::span<const AccessReq> reqs,
   mem::Cache::LineRef w1s[kMaxBatch];
   mem::Cache::FillCursor c2s[kMaxBatch];
   bool staged_c2[kMaxBatch];
-  for (std::size_t i = 0; i < n; ++i) {
-    const NodeId node = reqs[i].node;
-    DSM_ASSERT(node < nodes_.size());
-    Node& me = nodes_[node];
-    const Addr line = me.l2.line_of(reqs[i].addr);
-    lines[i] = line;
-    me.l2.prefetch_set(line);
-    const NodeId ph = home_map_->peek_home(line);
-    if (ph != kNoNode) nodes_[ph].dir.prefetch(line);
-    w1s[i] = me.l1.lookup(line);
-    const LineState s1 = me.l1.state_of(w1s[i]);
-    const bool l1_serves =
-        s1 != LineState::kInvalid &&
-        (!reqs[i].write || store_permitted(*pol_, s1));
-    staged_c2[i] = !l1_serves;
-    if (!l1_serves) {
-      c2s[i] = me.l2.lookup_for_fill(line);
-      if (!c2s[i].ref &&
-          c2s[i].victim_line != mem::Cache::FillCursor::kNoLine) {
-        const NodeId vh = home_map_->peek_home(c2s[i].victim_line);
-        if (vh != kNoNode) nodes_[vh].dir.prefetch(c2s[i].victim_line);
+  obs_.batch_groups.inc();
+  obs_.batch_members.add(n);
+  {
+    DSM_PROF_SCOPE(kBatchStage1);
+    for (std::size_t i = 0; i < n; ++i) {
+      const NodeId node = reqs[i].node;
+      DSM_ASSERT(node < nodes_.size());
+      Node& me = nodes_[node];
+      const Addr line = me.l2.line_of(reqs[i].addr);
+      lines[i] = line;
+      me.l2.prefetch_set(line);
+      const NodeId ph = home_map_->peek_home(line);
+      if (ph != kNoNode) nodes_[ph].dir.prefetch(line);
+      w1s[i] = me.l1.lookup(line);
+      const LineState s1 = me.l1.state_of(w1s[i]);
+      const bool l1_serves =
+          s1 != LineState::kInvalid &&
+          (!reqs[i].write || store_permitted(*pol_, s1));
+      staged_c2[i] = !l1_serves;
+      if (!l1_serves) {
+        obs_.batch_staged_miss.inc();
+        c2s[i] = me.l2.lookup_for_fill(line);
+        if (!c2s[i].ref &&
+            c2s[i].victim_line != mem::Cache::FillCursor::kNoLine) {
+          const NodeId vh = home_map_->peek_home(c2s[i].victim_line);
+          if (vh != kNoNode) nodes_[vh].dir.prefetch(c2s[i].victim_line);
+        }
       }
     }
   }
@@ -175,6 +210,7 @@ std::size_t CoherenceFabric::access_batch(std::span<const AccessReq> reqs,
   // A single-member batch (common when a sync point flushes a partial
   // gather) has no earlier members to disturb it and no later members to
   // inform: skip the disturbance bookkeeping entirely.
+  DSM_PROF_SCOPE(kBatchResolve);
   BatchScope scope;
   BatchScope* const sp = n > 1 ? &scope : nullptr;
   Cycle t = now;
@@ -191,6 +227,7 @@ std::size_t CoherenceFabric::access_batch(std::span<const AccessReq> reqs,
           (c2s[i].ref ? sp->l2_ref_stale(node, me.l2.set_of(line))
                       : sp->l2_cursor_stale(node, me.l2.set_of(line)));
       if (!stale) hint = &c2s[i];
+      else obs_.batch_degrade.inc();
     }
     outs[i] = AccessOutcome{};
     do_access(node, line, reqs[i].write, t, outs[i], w1, hint, sp);
@@ -208,6 +245,7 @@ void CoherenceFabric::do_access(NodeId node, Addr line, bool is_write,
                                 mem::Cache::LineRef w1,
                                 const mem::Cache::FillCursor* l2_cursor,
                                 BatchScope* scope) {
+  DSM_PROF_SCOPE(kDoAccess);
   Node& me = nodes_[node];
   out.write = is_write;
   out.home = home_map_->home_of(line, node);
@@ -291,9 +329,34 @@ void CoherenceFabric::do_access(NodeId node, Addr line, bool is_write,
   }
 
   // ---- Directory ----
+  // Trace only the miss path: L1/L2 hit arms stay event-free so serial,
+  // fast-path, and batched executions record identical sequences.
+  if (trace_ != nullptr) {
+    obs::TraceEvent ev;
+    ev.ts = now;
+    ev.addr = line;
+    ev.kind = obs::TraceEvent::kMissStart;
+    ev.node = static_cast<std::uint8_t>(node);
+    ev.flags = is_write ? obs::TraceEvent::kWriteBit : 0;
+    ev.aux = out.home;
+    trace_->record(ev);
+  }
   lat += directory_request(node, line, is_write, now + lat, out, w1, c2,
                            scope);
   out.latency = lat;
+  if (trace_ != nullptr) {
+    obs::TraceEvent ev;
+    ev.ts = now;
+    ev.addr = line;
+    ev.arg = out.latency;
+    ev.kind = obs::TraceEvent::kMissFill;
+    ev.node = static_cast<std::uint8_t>(node);
+    ev.flags = static_cast<std::uint8_t>(
+        (is_write ? obs::TraceEvent::kWriteBit : 0) |
+        (static_cast<unsigned>(out.source) << obs::TraceEvent::kSourceShift));
+    ev.aux = out.home;
+    trace_->record(ev);
+  }
 }
 
 Cycle CoherenceFabric::directory_request(NodeId requestor, Addr line,
@@ -302,6 +365,7 @@ Cycle CoherenceFabric::directory_request(NodeId requestor, Addr line,
                                          mem::Cache::LineRef l1_ref,
                                          const mem::Cache::FillCursor& l2_cursor,
                                          BatchScope* scope) {
+  DSM_PROF_SCOPE(kDirRequest);
   Node& me = nodes_[requestor];
   const mem::Cache::LineRef l2_ref = l2_cursor.ref;
   const NodeId home = out.home;
@@ -313,6 +377,17 @@ Cycle CoherenceFabric::directory_request(NodeId requestor, Addr line,
                                   TrafficClass::kCoherence);
   lat += cfg_.memory.directory_latency_cycles;
 
+  if (trace_ != nullptr) {
+    obs::TraceEvent ev;
+    ev.ts = now + lat;
+    ev.addr = line;
+    ev.kind = obs::TraceEvent::kDirRequest;
+    ev.node = static_cast<std::uint8_t>(requestor);
+    ev.flags = is_write ? obs::TraceEvent::kWriteBit : 0;
+    ev.aux = home;
+    trace_->record(ev);
+  }
+
   DirEntry& e = h.dir.entry(line);
   const bool requestor_had_data = static_cast<bool>(l2_ref);
   // Every switch arm assigns grant; kInvalid would trip fill_hierarchy's
@@ -321,6 +396,7 @@ Cycle CoherenceFabric::directory_request(NodeId requestor, Addr line,
 
   switch (e.state) {
     case DirEntry::State::kUncached: {
+      (is_write ? obs_.trans_uncached_write : obs_.trans_uncached_read).inc();
       // Fetch from home memory. A write is granted M everywhere; what a
       // sole READER gets is the policy's call — E under MESI/MOESI (so a
       // later store upgrades silently), plain S under MSI.
@@ -345,6 +421,7 @@ Cycle CoherenceFabric::directory_request(NodeId requestor, Addr line,
       break;
     }
     case DirEntry::State::kShared: {
+      (is_write ? obs_.trans_shared_write : obs_.trans_shared_read).inc();
       if (is_write) {
         // Invalidate every other sharer; acks return in parallel, so the
         // cost is the slowest round trip. Bit-scanning the sharer set
@@ -406,6 +483,8 @@ Cycle CoherenceFabric::directory_request(NodeId requestor, Addr line,
       break;
     }
     case DirEntry::State::kExclusive: {
+      (is_write ? obs_.trans_exclusive_write : obs_.trans_exclusive_read)
+          .inc();
       const NodeId q = e.owner;
       DSM_ASSERT_MSG(q != requestor,
                      "requestor cannot be the registered owner on a miss");
@@ -413,6 +492,16 @@ Cycle CoherenceFabric::directory_request(NodeId requestor, Addr line,
       // Forward the request to the current owner.
       lat += network_.message_latency(home, q, control_bytes(), now + lat,
                                       TrafficClass::kCoherence);
+      if (trace_ != nullptr) {
+        obs::TraceEvent ev;
+        ev.ts = now + lat;
+        ev.addr = line;
+        ev.kind = obs::TraceEvent::kDirForward;
+        ev.node = static_cast<std::uint8_t>(requestor);
+        ev.flags = is_write ? obs::TraceEvent::kWriteBit : 0;
+        ev.aux = q;
+        trace_->record(ev);
+      }
       const mem::Cache::LineRef ow1 = owner.l1.lookup(line);
       const mem::Cache::LineRef ow2 = owner.l2.lookup(line);
       const LineState owner_l1 = owner.l1.state_of(ow1);
@@ -469,6 +558,7 @@ Cycle CoherenceFabric::directory_request(NodeId requestor, Addr line,
       break;
     }
     case DirEntry::State::kOwned: {
+      (is_write ? obs_.trans_owned_write : obs_.trans_owned_read).inc();
       // MOESI only: a dirty Owned copy exists at e.owner; home memory is
       // stale, so data always comes from the owner, never from h.ctrl.
       DSM_ASSERT_MSG(pol_->has_owned, "kOwned entry under a non-MOESI policy");
@@ -512,6 +602,16 @@ Cycle CoherenceFabric::directory_request(NodeId requestor, Addr line,
           DSM_ASSERT_MSG(q != requestor, "ownerless O-line write");
           lat += network_.message_latency(home, q, control_bytes(), now + lat,
                                           TrafficClass::kCoherence);
+          if (trace_ != nullptr) {
+            obs::TraceEvent ev;
+            ev.ts = now + lat;
+            ev.addr = line;
+            ev.kind = obs::TraceEvent::kDirForward;
+            ev.node = static_cast<std::uint8_t>(requestor);
+            ev.flags = obs::TraceEvent::kWriteBit;
+            ev.aux = q;
+            trace_->record(ev);
+          }
           lat += network_.message_latency(q, requestor, data_bytes(),
                                           now + lat, TrafficClass::kData);
           out.source = DataSource::kRemoteCache;
@@ -530,6 +630,15 @@ Cycle CoherenceFabric::directory_request(NodeId requestor, Addr line,
         DSM_ASSERT_MSG(q != requestor, "owner read-missed its own O line");
         lat += network_.message_latency(home, q, control_bytes(), now + lat,
                                         TrafficClass::kCoherence);
+        if (trace_ != nullptr) {
+          obs::TraceEvent ev;
+          ev.ts = now + lat;
+          ev.addr = line;
+          ev.kind = obs::TraceEvent::kDirForward;
+          ev.node = static_cast<std::uint8_t>(requestor);
+          ev.aux = q;
+          trace_->record(ev);
+        }
         lat += network_.message_latency(q, requestor, data_bytes(), now + lat,
                                         TrafficClass::kData);
         e.add_sharer(requestor);
@@ -568,6 +677,7 @@ Cycle CoherenceFabric::fill_hierarchy(NodeId requestor, Addr line, LineState st,
                                       Cycle now,
                                       const mem::Cache::FillCursor& l2_cursor,
                                       BatchScope* scope) {
+  DSM_PROF_SCOPE(kFill);
   Node& me = nodes_[requestor];
   Cycle lat = 0;
   // The L2 allocation reuses the miss cursor from do_access's fused walk
@@ -576,6 +686,7 @@ Cycle CoherenceFabric::fill_hierarchy(NodeId requestor, Addr line, LineState st,
   // never mutates the requestor's caches. The L1 fill still walks its
   // (direct-mapped: walk-free) set.
   const auto v2 = me.l2.fill_at(l2_cursor, line, st);
+  (v2 ? obs_.fill_with_victim : obs_.fill_no_victim).inc();
   if (scope) scope->note_l2(requestor, me.l2.set_of(line));
   if (v2) lat += handle_l2_eviction(requestor, *v2, now, scope);
   const auto v1 = me.l1.fill(line, st);
@@ -605,6 +716,16 @@ Cycle CoherenceFabric::handle_l2_eviction(NodeId evictor, const mem::Victim& v,
     // Dirty writeback: buffered off the critical path; the traffic and the
     // home controller occupancy are still real.
     ++me.stats.writebacks;
+    obs_.evict_writeback.inc();
+    if (trace_ != nullptr) {
+      obs::TraceEvent ev;
+      ev.ts = now;
+      ev.addr = v.line_addr;
+      ev.kind = obs::TraceEvent::kWriteback;
+      ev.node = static_cast<std::uint8_t>(evictor);
+      ev.aux = vhome;
+      trace_->record(ev);
+    }
     const Cycle arrive =
         now + network_.message_latency(evictor, vhome, data_bytes(), now,
                                        TrafficClass::kData);
@@ -634,6 +755,7 @@ Cycle CoherenceFabric::handle_l2_eviction(NodeId evictor, const mem::Victim& v,
   // Clean eviction: silent on the wire; directory stays precise. When the
   // last copy leaves, the entry returns to kUncached and is erased in
   // place (erase() invalidates `e` — it is the last use).
+  obs_.evict_clean.inc();
   DirEntry& e = h.dir.entry(v.line_addr);
   e.remove_sharer(evictor);
   if (e.state == DirEntry::State::kExclusive && e.owner == evictor) {

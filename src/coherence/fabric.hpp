@@ -29,6 +29,7 @@
 #include "memory/home_map.hpp"
 #include "memory/mem_controller.hpp"
 #include "network/network.hpp"
+#include "obs/observability.hpp"
 
 namespace dsm::coh {
 
@@ -70,8 +71,15 @@ struct NodeCoherenceStats {
 
 class CoherenceFabric {
  public:
+  /// `obs` (optional) attaches the observability layer: protocol-
+  /// transition / fill / eviction counters, the directory probe-length
+  /// histogram, batch staging diagnostics (host-class), and the event
+  /// trace. Null — the default — leaves every handle null: the hot path
+  /// pays one predicted branch per site and nothing else. Counters and
+  /// trace events fire only at simulated-event sites, so their values
+  /// are identical across --threads/--shards/--batch.
   CoherenceFabric(const MachineConfig& cfg, net::Network& network,
-                  mem::HomeMap& home_map);
+                  mem::HomeMap& home_map, obs::Observability* obs = nullptr);
 
   /// Performs one committed load (is_write=false) or store (is_write=true)
   /// by `node` at local time `now`.
@@ -258,12 +266,31 @@ class CoherenceFabric {
   unsigned control_bytes() const { return cfg_.network.control_bytes; }
   unsigned data_bytes() const { return cfg_.l2.line_bytes; }
 
+  /// Observability handles, all null when the layer is off. Grouped so
+  /// the instrumented sites read as plain field accesses.
+  struct ObsHooks {
+    // Coherence transitions, one per directory-state × op switch arm.
+    obs::CounterHandle trans_uncached_read, trans_uncached_write;
+    obs::CounterHandle trans_shared_read, trans_shared_write;
+    obs::CounterHandle trans_exclusive_read, trans_exclusive_write;
+    obs::CounterHandle trans_owned_read, trans_owned_write;
+    // Cache victim/refill classes.
+    obs::CounterHandle fill_with_victim, fill_no_victim;
+    obs::CounterHandle evict_writeback, evict_clean;
+    // Host-class batch diagnostics ("host." prefix: excluded from the
+    // deterministic snapshot — their values depend on --batch).
+    obs::CounterHandle batch_groups, batch_members;
+    obs::CounterHandle batch_staged_miss, batch_degrade;
+  };
+
   const MachineConfig& cfg_;
   /// Protocol tables, selected once in the constructor — the only
   /// protocol dispatch the fabric ever performs.
   const CohPolicy* pol_;
   net::Network& network_;
   mem::HomeMap* home_map_;
+  ObsHooks obs_;
+  obs::TraceBuffer* trace_ = nullptr;  ///< null when tracing is off
   /// Node state by value: the per-access path indexes straight into the
   /// vector with no per-node pointer chase (nodes are emplaced once at
   /// construction and never move).

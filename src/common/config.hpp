@@ -105,6 +105,24 @@ struct PhaseConfig {
   std::uint32_t bbv_norm = 1u << 16;
 };
 
+/// Observability switches (src/obs). Plain data here — not in dsm_obs —
+/// so MachineConfig carries it without a common→obs dependency cycle.
+/// Both default OFF; when OFF the instrumented layers hold null handles
+/// and simulated output is bit-identical to a build without the layer.
+struct ObsConfig {
+  /// Register + increment the deterministic metrics registry; the
+  /// snapshot flows into RunSummary::obs_json (and record envelopes).
+  bool stats = false;
+  /// Record typed events into per-node preallocated ring buffers.
+  bool trace = false;
+  /// Ring capacity in events per node (32 B each). Overflow overwrites
+  /// the oldest event and counts it as dropped — never allocates.
+  std::uint32_t trace_events_per_node = 1u << 15;
+  /// When set (and trace is on), Machine::run dumps the binary trace
+  /// here after the application finishes.
+  std::string trace_path;
+};
+
 /// Synchronization-primitive costs (barrier tree, lock handoff). The
 /// barrier pays its base plus one network diameter of hops per stage.
 struct SyncConfig {
@@ -126,6 +144,7 @@ struct MachineConfig {
   NetworkConfig network;
   PhaseConfig phase;
   SyncConfig sync;
+  ObsConfig obs;  ///< observability switches (default: everything off)
   /// Cooperative-scheduler quantum: a simulated thread runs at most this
   /// many cycles past the others before yielding (keeps local clocks in
   /// approximate lockstep for the contention models).

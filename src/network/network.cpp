@@ -7,7 +7,7 @@
 
 namespace dsm::net {
 
-Network::Network(const MachineConfig& cfg)
+Network::Network(const MachineConfig& cfg, obs::Observability* obs)
     : cfg_(cfg),
       topo_(cfg.network.topology, cfg.num_nodes),
       core_cycles_per_router_cycle_(
@@ -17,7 +17,23 @@ Network::Network(const MachineConfig& cfg)
       capacity_flits_(static_cast<double>(cfg.network.contention_epoch_cycles) /
                       core_cycles_per_router_cycle_),
       tracker_(topo_.num_links(), cfg.network.contention_epoch_cycles,
-               capacity_flits_) {}
+               capacity_flits_) {
+  if (obs != nullptr && obs->stats_enabled()) {
+    // One (msgs, bytes) counter pair per directed link, registered in
+    // LinkId order — the route walk in message_latency indexes straight
+    // into these lanes. Increments happen per simulated message, so the
+    // totals are deterministic across --threads/--shards/--batch.
+    link_obs_ = true;
+    const std::size_t nl = topo_.num_links();
+    link_msgs_.reserve(nl);
+    link_bytes_.reserve(nl);
+    for (std::size_t k = 0; k < nl; ++k) {
+      const std::string base = "net.link" + std::to_string(k);
+      link_msgs_.push_back(obs->counter(base + ".msgs"));
+      link_bytes_.push_back(obs->counter(base + ".bytes"));
+    }
+  }
+}
 
 unsigned Network::flits_for(unsigned payload_bytes) const {
   return cfg_.network.header_flits +
@@ -63,6 +79,12 @@ Cycle Network::message_latency(NodeId src, NodeId dst, unsigned payload_bytes,
   // and the per-link contention walk; same arithmetic as
   // zero_load_latency + contention_cycles, ceil'd separately.
   const auto path = topo_.route(src, dst);
+  if (link_obs_) {
+    for (const LinkId link : path) {
+      link_msgs_[link].inc();
+      link_bytes_[link].add(payload_bytes);
+    }
+  }
   const double zero_load =
       static_cast<double>(path.size()) * per_hop_cycles_ +
       (flits - 1) * core_cycles_per_router_cycle_;

@@ -12,11 +12,13 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/config.hpp"
 #include "common/types.hpp"
 #include "network/contention.hpp"
 #include "network/topology.hpp"
+#include "obs/observability.hpp"
 
 namespace dsm::net {
 
@@ -33,7 +35,12 @@ inline constexpr unsigned kNumTrafficClasses = 4;
 
 class Network {
  public:
-  Network(const MachineConfig& cfg);
+  /// `obs` (optional) registers one message + one byte counter per
+  /// directed link ("net.linkK.msgs"/"net.linkK.bytes"); message_latency
+  /// then counts every traversed link. Null — the default — keeps the
+  /// walk compiled out of the hot path behind one bool.
+  explicit Network(const MachineConfig& cfg,
+                   obs::Observability* obs = nullptr);
 
   const TopologyModel& topology() const { return topo_; }
 
@@ -74,6 +81,11 @@ class Network {
   LinkContentionTracker tracker_;
   std::uint64_t msg_count_[kNumTrafficClasses] = {};
   std::uint64_t byte_count_[kNumTrafficClasses] = {};
+  /// Per-link observability lanes (indexed by LinkId); empty when off.
+  /// link_obs_ gates the whole walk so the default path pays nothing.
+  bool link_obs_ = false;
+  std::vector<obs::CounterHandle> link_msgs_;
+  std::vector<obs::CounterHandle> link_bytes_;
 };
 
 }  // namespace dsm::net

@@ -1,0 +1,114 @@
+#include "obs/metrics.hpp"
+
+#include "common/assert.hpp"
+
+namespace dsm::obs {
+
+namespace {
+/// Fixed lane capacities. Handles are raw pointers into the lanes, so the
+/// lanes must never reallocate: reserve once, assert on overflow. 4096
+/// padded counters = 256 KB, 64 Ki histogram buckets = 512 KB — trivial
+/// next to one simulated L2, and far above any current registrant (the
+/// largest is the per-link network lane: 6 links/node * 64 nodes * 2).
+constexpr std::size_t kMaxCounters = 4096;
+constexpr std::size_t kMaxHistSlots = 1 << 16;
+}  // namespace
+
+bool is_host_metric(const std::string& name) {
+  return name.rfind("host.", 0) == 0;
+}
+
+MetricsRegistry::MetricsRegistry() {
+  slots_.reserve(kMaxCounters);
+  hist_slots_.reserve(kMaxHistSlots);
+}
+
+CounterHandle MetricsRegistry::counter(const std::string& name) {
+  DSM_ASSERT_MSG(!name.empty(), "counter needs a name");
+  for (const auto& c : counters_)
+    if (c.name == name) return CounterHandle(&slots_[c.slot].v);
+  DSM_ASSERT_MSG(slots_.size() < kMaxCounters,
+                 "metrics registry counter lane exhausted");
+  slots_.emplace_back();
+  counters_.push_back(CounterInfo{name, slots_.size() - 1});
+  return CounterHandle(&slots_.back().v);
+}
+
+HistogramHandle MetricsRegistry::histogram(const std::string& name,
+                                           std::uint32_t buckets) {
+  DSM_ASSERT_MSG(!name.empty() && buckets >= 1, "bad histogram registration");
+  for (const auto& h : hists_) {
+    if (h.name != name) continue;
+    DSM_ASSERT_MSG(h.buckets == buckets,
+                   "histogram re-registered with a different width");
+    return HistogramHandle(&hist_slots_[h.base], h.buckets);
+  }
+  DSM_ASSERT_MSG(hist_slots_.size() + buckets <= kMaxHistSlots,
+                 "metrics registry histogram lane exhausted");
+  const std::size_t base = hist_slots_.size();
+  hist_slots_.resize(base + buckets, 0);
+  hists_.push_back(HistInfo{name, base, buckets});
+  return HistogramHandle(&hist_slots_[base], buckets);
+}
+
+std::string MetricsRegistry::render_json(bool host) const {
+  // Hand-rolled for byte-stability: names contain no characters needing
+  // escape (registrants use [a-z0-9._] by convention) and values are
+  // plain uint64 — the exact bytes must match across every execution
+  // mode, so no locale- or double-formatting is allowed near here.
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& c : counters_) {
+    if (is_host_metric(c.name) != host) continue;
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += c.name;
+    out += "\":";
+    out += std::to_string(slots_[c.slot].v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& h : hists_) {
+    if (is_host_metric(h.name) != host) continue;
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += h.name;
+    out += "\":[";
+    for (std::uint32_t b = 0; b < h.buckets; ++b) {
+      if (b != 0) out += ',';
+      out += std::to_string(hist_slots_[h.base + b]);
+    }
+    out += ']';
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsRegistry::snapshot_json() const {
+  return render_json(/*host=*/false);
+}
+
+std::string MetricsRegistry::host_json() const {
+  return render_json(/*host=*/true);
+}
+
+std::uint64_t MetricsRegistry::value(const std::string& name) const {
+  for (const auto& c : counters_)
+    if (c.name == name) return slots_[c.slot].v;
+  return 0;
+}
+
+std::vector<std::uint64_t> MetricsRegistry::histogram_values(
+    const std::string& name) const {
+  for (const auto& h : hists_) {
+    if (h.name != name) continue;
+    return std::vector<std::uint64_t>(
+        hist_slots_.begin() + static_cast<std::ptrdiff_t>(h.base),
+        hist_slots_.begin() + static_cast<std::ptrdiff_t>(h.base + h.buckets));
+  }
+  return {};
+}
+
+}  // namespace dsm::obs

@@ -1,0 +1,141 @@
+// metrics.hpp — the deterministic metrics registry: named uint64 counter
+// and histogram slots, preallocated and cache-line padded at construction,
+// incremented on the hot path through nullable always-inline handles.
+//
+// Zero-cost-when-off contract: a default-constructed handle holds a null
+// pointer and every operation is `if (p) ...` — one predictable branch,
+// no call, no allocation. Instrumented code never checks a global flag;
+// it simply holds a null handle when observability is disabled.
+//
+// Determinism contract: counters are incremented only at *simulated-event*
+// sites (directory transitions, fills, evictions, link traversals), which
+// the fabric executes in the same order regardless of --threads/--shards/
+// --batch — so snapshot_json() is byte-identical across all of them.
+// Host-side diagnostics (batch restages, trace drops) register under the
+// reserved "host." prefix and are EXCLUDED from the deterministic
+// snapshot; read them with value() / host_json() instead.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define DSM_OBS_ALWAYS_INLINE inline __attribute__((always_inline))
+#else
+#define DSM_OBS_ALWAYS_INLINE inline
+#endif
+
+namespace dsm::obs {
+
+class MetricsRegistry;
+
+/// Hot-path increment handle for one named counter. Copyable, 8 bytes,
+/// null (no-op) by default.
+class CounterHandle {
+ public:
+  CounterHandle() = default;
+  DSM_OBS_ALWAYS_INLINE void inc() {
+    if (p_ != nullptr) ++*p_;
+  }
+  DSM_OBS_ALWAYS_INLINE void add(std::uint64_t n) {
+    if (p_ != nullptr) *p_ += n;
+  }
+  explicit operator bool() const { return p_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit CounterHandle(std::uint64_t* p) : p_(p) {}
+  std::uint64_t* p_ = nullptr;
+};
+
+/// Hot-path record handle for one named histogram: `buckets` consecutive
+/// uint64 slots; values clamp into the last bucket. Null (no-op) by
+/// default.
+class HistogramHandle {
+ public:
+  HistogramHandle() = default;
+  DSM_OBS_ALWAYS_INLINE void record(std::uint64_t v) {
+    if (base_ == nullptr) return;
+    ++base_[v < buckets_ - 1 ? v : buckets_ - 1];
+  }
+  explicit operator bool() const { return base_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  HistogramHandle(std::uint64_t* base, std::uint32_t buckets)
+      : base_(base), buckets_(buckets) {}
+  std::uint64_t* base_ = nullptr;
+  std::uint32_t buckets_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Preallocates every slot up front: registration hands out pointers
+  /// into these lanes, so they must never move. Construction is the only
+  /// allocation this class ever performs — the steady state (increments,
+  /// even further registrations) is allocation-free.
+  MetricsRegistry();
+
+  /// Registers (or finds, by exact name) a counter and returns its
+  /// handle. Registration order is the snapshot order, so components must
+  /// register in construction order — which is deterministic.
+  CounterHandle counter(const std::string& name);
+
+  /// Registers (or finds) a histogram of `buckets` slots (>= 1; the last
+  /// bucket absorbs overflow). Re-registration must agree on the width.
+  HistogramHandle histogram(const std::string& name, std::uint32_t buckets);
+
+  /// Deterministic JSON snapshot of every non-"host." metric, in
+  /// registration order:
+  ///   {"counters":{...},"histograms":{"name":[b0,...],...}}
+  /// Identical across --threads/--shards/--batch by the determinism
+  /// contract above.
+  std::string snapshot_json() const;
+
+  /// Host-side diagnostics ("host." prefix) as the same JSON shape.
+  /// NOT deterministic across batch; never merged into records.
+  std::string host_json() const;
+
+  /// Current value of a counter by name (0 if unregistered). Tests.
+  std::uint64_t value(const std::string& name) const;
+
+  /// Bucket values of a histogram by name (empty if unregistered). Tests.
+  std::vector<std::uint64_t> histogram_values(const std::string& name) const;
+
+  std::size_t num_counters() const { return counters_.size(); }
+  std::size_t num_histograms() const { return hists_.size(); }
+
+ private:
+  /// One counter per host cache line so adjacent counters never
+  /// false-share (and a hot counter stays resident while its neighbors
+  /// churn). Histograms use dense slots — their buckets are accessed
+  /// together anyway.
+  struct alignas(64) Slot {
+    std::uint64_t v = 0;
+  };
+
+  struct CounterInfo {
+    std::string name;
+    std::size_t slot;
+  };
+  struct HistInfo {
+    std::string name;
+    std::size_t base;
+    std::uint32_t buckets;
+  };
+
+  std::string render_json(bool host) const;
+
+  std::vector<Slot> slots_;                 ///< capacity fixed at ctor
+  std::vector<std::uint64_t> hist_slots_;   ///< capacity fixed at ctor
+  std::vector<CounterInfo> counters_;
+  std::vector<HistInfo> hists_;
+};
+
+/// True when `name` is a host-side diagnostic (excluded from the
+/// deterministic snapshot).
+bool is_host_metric(const std::string& name);
+
+}  // namespace dsm::obs

@@ -1,0 +1,60 @@
+// observability.hpp — the per-machine aggregate the instrumented layers
+// share: one deterministic metrics registry + one per-node trace buffer,
+// configured by ObsConfig (common/config.hpp) and owned by sim::Machine
+// (or constructed standalone by fabric-level drivers like perf_hotpath).
+//
+// Components take an optional `obs::Observability*` (default nullptr) at
+// construction and register their counters there; with a null pointer —
+// or stats disabled — every handle stays null and the hot path pays one
+// predicted-not-taken branch per site. Nothing here ever feeds back into
+// simulated state, so enabling observability cannot change simulated
+// output.
+#pragma once
+
+#include <string>
+
+#include "common/config.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace dsm::obs {
+
+class Observability {
+ public:
+  Observability(const ObsConfig& cfg, unsigned num_nodes)
+      : stats_(cfg.stats),
+        trace_(cfg.trace ? TraceBuffer(num_nodes, cfg.trace_events_per_node)
+                         : TraceBuffer()) {}
+
+  bool stats_enabled() const { return stats_; }
+  bool trace_enabled() const { return trace_.enabled(); }
+
+  /// Registration handle for components; returns a null (no-op) handle
+  /// when stats are off, so registrants never branch on the mode.
+  CounterHandle counter(const std::string& name) {
+    return stats_ ? metrics_.counter(name) : CounterHandle();
+  }
+  HistogramHandle histogram(const std::string& name, std::uint32_t buckets) {
+    return stats_ ? metrics_.histogram(name, buckets) : HistogramHandle();
+  }
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// The trace buffer to record into, or nullptr when tracing is off —
+  /// hot paths keep the pointer and guard each record() with it.
+  TraceBuffer* trace() { return trace_.enabled() ? &trace_ : nullptr; }
+  const TraceBuffer& trace_buffer() const { return trace_; }
+
+  /// Deterministic snapshot for the record envelope ("" when stats off).
+  std::string snapshot_json() const {
+    return stats_ ? metrics_.snapshot_json() : std::string();
+  }
+
+ private:
+  bool stats_ = false;
+  MetricsRegistry metrics_;
+  TraceBuffer trace_;
+};
+
+}  // namespace dsm::obs

@@ -1,0 +1,141 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "common/assert.hpp"
+
+namespace dsm::obs {
+
+const char* trace_kind_name(std::uint16_t kind) {
+  switch (kind) {
+    case TraceEvent::kMissStart: return "miss_start";
+    case TraceEvent::kMissFill: return "miss";
+    case TraceEvent::kDirRequest: return "dir_request";
+    case TraceEvent::kDirForward: return "dir_forward";
+    case TraceEvent::kWriteback: return "writeback";
+    case TraceEvent::kPhaseBoundary: return "phase_boundary";
+  }
+  return "?";
+}
+
+TraceBuffer::TraceBuffer(unsigned num_nodes, std::uint32_t capacity_per_node)
+    : cap_(capacity_per_node) {
+  DSM_ASSERT_MSG(num_nodes >= 1 && capacity_per_node >= 1,
+                 "trace buffer needs nodes and capacity");
+  rings_.resize(num_nodes);
+  for (auto& r : rings_) r.ev.resize(cap_);
+}
+
+std::vector<TraceEvent> TraceBuffer::events(unsigned node) const {
+  const Ring& r = rings_.at(node);
+  std::vector<TraceEvent> out;
+  out.reserve(r.count);
+  // When the ring has wrapped the oldest surviving event sits at `next`;
+  // before that, at 0.
+  const std::uint32_t start = r.count == cap_ ? r.next : 0;
+  for (std::uint32_t i = 0; i < r.count; ++i)
+    out.push_back(r.ev[(start + i) % cap_]);
+  return out;
+}
+
+namespace {
+struct NodeHeader {
+  std::uint32_t node = 0;
+  std::uint32_t count = 0;
+  std::uint64_t dropped = 0;
+};
+static_assert(sizeof(NodeHeader) == 16);
+
+struct FileHeader {
+  char magic[8] = {};
+  std::uint32_t num_nodes = 0;
+  std::uint32_t capacity = 0;
+};
+static_assert(sizeof(FileHeader) == 16);
+
+bool fail(std::string* err, std::string msg) {
+  if (err != nullptr) *err = std::move(msg);
+  return false;
+}
+}  // namespace
+
+bool TraceBuffer::dump(const std::string& path, std::string* err) const {
+  DSM_ASSERT_MSG(enabled(), "dump of a disabled trace buffer");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return fail(err, "cannot open " + path + " for writing");
+  bool ok = true;
+  FileHeader fh;
+  std::memcpy(fh.magic, kTraceMagic, sizeof(kTraceMagic));
+  fh.num_nodes = static_cast<std::uint32_t>(rings_.size());
+  fh.capacity = cap_;
+  ok = ok && std::fwrite(&fh, sizeof(fh), 1, f) == 1;
+  for (std::uint32_t n = 0; ok && n < rings_.size(); ++n) {
+    const Ring& r = rings_[n];
+    NodeHeader nh{n, r.count, r.dropped};
+    ok = ok && std::fwrite(&nh, sizeof(nh), 1, f) == 1;
+    // Emit oldest-first: the wrapped tail first, then the head segment.
+    const std::uint32_t start = r.count == cap_ ? r.next : 0;
+    const std::uint32_t first_run =
+        r.count == 0 ? 0 : std::min(r.count, cap_ - start);
+    if (first_run > 0)
+      ok = ok && std::fwrite(r.ev.data() + start, sizeof(TraceEvent),
+                             first_run, f) == first_run;
+    const std::uint32_t rest = r.count - first_run;
+    if (ok && rest > 0)
+      ok = ok &&
+           std::fwrite(r.ev.data(), sizeof(TraceEvent), rest, f) == rest;
+  }
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) return fail(err, "short write to " + path);
+  return true;
+}
+
+bool read_trace_file(const std::string& path, TraceFileData* out,
+                     std::string* err) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return fail(err, "cannot open " + path);
+  FileHeader fh;
+  if (std::fread(&fh, sizeof(fh), 1, f) != 1) {
+    std::fclose(f);
+    return fail(err, path + ": truncated header");
+  }
+  if (std::memcmp(fh.magic, kTraceMagic, sizeof(kTraceMagic)) != 0) {
+    std::fclose(f);
+    return fail(err, path + ": not a DSMTRC01 trace file");
+  }
+  if (fh.num_nodes == 0 || fh.num_nodes > 4096 || fh.capacity == 0) {
+    std::fclose(f);
+    return fail(err, path + ": implausible header");
+  }
+  out->capacity_per_node = fh.capacity;
+  out->nodes.assign(fh.num_nodes, TraceFileNode{});
+  for (std::uint32_t n = 0; n < fh.num_nodes; ++n) {
+    NodeHeader nh;
+    if (std::fread(&nh, sizeof(nh), 1, f) != 1) {
+      std::fclose(f);
+      return fail(err, path + ": truncated node header");
+    }
+    if (nh.node != n || nh.count > fh.capacity) {
+      std::fclose(f);
+      return fail(err, path + ": corrupt node header");
+    }
+    TraceFileNode& tn = out->nodes[n];
+    tn.dropped = nh.dropped;
+    tn.events.resize(nh.count);
+    if (nh.count > 0 &&
+        std::fread(tn.events.data(), sizeof(TraceEvent), nh.count, f) !=
+            nh.count) {
+      std::fclose(f);
+      return fail(err, path + ": truncated event body");
+    }
+  }
+  // A well-formed file ends exactly here.
+  const bool trailing = std::fgetc(f) != EOF;
+  std::fclose(f);
+  if (trailing) return fail(err, path + ": trailing bytes after last node");
+  return true;
+}
+
+}  // namespace dsm::obs

@@ -104,6 +104,10 @@ bool read_record(const std::string& line, RecordView* out,
   if (batch && (!batch->is_number() || batch->unsigned_int() == 0))
     return fail(error,
                 "metrics context field 'batch' must be a positive integer");
+  // Optional: the machine's deterministic metrics snapshot (--obs-stats).
+  const JsonValue* obs = metrics->find("obs");
+  if (obs && !obs->is_object())
+    return fail(error, "metrics context field 'obs' must be an object");
   if (!m || !m->is_object())
     return fail(error, "metrics context is missing object field 'm'");
 

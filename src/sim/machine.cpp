@@ -1,6 +1,7 @@
 #include "sim/machine.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <span>
 
 #include "common/assert.hpp"
@@ -33,10 +34,11 @@ std::size_t RunSummary::min_intervals() const {
 
 Machine::Machine(const MachineConfig& cfg)
     : cfg_(cfg),
-      network_(cfg_),
+      obs_(cfg_.obs, cfg_.num_nodes),
+      network_(cfg_, &obs_),
       home_map_(cfg_.num_nodes, cfg_.memory.page_bytes,
                 mem::Placement::kRoundRobin),
-      fabric_(cfg_, network_, home_map_),
+      fabric_(cfg_, network_, home_map_, &obs_),
       ddv_(cfg_.num_nodes, network_.topology().ddv_distance_matrix()),
       sched_(cfg_.num_nodes),
       alloc_(home_map_),
@@ -107,6 +109,15 @@ void Machine::end_interval(unsigned tid) {
                 : static_cast<double>(rec.cycles) /
                       static_cast<double>(rec.instructions);
   ps.intervals.push_back(std::move(rec));
+
+  if (obs::TraceBuffer* tb = obs_.trace()) {
+    obs::TraceEvent ev;
+    ev.ts = now;
+    ev.arg = ps.intervals.size() - 1;  // interval index just closed
+    ev.kind = obs::TraceEvent::kPhaseBoundary;
+    ev.node = static_cast<std::uint8_t>(tid);
+    tb->record(ev);
+  }
 
   // Start the next interval. Instructions committed since the last branch
   // stay pending and will be credited by that branch when it commits —
@@ -278,6 +289,12 @@ RunSummary Machine::run(const AppFn& app) {
   sum.context_switches = sched_.context_switches();
   sum.barrier_wait_mean = global_barrier_.wait_stat().mean();
   sum.barrier_wait_max = global_barrier_.wait_stat().max();
+  sum.obs_json = obs_.snapshot_json();
+  if (cfg_.obs.trace && !cfg_.obs.trace_path.empty()) {
+    std::string err;
+    if (!obs_.trace_buffer().dump(cfg_.obs.trace_path, &err))
+      std::fprintf(stderr, "warning: trace dump failed: %s\n", err.c_str());
+  }
   return sum;
 }
 

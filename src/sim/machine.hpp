@@ -28,6 +28,7 @@
 #include "cpu/core_model.hpp"
 #include "memory/home_map.hpp"
 #include "network/network.hpp"
+#include "obs/observability.hpp"
 #include "phase/bbv.hpp"
 #include "phase/ddv.hpp"
 #include "phase/interval_record.hpp"
@@ -59,6 +60,9 @@ struct RunSummary {
   std::vector<Cycle> compute_cycles;
   std::vector<Cycle> branch_cycles;
   std::vector<Cycle> sync_cycles;
+  /// Deterministic metrics snapshot (obs/metrics.hpp JSON), "" when
+  /// cfg.obs.stats was off. Identical across --threads/--shards/--batch.
+  std::string obs_json;
 
   /// Aggregate CPI of processor p (cycles / instructions).
   double cpi(unsigned p) const;
@@ -77,6 +81,7 @@ class Machine {
   RunSummary run(const AppFn& app);
 
   const MachineConfig& config() const { return cfg_; }
+  obs::Observability& observability() { return obs_; }
   net::Network& network() { return network_; }
   coh::CoherenceFabric& fabric() { return fabric_; }
   mem::HomeMap& home_map() { return home_map_; }
@@ -162,6 +167,10 @@ class Machine {
   };
 
   MachineConfig cfg_;
+  /// Constructed before network_/fabric_ so both can register their
+  /// counters into it; registration order (links, then fabric hooks) is
+  /// part of the deterministic snapshot schema.
+  obs::Observability obs_;
   net::Network network_;
   mem::HomeMap home_map_;
   coh::CoherenceFabric fabric_;

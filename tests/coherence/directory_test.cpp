@@ -91,6 +91,39 @@ TEST(DirectoryTest, EraseInsideClustersKeepsSurvivorsReachable) {
   EXPECT_EQ(d.tracked_lines(), kLines - (kLines + 2) / 3);
 }
 
+// check_invariants() is the structural self-audit the fabric_alloc suite
+// runs after its access storms; this is its focused regression: the
+// probe-length, load-factor, and findability checks must hold through
+// every structural transition — growth rebuilds, backward-shift erasure
+// inside dense clusters, and compaction — not just at rest.
+TEST(DirectoryTest, CheckInvariantsHoldsThroughStructuralChurn) {
+  Directory d(0);
+  d.check_invariants();  // empty slice is already well-formed
+
+  constexpr unsigned kLines = 2000;
+  for (Addr a = 0; a < kLines; ++a) {
+    DirEntry& e = d.entry(a * 32);  // sequential keys: dense probe runs
+    e.state = DirEntry::State::kShared;
+    e.sharers = 1;
+    if (a % 256 == 255) d.check_invariants();  // across growth rebuilds
+  }
+  d.check_invariants();
+
+  // Backward-shift erasure from the middle of clusters is exactly where a
+  // probe-chain bug would leave an unreachable key or an over-long probe.
+  for (Addr a = 0; a < kLines; a += 3) {
+    d.erase(a * 32);
+    if (a % 300 == 0) d.check_invariants();
+  }
+  d.check_invariants();
+
+  for (Addr a = 1; a < kLines; a += 3)
+    d.entry(a * 32).state = DirEntry::State::kUncached;
+  for (Addr a = 1; a < kLines; a += 3) d.entry(a * 32).sharers = 0;
+  d.compact();
+  d.check_invariants();
+}
+
 // Randomized model check: the flat open-addressing slice must behave like
 // a plain map through inserts, mutations, growth, in-place erasure, and
 // compaction.

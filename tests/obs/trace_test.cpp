@@ -1,0 +1,159 @@
+// trace_test.cpp — the per-node event ring's contracts: fixed capacity
+// with oldest-first reads, overflow overwrites the oldest event and
+// counts it in `dropped` (never grows, never throws away the count), and
+// the binary dump format round-trips exactly while rejecting files that
+// are not (complete) traces.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace dsm::obs {
+namespace {
+
+TraceEvent make_event(std::uint8_t node, std::uint64_t ts) {
+  TraceEvent ev;
+  ev.ts = ts;
+  ev.addr = 0x1000 + ts * 64;
+  ev.arg = ts * 3;
+  ev.kind = TraceEvent::kMissStart;
+  ev.node = node;
+  ev.flags = static_cast<std::uint8_t>(ts & 1);
+  ev.aux = static_cast<std::uint32_t>(ts % 7);
+  return ev;
+}
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+TEST(TraceTest, DisabledBufferIsInertAndAllocationlessToUse) {
+  TraceBuffer tb;
+  EXPECT_FALSE(tb.enabled());
+  EXPECT_EQ(tb.num_nodes(), 0u);
+  tb.record(make_event(0, 1));  // must be a no-op, not a crash
+}
+
+TEST(TraceTest, EventsComeBackOldestFirst) {
+  TraceBuffer tb(/*num_nodes=*/2, /*capacity_per_node=*/8);
+  EXPECT_TRUE(tb.enabled());
+  for (std::uint64_t t = 0; t < 5; ++t) tb.record(make_event(0, t));
+  tb.record(make_event(1, 99));
+
+  EXPECT_EQ(tb.recorded(0), 5u);
+  EXPECT_EQ(tb.dropped(0), 0u);
+  const auto evs = tb.events(0);
+  ASSERT_EQ(evs.size(), 5u);
+  for (std::uint64_t t = 0; t < 5; ++t) EXPECT_EQ(evs[t].ts, t);
+
+  ASSERT_EQ(tb.events(1).size(), 1u);
+  EXPECT_EQ(tb.events(1)[0].ts, 99u);
+}
+
+TEST(TraceTest, OverflowDropsOldestAndCounts) {
+  constexpr std::uint32_t kCap = 4;
+  TraceBuffer tb(/*num_nodes=*/1, kCap);
+  for (std::uint64_t t = 0; t < 10; ++t) tb.record(make_event(0, t));
+
+  EXPECT_EQ(tb.recorded(0), kCap);
+  EXPECT_EQ(tb.dropped(0), 10u - kCap);
+  // Survivors are the newest kCap events, still oldest-first.
+  const auto evs = tb.events(0);
+  ASSERT_EQ(evs.size(), kCap);
+  for (std::uint32_t i = 0; i < kCap; ++i) EXPECT_EQ(evs[i].ts, 6u + i);
+}
+
+TEST(TraceTest, DumpRoundTripsExactly) {
+  TraceBuffer tb(/*num_nodes=*/3, /*capacity_per_node=*/4);
+  for (std::uint64_t t = 0; t < 9; ++t) tb.record(make_event(0, t));  // wraps
+  for (std::uint64_t t = 0; t < 3; ++t) tb.record(make_event(2, t));
+  // Node 1 intentionally empty.
+
+  const std::string path = temp_path("trace_roundtrip.bin");
+  std::string err;
+  ASSERT_TRUE(tb.dump(path, &err)) << err;
+
+  TraceFileData data;
+  ASSERT_TRUE(read_trace_file(path, &data, &err)) << err;
+  EXPECT_EQ(data.capacity_per_node, 4u);
+  ASSERT_EQ(data.nodes.size(), 3u);
+  EXPECT_EQ(data.nodes[0].dropped, 5u);
+  EXPECT_EQ(data.nodes[1].events.size(), 0u);
+  EXPECT_EQ(data.nodes[2].dropped, 0u);
+
+  for (unsigned n : {0u, 1u, 2u}) {
+    const auto live = tb.events(n);
+    const auto& file = data.nodes[n].events;
+    ASSERT_EQ(file.size(), live.size()) << "node " << n;
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      EXPECT_EQ(std::memcmp(&file[i], &live[i], sizeof(TraceEvent)), 0)
+          << "node " << n << " event " << i;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, ReaderRejectsBadMagic) {
+  const std::string path = temp_path("trace_bad_magic.bin");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "NOTATRACEFILE___________________";
+  }
+  TraceFileData data;
+  std::string err;
+  EXPECT_FALSE(read_trace_file(path, &data, &err));
+  EXPECT_FALSE(err.empty());
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, ReaderRejectsTruncatedBody) {
+  TraceBuffer tb(/*num_nodes=*/2, /*capacity_per_node=*/8);
+  for (std::uint64_t t = 0; t < 6; ++t) tb.record(make_event(1, t));
+
+  const std::string path = temp_path("trace_truncated.bin");
+  std::string err;
+  ASSERT_TRUE(tb.dump(path, &err)) << err;
+
+  // Chop the tail off the last node's event payload.
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(bytes.size(), 16u);
+  bytes.resize(bytes.size() - 16);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  TraceFileData data;
+  EXPECT_FALSE(read_trace_file(path, &data, &err));
+  EXPECT_FALSE(err.empty());
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, ReaderRejectsMissingFile) {
+  TraceFileData data;
+  std::string err;
+  EXPECT_FALSE(
+      read_trace_file(temp_path("no_such_trace.bin"), &data, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(TraceTest, KindNamesCoverEveryKind) {
+  for (std::uint16_t k = TraceEvent::kMissStart;
+       k <= TraceEvent::kPhaseBoundary; ++k) {
+    EXPECT_STRNE(trace_kind_name(k), "?") << "kind " << k;
+  }
+  EXPECT_STREQ(trace_kind_name(0), "?");
+  EXPECT_STREQ(trace_kind_name(999), "?");
+}
+
+}  // namespace
+}  // namespace dsm::obs

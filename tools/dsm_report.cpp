@@ -26,11 +26,24 @@
 //       Prints the per-host worker command lines (or an sbatch job-array
 //       script) for a fleet run: launch, collect the files, merge,
 //       render.
+//
+//   dsm_report stats file.ndjson
+//       Renders the deterministic observability snapshots (the optional
+//       `obs` envelope field records gain under --obs-stats) as per-record
+//       counter/histogram tables. Exits 1 when no record carries one.
+//
+//   dsm_report trace [--validate] trace.bin
+//       Converts a binary event-trace dump (bench --trace=FILE) to Chrome
+//       trace-event JSON on stdout (load in chrome://tracing or Perfetto;
+//       1 simulated cycle renders as 1 µs). --validate checks the file
+//       structurally and prints a per-node summary instead.
+#include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "report/record_reader.hpp"
 #include "report/renderer.hpp"
 #include "shard/orchestrator.hpp"
@@ -50,7 +63,12 @@ int usage(const char* argv0) {
       "                             a merged record file ('-' = stdin)\n"
       "  validate [--merged] FILE...  strict-check record files\n"
       "  plan --bin=PATH --shards=N [--out=DIR] [--sbatch] [-- FLAGS...]\n"
-      "                             print per-host shard command lines\n",
+      "                             print per-host shard command lines\n"
+      "  stats FILE                 print the observability snapshots\n"
+      "                             (--obs-stats records' 'obs' field)\n"
+      "  trace [--validate] FILE    convert a binary event trace (bench\n"
+      "                             --trace=FILE) to Chrome trace JSON;\n"
+      "                             --validate checks + summarizes instead\n",
       argv0);
   return 2;
 }
@@ -184,6 +202,193 @@ int cmd_validate(const std::vector<std::string>& args) {
   return rc;
 }
 
+int cmd_stats(const std::vector<std::string>& args) {
+  std::string path;
+  for (const auto& a : args) {
+    if (!a.empty() && (a[0] != '-' || a == "-")) {
+      if (!path.empty()) {
+        std::fprintf(stderr,
+                     "dsm_report stats: exactly one input file (got '%s' "
+                     "and '%s')\n",
+                     path.c_str(), a.c_str());
+        return 2;
+      }
+      path = a;
+    } else {
+      std::fprintf(stderr, "dsm_report stats: unknown option %s\n", a.c_str());
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "dsm_report stats: no input file\n");
+    return 2;
+  }
+  OpenFile in;
+  if (!open_input(path, &in)) return 1;
+  shard::FileLineSource source(in.f);
+  report::RecordReader reader(source, report::StreamKind::kShardSlice);
+  report::RecordView rec;
+  std::size_t with_obs = 0;
+  while (reader.next(&rec)) {
+    const report::JsonValue* obs = rec.metrics.find("obs");
+    if (obs == nullptr) continue;
+    ++with_obs;
+    std::printf("%s\n", rec.key.c_str());
+    const report::JsonValue* counters = obs->find("counters");
+    if (counters != nullptr && counters->is_object()) {
+      for (const auto& [name, v] : counters->members())
+        std::printf("  %-36s %s\n", name.c_str(), v.raw_number().c_str());
+    }
+    const report::JsonValue* hists = obs->find("histograms");
+    if (hists != nullptr && hists->is_object()) {
+      for (const auto& [name, v] : hists->members()) {
+        std::printf("  %-36s [", name.c_str());
+        const char* sep = "";
+        for (const auto& b : v.items()) {
+          std::printf("%s%s", sep, b.raw_number().c_str());
+          sep = ", ";
+        }
+        std::printf("]\n");
+      }
+    }
+  }
+  if (!reader.ok()) {
+    std::fprintf(stderr, "dsm_report stats: %s: %s\n", path.c_str(),
+                 reader.error().c_str());
+    return 1;
+  }
+  if (with_obs == 0) {
+    std::fprintf(stderr,
+                 "dsm_report stats: %s: no record carries an 'obs' snapshot "
+                 "(run the harness with --obs-stats)\n",
+                 path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+/// DataSource names in coh::DataSource declaration order — kept as a
+/// local table because dsm_obs (the trace format owner) must not depend
+/// on dsm_coherence.
+const char* fill_source_name(unsigned source) {
+  static const char* kNames[] = {"L1",        "L2",          "LocalMem",
+                                 "RemoteMem", "RemoteCache", "Upgrade"};
+  return source < 6 ? kNames[source] : "?";
+}
+
+int cmd_trace(const std::vector<std::string>& args) {
+  bool validate = false;
+  std::string path;
+  for (const auto& a : args) {
+    if (a == "--validate") {
+      validate = true;
+    } else if (!a.empty() && a[0] != '-') {
+      if (!path.empty()) {
+        std::fprintf(stderr,
+                     "dsm_report trace: exactly one input file (got '%s' "
+                     "and '%s')\n",
+                     path.c_str(), a.c_str());
+        return 2;
+      }
+      path = a;
+    } else {
+      std::fprintf(stderr, "dsm_report trace: unknown option %s\n", a.c_str());
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "dsm_report trace: no input file\n");
+    return 2;
+  }
+  obs::TraceFileData data;
+  std::string err;
+  if (!obs::read_trace_file(path, &data, &err)) {
+    std::fprintf(stderr, "dsm_report trace: %s: %s\n", path.c_str(),
+                 err.c_str());
+    return 1;
+  }
+  if (validate) {
+    std::uint64_t kept = 0, dropped = 0;
+    for (std::size_t n = 0; n < data.nodes.size(); ++n) {
+      const auto& node = data.nodes[n];
+      std::uint64_t prev_ts = 0;
+      for (const auto& ev : node.events) {
+        if (std::strcmp(obs::trace_kind_name(ev.kind), "?") == 0) {
+          std::fprintf(stderr,
+                       "dsm_report trace: %s: node %zu holds unknown event "
+                       "kind %u\n",
+                       path.c_str(), n, ev.kind);
+          return 1;
+        }
+        // A node's accesses start at non-decreasing cycles (its clock
+        // only advances), so its kMissStart timestamps must be monotone
+        // — the check that catches ring corruption. Other kinds carry
+        // timestamps from inside an access (kDirRequest lands after the
+        // request's network hop; kMissFill deliberately repeats the
+        // START cycle so its Chrome slice spans the access), so they
+        // legitimately interleave backwards.
+        if (ev.kind == obs::TraceEvent::kMissStart) {
+          if (ev.ts < prev_ts) {
+            std::fprintf(stderr,
+                         "dsm_report trace: %s: node %zu miss-start "
+                         "timestamps regress (%" PRIu64 " after %" PRIu64
+                         ")\n",
+                         path.c_str(), n, ev.ts, prev_ts);
+            return 1;
+          }
+          prev_ts = ev.ts;
+        }
+      }
+      kept += node.events.size();
+      dropped += node.dropped;
+    }
+    std::printf("%s: OK, %zu nodes, capacity %u events/node, %" PRIu64
+                " events kept, %" PRIu64 " dropped\n",
+                path.c_str(), data.nodes.size(), data.capacity_per_node, kept,
+                dropped);
+    return 0;
+  }
+  // Chrome trace-event JSON (the "JSON array format" with a traceEvents
+  // wrapper). One viewer thread per simulated node; 1 cycle = 1 µs of
+  // viewer time. kMissFill events are self-contained complete ("X")
+  // slices — ts is the access cycle, dur its total latency — so ring
+  // drops can never orphan a begin/end pair.
+  std::printf("{\"traceEvents\":[");
+  const char* sep = "\n";
+  for (std::size_t n = 0; n < data.nodes.size(); ++n) {
+    std::printf("%s{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+                "\"tid\":%zu,\"args\":{\"name\":\"node %zu\"}}",
+                sep, n, n);
+    sep = ",\n";
+  }
+  for (std::size_t n = 0; n < data.nodes.size(); ++n) {
+    for (const auto& ev : data.nodes[n].events) {
+      const unsigned write = ev.flags & obs::TraceEvent::kWriteBit;
+      if (ev.kind == obs::TraceEvent::kMissFill) {
+        const unsigned source = ev.flags >> obs::TraceEvent::kSourceShift;
+        std::printf("%s{\"name\":\"%s\",\"cat\":\"mem\",\"ph\":\"X\","
+                    "\"ts\":%" PRIu64 ",\"dur\":%" PRIu64
+                    ",\"pid\":0,\"tid\":%u,\"args\":{\"line\":\"0x%" PRIx64
+                    "\",\"write\":%u,\"source\":\"%s\",\"home\":%u}}",
+                    sep, obs::trace_kind_name(ev.kind), ev.ts, ev.arg,
+                    ev.node, ev.addr, write, fill_source_name(source),
+                    ev.aux);
+      } else {
+        std::printf("%s{\"name\":\"%s\",\"cat\":\"coh\",\"ph\":\"i\","
+                    "\"s\":\"t\",\"ts\":%" PRIu64
+                    ",\"pid\":0,\"tid\":%u,\"args\":{\"line\":\"0x%" PRIx64
+                    "\",\"write\":%u,\"arg\":%" PRIu64 ",\"peer\":%u}}",
+                    sep, obs::trace_kind_name(ev.kind), ev.ts, ev.node,
+                    ev.addr, write, ev.arg, ev.aux);
+      }
+      sep = ",\n";
+    }
+  }
+  std::printf("\n]}\n");
+  std::fflush(stdout);
+  return 0;
+}
+
 int cmd_plan(const std::vector<std::string>& args) {
   std::string bin, out_dir = ".";
   unsigned long shards = 0;
@@ -247,6 +452,8 @@ int main(int argc, char** argv) {
   if (cmd == "render") return cmd_render(args);
   if (cmd == "validate") return cmd_validate(args);
   if (cmd == "plan") return cmd_plan(args);
+  if (cmd == "stats") return cmd_stats(args);
+  if (cmd == "trace") return cmd_trace(args);
   std::fprintf(stderr, "dsm_report: unknown command '%s'\n", cmd.c_str());
   return usage(argv[0]);
 }
