@@ -60,6 +60,14 @@ const char* usage_text() {
       "                             metrics snapshot to its record (the\n"
       "                             envelope's \"obs\" field; view with\n"
       "                             `dsm_report stats`)\n"
+      "  --obs-intervals            capture phase-attributed interval\n"
+      "                             metric snapshots (implies --obs-stats;\n"
+      "                             the envelope's \"obs_intervals\" field;\n"
+      "                             view with `dsm_report timeline`)\n"
+      "  --heartbeat=FILE           append worker progress heartbeats to\n"
+      "                             FILE (stream mode; with --shards=N each\n"
+      "                             worker i writes FILE.<i>; view with\n"
+      "                             `dsm_report progress`)\n"
       "  --trace=FILE               dump the per-node binary event trace to\n"
       "                             FILE (multi-point sweeps: FILE.<index>);\n"
       "                             convert with `dsm_report trace`\n"
@@ -156,6 +164,12 @@ ParseResult parse_options(int argc, char** argv) {
       opt.csv_dir = value("--csv=");
     } else if (arg == "--obs-stats") {
       opt.obs_stats = true;
+    } else if (arg == "--obs-intervals") {
+      opt.obs_intervals = true;
+    } else if (arg.rfind("--heartbeat=", 0) == 0) {
+      opt.heartbeat_path = value("--heartbeat=");
+      if (opt.heartbeat_path.empty())
+        return fail(std::move(res), "empty --heartbeat path");
     } else if (arg.rfind("--trace=", 0) == 0) {
       opt.trace_path = value("--trace=");
       if (opt.trace_path.empty())
@@ -189,10 +203,18 @@ std::optional<int> maybe_orchestrate(int argc, char** argv,
   if (!parsed.ok || parsed.options.shards == 0) return std::nullopt;
   shard::OrchestratorOptions o;
   o.binary = shard::self_exe(argc > 0 ? argv[0] : nullptr);
+  // --shards is replaced by per-worker --shard=i/N; --heartbeat is
+  // replaced by per-worker --heartbeat=FILE.<i> (heartbeat_files below),
+  // so neither flag is forwarded verbatim.
   for (int i = 1; i < argc; ++i)
-    if (std::strncmp(argv[i], "--shards=", 9) != 0)
+    if (std::strncmp(argv[i], "--shards=", 9) != 0 &&
+        std::strncmp(argv[i], "--heartbeat=", 12) != 0)
       o.args.push_back(argv[i]);
   o.shards = parsed.options.shards;
+  if (!parsed.options.heartbeat_path.empty())
+    for (unsigned i = 0; i < o.shards; ++i)
+      o.heartbeat_files.push_back(parsed.options.heartbeat_path + "." +
+                                  std::to_string(i));
   return shard::run_sharded(o, stdout);
 }
 
@@ -208,6 +230,7 @@ ObsConfig obs_config_for_point(const BenchOptions& opt,
                                bool multi_point) {
   ObsConfig obs;
   obs.stats = opt.obs_stats;
+  obs.intervals = opt.obs_intervals;
   if (!opt.trace_path.empty()) {
     obs.trace = true;
     obs.trace_path = multi_point

@@ -47,6 +47,7 @@
 #include "driver/sweep_spec.hpp"
 #include "report/record_reader.hpp"
 #include "report/renderer.hpp"
+#include "shard/heartbeat.hpp"
 #include "shard/orchestrator.hpp"
 #include "shard/shard_plan.hpp"
 #include "shard/stream_sink.hpp"
@@ -82,6 +83,15 @@ struct BenchOptions {
   /// --trace=FILE: dump each machine's binary event trace here (multi-
   /// point sweeps suffix ".<spec_index>"). Empty = tracing off.
   std::string trace_path;
+  /// --obs-intervals: run every machine with phase-attributed interval
+  /// capture (implies the metrics registry) and attach the timeline to
+  /// each record as the envelope's "obs_intervals" field (`dsm_report
+  /// timeline`). Off by default — records stay byte-identical to seeds.
+  bool obs_intervals = false;
+  /// --heartbeat=FILE: append worker progress heartbeats here (stream
+  /// mode only; src/shard/heartbeat.hpp). The orchestrator sets this per
+  /// worker as FILE.<shard_index> when the flag is passed to --shards=N.
+  std::string heartbeat_path;
   bool verbose = false;
   shard::ShardPlan shard;              ///< --shard=i/N (worker mode)
   bool shard_set = false;              ///< --shard appeared: stream mode
@@ -206,7 +216,8 @@ shard::StreamRecord make_stream_record(
     const std::function<std::uint64_t(const driver::SpecPoint&)>& seed_of,
     const std::function<std::string(const driver::SpecPoint&, const R&)>&
         metrics,
-    const std::string& obs_json = {}) {
+    const std::string& obs_json = {},
+    const std::string& obs_intervals_json = {}) {
   shard::StreamRecord rec;
   rec.spec_index = pt.index;
   rec.key = driver::spec_label(pt);
@@ -223,8 +234,11 @@ shard::StreamRecord make_stream_record(
   if (pt.batch != 0) ctx.add("batch", static_cast<std::uint64_t>(pt.batch));
   ctx.add("scale", std::string(apps::scale_name(pt.scale)));
   // The deterministic metrics snapshot, present only under --obs-stats —
-  // same optional-field precedent as protocol/batch above.
+  // same optional-field precedent as protocol/batch above. Likewise the
+  // phase-attributed interval timeline under --obs-intervals.
   if (!obs_json.empty()) ctx.add_raw("obs", obs_json);
+  if (!obs_intervals_json.empty())
+    ctx.add_raw("obs_intervals", obs_intervals_json);
   rec.metrics = ctx.add_raw("m", metrics(pt, reduced)).str();
   return rec;
 }
@@ -244,7 +258,8 @@ shard::StreamRecord make_stream_record(
 ///     in deterministic records.
 /// `obs_of`, when set, supplies the record's optional "obs" envelope
 /// field (the machine's deterministic metrics snapshot); return "" for
-/// no field.
+/// no field. `obs_intervals_of` does the same for the optional
+/// "obs_intervals" field (the phase-attributed interval timeline).
 /// Returns the exit code (the renderer's finish() verdict; 0 in stream
 /// mode). Template arguments are explicit at call sites (lambdas do not
 /// deduce through std::function).
@@ -260,7 +275,9 @@ int sharded_sweep(
     const std::function<void(const driver::SpecPoint&, const R&)>&
         live_observe = {},
     const std::function<std::string(const driver::SpecPoint&, const R&)>&
-        obs_of = {}) {
+        obs_of = {},
+    const std::function<std::string(const driver::SpecPoint&, const R&)>&
+        obs_intervals_of = {}) {
   const auto local = opt.shard.select(points);
   const driver::ExperimentRunner runner(opt.threads);
   const std::function<Raw(const driver::SpecPoint&)> guarded =
@@ -275,11 +292,18 @@ int sharded_sweep(
   };
   if (stream_mode(opt)) {
     shard::StreamSink sink(stdout, bench_name);
+    // Progress telemetry on its own channel (heartbeat.hpp): the result
+    // stream on stdout carries no trace of it, so merged output stays
+    // byte-identical with heartbeats on or off.
+    shard::HeartbeatEmitter heartbeat(opt.heartbeat_path, bench_name,
+                                      opt.shard.label(), local.size());
     runner.map_reduce<Raw, R>(
         local, guarded, reduce, [&](const driver::SpecPoint& pt, R&& r) {
           sink.emit(make_stream_record<R>(
               pt, r, seed_of, metrics,
-              obs_of ? obs_of(pt, r) : std::string()));
+              obs_of ? obs_of(pt, r) : std::string(),
+              obs_intervals_of ? obs_intervals_of(pt, r) : std::string()));
+          heartbeat.progress(static_cast<std::int64_t>(pt.index));
         });
     return 0;
   }
@@ -294,8 +318,10 @@ int sharded_sweep(
         if (live_observe) live_observe(pt, r);
         const std::string line = shard::format_record(
             bench_name,
-            make_stream_record<R>(pt, r, seed_of, metrics,
-                                  obs_of ? obs_of(pt, r) : std::string()));
+            make_stream_record<R>(
+                pt, r, seed_of, metrics,
+                obs_of ? obs_of(pt, r) : std::string(),
+                obs_intervals_of ? obs_intervals_of(pt, r) : std::string()));
         report::RecordView view;
         std::string err;
         if (!report::read_record(line, &view, &err))
@@ -339,6 +365,7 @@ int run_reduced_sweep(
   struct Wrapped {
     R r;
     std::string obs;
+    std::string obs_intervals;
   };
   return sharded_sweep<sim::RunSummary, Wrapped>(
       points, opt, bench_name,
@@ -351,7 +378,9 @@ int run_reduced_sweep(
       },
       [&reduce](const driver::SpecPoint& pt, sim::RunSummary&& run) {
         std::string obs = std::move(run.obs_json);
-        return Wrapped{reduce(pt, std::move(run)), std::move(obs)};
+        std::string intervals = std::move(run.obs_intervals_json);
+        return Wrapped{reduce(pt, std::move(run)), std::move(obs),
+                       std::move(intervals)};
       },
       [](const driver::SpecPoint& pt) { return driver::spec_seed(pt); },
       [&metrics](const driver::SpecPoint& pt, const Wrapped& w) {
@@ -362,7 +391,10 @@ int run_reduced_sweep(
                 [&live_observe](const driver::SpecPoint& pt,
                                 const Wrapped& w) { live_observe(pt, w.r); })
           : std::function<void(const driver::SpecPoint&, const Wrapped&)>(),
-      [](const driver::SpecPoint&, const Wrapped& w) { return w.obs; });
+      [](const driver::SpecPoint&, const Wrapped& w) { return w.obs; },
+      [](const driver::SpecPoint&, const Wrapped& w) {
+        return w.obs_intervals;
+      });
 }
 
 }  // namespace dsm::bench

@@ -7,9 +7,15 @@
 #      --shards=2 --threads=2 orchestration, and --batch=4 — across the
 #      full protocol axis. The snapshot is derived from simulated events
 #      only, so how the host schedules the work must not show.
-#   2. NON-PERTURBATION: switching stats AND tracing on must leave the
-#      live human stdout byte-identical to a plain run — observability
-#      watches the simulation, it never feeds back into it.
+#   2. NON-PERTURBATION: switching stats, interval capture AND tracing on
+#      must leave the live human stdout byte-identical to a plain run —
+#      observability watches the simulation, it never feeds back into it.
+#   3. INTERVAL DETERMINISM: the phase-attributed interval timeline
+#      (--obs-intervals, the `obs_intervals` field) rides the same
+#      guarantee as the snapshot — byte-identical across the same three
+#      execution modes — and `dsm_report timeline` must render it with
+#      exit 0, which includes the interval-sum reconciliation against the
+#      end-of-run snapshot.
 #
 # Plus the offline consumers: `dsm_report validate --merged` and
 # `dsm_report stats` must accept the obs-carrying stream, and the dumped
@@ -92,7 +98,67 @@ if(stats_out STREQUAL "")
   message(FATAL_ERROR "dsm_report stats printed nothing for ${ref}")
 endif()
 
-# 2. Live human stdout must not move when stats+tracing switch on.
+# 3. The interval timeline must be byte-identical across the same modes.
+set(iv_ref "${WORK_DIR}/${TAG}_iv_ref.ndjson")
+set(iv_threaded "${WORK_DIR}/${TAG}_iv_threads.ndjson")
+set(iv_batched "${WORK_DIR}/${TAG}_iv_batch4.ndjson")
+execute_process(
+  COMMAND ${HARNESS} ${HARNESS_ARGS} --obs-intervals --shard=0/1
+  OUTPUT_FILE ${iv_ref}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--obs-intervals --shard=0/1 exited with ${rc}")
+endif()
+file(READ ${iv_ref} iv_ref_bytes)
+string(FIND "${iv_ref_bytes}" "\"obs_intervals\":" iv_pos)
+if(iv_pos EQUAL -1)
+  message(FATAL_ERROR
+    "stream carries no 'obs_intervals' timeline despite --obs-intervals")
+endif()
+execute_process(
+  COMMAND ${HARNESS} ${HARNESS_ARGS} --obs-intervals --shards=2 --threads=2
+  OUTPUT_FILE ${iv_threaded}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--obs-intervals --shards=2 --threads=2 exited with ${rc}")
+endif()
+file(READ ${iv_threaded} iv_threaded_bytes)
+if(NOT iv_ref_bytes STREQUAL iv_threaded_bytes)
+  message(FATAL_ERROR
+    "interval timelines differ between --shard=0/1 and --shards=2 "
+    "--threads=2:\n  reference: ${iv_ref}\n  threaded:  ${iv_threaded}")
+endif()
+execute_process(
+  COMMAND ${HARNESS} ${HARNESS_ARGS} --obs-intervals --shard=0/1 --batch=4
+  OUTPUT_FILE ${iv_batched}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--obs-intervals --shard=0/1 --batch=4 exited with ${rc}")
+endif()
+file(READ ${iv_batched} iv_batched_bytes)
+if(NOT iv_ref_bytes STREQUAL iv_batched_bytes)
+  message(FATAL_ERROR
+    "interval timelines differ between --batch=1 and --batch=4:\n"
+    "  reference: ${iv_ref}\n  batched:   ${iv_batched}")
+endif()
+
+# The timeline renderer must accept the stream — exit 0 implies every
+# record's interval sums + tail reconciled against its snapshot.
+execute_process(
+  COMMAND ${DSM_REPORT} timeline ${iv_ref}
+  OUTPUT_VARIABLE timeline_out
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "dsm_report timeline exited with ${rc} on ${iv_ref} (render or "
+    "reconciliation failure)")
+endif()
+string(FIND "${timeline_out}" "reconciled:" rec_pos)
+if(rec_pos EQUAL -1)
+  message(FATAL_ERROR "dsm_report timeline never reconciled ${iv_ref}")
+endif()
+
+# 2. Live human stdout must not move when stats+intervals+tracing switch on.
 set(plain_out "${WORK_DIR}/${TAG}_live_plain.txt")
 set(obs_out "${WORK_DIR}/${TAG}_live_obs.txt")
 set(trace_bin "${WORK_DIR}/${TAG}.trace")
@@ -101,7 +167,7 @@ execute_process(
   OUTPUT_FILE ${plain_out}
   RESULT_VARIABLE rc_plain)
 execute_process(
-  COMMAND ${HARNESS} ${TRACE_ARGS} --obs-stats --trace=${trace_bin}
+  COMMAND ${HARNESS} ${TRACE_ARGS} --obs-intervals --trace=${trace_bin}
   OUTPUT_FILE ${obs_out}
   RESULT_VARIABLE rc_obs)
 if(NOT rc_plain EQUAL 0 OR NOT rc_obs EQUAL 0)
@@ -115,8 +181,9 @@ if(plain_bytes STREQUAL "")
 endif()
 if(NOT plain_bytes STREQUAL obs_bytes)
   message(FATAL_ERROR
-    "--obs-stats --trace changed the live stdout (observability must not "
-    "perturb the simulation):\n  plain: ${plain_out}\n  observed: ${obs_out}")
+    "--obs-intervals --trace changed the live stdout (observability must "
+    "not perturb the simulation):\n  plain: ${plain_out}\n"
+    "  observed: ${obs_out}")
 endif()
 if(NOT EXISTS ${trace_bin})
   message(FATAL_ERROR "trace run left no dump at ${trace_bin}")
@@ -144,6 +211,7 @@ if(te_pos EQUAL -1)
   message(FATAL_ERROR "${chrome_json} is not Chrome trace-event JSON")
 endif()
 
-message(STATUS "obs equivalence OK (${TAG}): snapshots byte-identical "
-               "across shard/threads/batch, live stdout unperturbed, "
-               "trace validated and converted")
+message(STATUS "obs equivalence OK (${TAG}): snapshots and interval "
+               "timelines byte-identical across shard/threads/batch, "
+               "timeline reconciled, live stdout unperturbed, trace "
+               "validated and converted")

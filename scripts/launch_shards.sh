@@ -16,6 +16,12 @@
 #   scripts/launch_shards.sh --shards=8 --hosts=n0,n1,n2,n3 --out=results \
 #       -- /shared/repo/build/bench/fig4_bbv_ddv --scale=paper --threads=0
 #
+# Each local worker also writes a progress heartbeat side channel to
+# $out/shard_<i>.of<N>.hb.ndjson (watch the fleet live with
+# `dsm_report progress $out/*.hb.ndjson`); pass --no-heartbeat to turn
+# the side channel off. Heartbeats stay off for ssh workers — the file
+# would land on the remote filesystem where nothing local can poll it.
+#
 # For batch schedulers, `dsm_report plan --sbatch` prints an equivalent
 # job-array script instead of launching anything.
 set -eu
@@ -23,11 +29,13 @@ set -eu
 shards=""
 hosts=""
 out="."
+heartbeat=1
 while [ $# -gt 0 ]; do
   case "$1" in
     --shards=*) shards="${1#--shards=}" ;;
     --hosts=*)  hosts="${1#--hosts=}" ;;
     --out=*)    out="${1#--out=}" ;;
+    --no-heartbeat) heartbeat=0 ;;
     --) shift; break ;;
     *) echo "launch_shards.sh: unknown option $1" >&2; exit 2 ;;
   esac
@@ -35,7 +43,7 @@ while [ $# -gt 0 ]; do
 done
 if [ -z "$shards" ] || [ $# -lt 1 ]; then
   echo "usage: launch_shards.sh --shards=N [--hosts=h1,h2,...] [--out=DIR]" \
-       "-- BINARY [FLAGS...]" >&2
+       "[--no-heartbeat] -- BINARY [FLAGS...]" >&2
   exit 2
 fi
 
@@ -64,9 +72,9 @@ for arg in "$@"; do
 done
 
 i=0
-pids=""
 while [ "$i" -lt "$shards" ]; do
   file="$out/shard_$i.of$shards.ndjson"
+  hb_file="$out/shard_$i.of$shards.hb.ndjson"
   if [ "$host_count" -gt 0 ]; then
     slot=$(( (i % host_count) + 1 ))
     eval "host=\$host_$slot"
@@ -74,23 +82,42 @@ while [ "$i" -lt "$shards" ]; do
     # -n: the backgrounded workers must not compete for the script's
     # stdin (SIGTTIN hangs / stolen bytes).
     ssh -n "$host" "$remote_cmd --shard=$i/$shards" > "$file" &
+  elif [ "$heartbeat" -eq 1 ]; then
+    echo "launch_shards.sh: shard $i/$shards locally -> $file" >&2
+    "$@" --shard="$i/$shards" --heartbeat="$hb_file" > "$file" &
   else
     echo "launch_shards.sh: shard $i/$shards locally -> $file" >&2
     "$@" --shard="$i/$shards" > "$file" &
   fi
-  pids="$pids $!"
+  eval "pid_$i=$!"
   i=$((i + 1))
 done
 
+# Reap every worker and name each culprit: one bad shard must not mask
+# another, and "shard 3 of 8 failed" beats "a worker failed somewhere".
 rc=0
-for pid in $pids; do
-  wait "$pid" || rc=$?
+failed=""
+i=0
+while [ "$i" -lt "$shards" ]; do
+  eval "pid=\$pid_$i"
+  worker_rc=0
+  wait "$pid" || worker_rc=$?
+  if [ "$worker_rc" -ne 0 ]; then
+    echo "launch_shards.sh: shard $i/$shards failed (exit $worker_rc)" >&2
+    failed="$failed $i"
+    rc="$worker_rc"
+  fi
+  i=$((i + 1))
 done
 if [ "$rc" -ne 0 ]; then
-  echo "launch_shards.sh: a shard worker failed (exit $rc)" >&2
+  echo "launch_shards.sh: failed shards:$failed (of $shards); partial" \
+       "NDJSON kept in $out for inspection" >&2
   exit "$rc"
 fi
 
 echo "launch_shards.sh: all $shards shards done; next:" >&2
 echo "  dsm_report merge $out/shard_*.of$shards.ndjson > $out/merged.ndjson" >&2
 echo "  dsm_report render $out/merged.ndjson" >&2
+if [ "$heartbeat" -eq 1 ] && [ "$host_count" -eq 0 ]; then
+  echo "  dsm_report progress $out/shard_*.of$shards.hb.ndjson" >&2
+fi

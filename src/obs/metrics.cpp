@@ -31,6 +31,14 @@ CounterHandle MetricsRegistry::counter(const std::string& name) {
                  "metrics registry counter lane exhausted");
   slots_.emplace_back();
   counters_.push_back(CounterInfo{name, slots_.size() - 1});
+  if (!is_host_metric(name)) {
+    // Deterministic registrants must all exist before the interval ring
+    // snapshots the tracked-slot set — a late one would silently fall
+    // out of the timeline (end_interval asserts on the count).
+    DSM_ASSERT_MSG(interval_cap_ == 0,
+                   "deterministic counter registered after enable_intervals");
+    ++nonhost_counters_;
+  }
   return CounterHandle(&slots_.back().v);
 }
 
@@ -49,6 +57,126 @@ HistogramHandle MetricsRegistry::histogram(const std::string& name,
   hist_slots_.resize(base + buckets, 0);
   hists_.push_back(HistInfo{name, base, buckets});
   return HistogramHandle(&hist_slots_[base], buckets);
+}
+
+void MetricsRegistry::enable_intervals(std::uint32_t capacity) {
+  DSM_ASSERT_MSG(interval_cap_ == 0, "enable_intervals called twice");
+  DSM_ASSERT_MSG(capacity >= 1, "interval ring needs capacity >= 1");
+  interval_cap_ = capacity;
+  tracked_.reserve(nonhost_counters_);
+  for (const auto& c : counters_)
+    if (!is_host_metric(c.name)) tracked_.push_back(c.slot);
+  baseline_.resize(tracked_.size(), 0);
+  ring_deltas_.resize(static_cast<std::size_t>(capacity) * tracked_.size(), 0);
+  ring_meta_.resize(capacity);
+  begin_interval();
+}
+
+void MetricsRegistry::begin_interval() {
+  for (std::size_t i = 0; i < tracked_.size(); ++i)
+    baseline_[i] = slots_[tracked_[i]].v;
+}
+
+void MetricsRegistry::end_interval(const IntervalMeta& meta) {
+  DSM_ASSERT_MSG(interval_cap_ != 0, "end_interval before enable_intervals");
+  DSM_ASSERT_MSG(nonhost_counters_ == tracked_.size(),
+                 "deterministic counter registered after enable_intervals");
+  const std::size_t row =
+      static_cast<std::size_t>(ring_next_) * tracked_.size();
+  for (std::size_t i = 0; i < tracked_.size(); ++i) {
+    const std::uint64_t v = slots_[tracked_[i]].v;
+    ring_deltas_[row + i] = v - baseline_[i];
+    baseline_[i] = v;
+  }
+  ring_meta_[ring_next_] = meta;
+  ring_next_ = (ring_next_ + 1 == interval_cap_) ? 0 : ring_next_ + 1;
+  if (ring_count_ < interval_cap_)
+    ++ring_count_;
+  else
+    ++interval_dropped_;  // overwrote the oldest surviving row
+  ++interval_captured_;
+}
+
+std::vector<std::string> MetricsRegistry::interval_slot_names() const {
+  std::vector<std::string> names;
+  names.reserve(tracked_.size());
+  for (const auto& c : counters_)
+    if (!is_host_metric(c.name)) names.push_back(c.name);
+  return names;
+}
+
+std::vector<CapturedInterval> MetricsRegistry::captured_intervals() const {
+  std::vector<CapturedInterval> out;
+  out.reserve(ring_count_);
+  // Oldest surviving row: ring_next_ when full (it is about to be
+  // overwritten), 0 while still filling.
+  const std::uint32_t start = ring_count_ == interval_cap_ ? ring_next_ : 0;
+  for (std::uint32_t k = 0; k < ring_count_; ++k) {
+    const std::uint32_t idx = (start + k) % interval_cap_;
+    CapturedInterval ci;
+    ci.meta = ring_meta_[idx];
+    const std::size_t row = static_cast<std::size_t>(idx) * tracked_.size();
+    ci.deltas.assign(ring_deltas_.begin() + static_cast<std::ptrdiff_t>(row),
+                     ring_deltas_.begin() +
+                         static_cast<std::ptrdiff_t>(row + tracked_.size()));
+    out.push_back(std::move(ci));
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> MetricsRegistry::interval_tail() const {
+  std::vector<std::uint64_t> out(tracked_.size(), 0);
+  for (std::size_t i = 0; i < tracked_.size(); ++i)
+    out[i] = slots_[tracked_[i]].v - baseline_[i];
+  return out;
+}
+
+std::string MetricsRegistry::intervals_json() const {
+  if (interval_cap_ == 0) return "";
+  std::string out = "{\"slots\":[";
+  bool first = true;
+  for (const auto& c : counters_) {
+    if (is_host_metric(c.name)) continue;
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += c.name;
+    out += '"';
+  }
+  out += "],\"capacity\":";
+  out += std::to_string(interval_cap_);
+  out += ",\"captured\":";
+  out += std::to_string(interval_captured_);
+  out += ",\"dropped\":";
+  out += std::to_string(interval_dropped_);
+  out += ",\"intervals\":[";
+  const std::uint32_t start = ring_count_ == interval_cap_ ? ring_next_ : 0;
+  for (std::uint32_t k = 0; k < ring_count_; ++k) {
+    const std::uint32_t idx = (start + k) % interval_cap_;
+    if (k != 0) out += ',';
+    const IntervalMeta& m = ring_meta_[idx];
+    out += '[';
+    out += std::to_string(m.node);
+    out += ',';
+    out += std::to_string(m.seq);
+    out += ',';
+    out += std::to_string(m.phase);
+    out += ',';
+    out += std::to_string(m.end_cycle);
+    const std::size_t row = static_cast<std::size_t>(idx) * tracked_.size();
+    for (std::size_t i = 0; i < tracked_.size(); ++i) {
+      out += ',';
+      out += std::to_string(ring_deltas_[row + i]);
+    }
+    out += ']';
+  }
+  out += "],\"tail\":[";
+  for (std::size_t i = 0; i < tracked_.size(); ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(slots_[tracked_[i]].v - baseline_[i]);
+  }
+  out += "]}";
+  return out;
 }
 
 std::string MetricsRegistry::render_json(bool host) const {

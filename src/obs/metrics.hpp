@@ -70,6 +70,23 @@ class HistogramHandle {
   std::uint32_t buckets_ = 0;
 };
 
+/// Metadata of one captured interval: which detector boundary closed it.
+/// Plain data so the capture site (sim::Machine's phase-boundary hook)
+/// fills it without touching registry internals.
+struct IntervalMeta {
+  std::uint64_t end_cycle = 0;  ///< simulated cycle the boundary closed at
+  std::uint64_t seq = 0;        ///< node-local interval index just closed
+  std::uint32_t node = 0;       ///< processor whose detector closed it
+  std::int32_t phase = -1;      ///< detected phase id (kNoPhase when none)
+};
+
+/// One captured interval, copied out of the ring (tests / offline use —
+/// allocates, never on the hot path).
+struct CapturedInterval {
+  IntervalMeta meta;
+  std::vector<std::uint64_t> deltas;  ///< per tracked slot, snapshot order
+};
+
 class MetricsRegistry {
  public:
   /// Preallocates every slot up front: registration hands out pointers
@@ -107,6 +124,62 @@ class MetricsRegistry {
   std::size_t num_counters() const { return counters_.size(); }
   std::size_t num_histograms() const { return hists_.size(); }
 
+  // ---- interval-scoped snapshots (the cheap epoch mechanism) ----
+  //
+  // enable_intervals() is called ONCE, after every deterministic
+  // registrant has registered (for sim::Machine: at the end of its
+  // constructor): it snapshots the set of non-"host." counters as the
+  // tracked slots and preallocates a ring of `capacity` interval rows,
+  // each one delta per tracked slot. From then on end_interval() captures
+  // the per-slot deltas since the previous boundary into the next ring
+  // row and re-baselines — zero allocation, O(tracked slots), executed
+  // only at phase-detector interval boundaries (simulated-event sites),
+  // so the captured timeline is byte-identical across
+  // --threads/--shards/--batch exactly like the end-of-run snapshot.
+  // A full ring overwrites the oldest row and counts it as dropped
+  // (trace-ring semantics). Histograms are cumulative-only: the interval
+  // timeline tracks counters, the end-of-run snapshot keeps the
+  // histograms.
+
+  /// Fixes the tracked slot set and preallocates the ring. Must be called
+  /// at most once, with capacity >= 1; implies begin_interval().
+  void enable_intervals(std::uint32_t capacity);
+  bool intervals_enabled() const { return interval_cap_ != 0; }
+
+  /// Re-baselines the epoch: the next end_interval() captures deltas from
+  /// this point. enable_intervals() calls it; explicit calls discard the
+  /// accumulation since the last boundary (rarely wanted).
+  void begin_interval();
+
+  /// Captures the per-slot deltas since the last boundary into the ring
+  /// (overwriting the oldest row when full) and re-baselines.
+  void end_interval(const IntervalMeta& meta);
+
+  std::uint64_t intervals_captured() const { return interval_captured_; }
+  std::uint64_t intervals_dropped() const { return interval_dropped_; }
+  std::uint32_t interval_capacity() const { return interval_cap_; }
+
+  /// Names of the tracked slots, in snapshot order (empty before
+  /// enable_intervals()).
+  std::vector<std::string> interval_slot_names() const;
+
+  /// Surviving ring rows, oldest first (allocates — tests/offline only).
+  std::vector<CapturedInterval> captured_intervals() const;
+
+  /// Deltas accumulated since the last boundary (the open tail interval).
+  std::vector<std::uint64_t> interval_tail() const;
+
+  /// Deterministic JSON of the interval timeline (the record envelope's
+  /// optional `obs_intervals` field):
+  ///   {"slots":[names...],"capacity":C,"captured":N,"dropped":D,
+  ///    "intervals":[[node,seq,phase,end_cycle,d0,d1,...],...],
+  ///    "tail":[d0,d1,...]}
+  /// Rows oldest first; "tail" is computed at serialization time, so
+  /// summed row deltas plus the tail reconcile exactly with the
+  /// end-of-run snapshot whenever dropped == 0. "" before
+  /// enable_intervals().
+  std::string intervals_json() const;
+
  private:
   /// One counter per host cache line so adjacent counters never
   /// false-share (and a hot counter stays resident while its neighbors
@@ -132,6 +205,20 @@ class MetricsRegistry {
   std::vector<std::uint64_t> hist_slots_;   ///< capacity fixed at ctor
   std::vector<CounterInfo> counters_;
   std::vector<HistInfo> hists_;
+
+  // Interval ring (enable_intervals). tracked_ holds the slot index of
+  // every non-host counter at enable time; registrations after that are
+  // a contract violation end_interval() asserts against.
+  std::uint32_t interval_cap_ = 0;
+  std::vector<std::size_t> tracked_;          ///< slot index per tracked
+  std::vector<std::uint64_t> baseline_;       ///< value at last boundary
+  std::vector<std::uint64_t> ring_deltas_;    ///< cap × tracked_.size()
+  std::vector<IntervalMeta> ring_meta_;       ///< cap entries
+  std::uint32_t ring_next_ = 0;
+  std::uint32_t ring_count_ = 0;
+  std::uint64_t interval_captured_ = 0;
+  std::uint64_t interval_dropped_ = 0;
+  std::size_t nonhost_counters_ = 0;  ///< maintained by counter()
 };
 
 /// True when `name` is a host-side diagnostic (excluded from the

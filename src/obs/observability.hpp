@@ -22,12 +22,13 @@ namespace dsm::obs {
 class Observability {
  public:
   Observability(const ObsConfig& cfg, unsigned num_nodes)
-      : stats_(cfg.stats),
+      : stats_(cfg.stats || cfg.intervals),  // intervals need live counters
         trace_(cfg.trace ? TraceBuffer(num_nodes, cfg.trace_events_per_node)
                          : TraceBuffer()) {}
 
   bool stats_enabled() const { return stats_; }
   bool trace_enabled() const { return trace_.enabled(); }
+  bool intervals_enabled() const { return metrics_.intervals_enabled(); }
 
   /// Registration handle for components; returns a null (no-op) handle
   /// when stats are off, so registrants never branch on the mode.
@@ -50,6 +51,10 @@ class Observability {
   std::string snapshot_json() const {
     return stats_ ? metrics_.snapshot_json() : std::string();
   }
+
+  /// Deterministic interval timeline for the record envelope ("" when
+  /// interval capture was never enabled).
+  std::string intervals_json() const { return metrics_.intervals_json(); }
 
  private:
   bool stats_ = false;

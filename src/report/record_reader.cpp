@@ -108,6 +108,11 @@ bool read_record(const std::string& line, RecordView* out,
   const JsonValue* obs = metrics->find("obs");
   if (obs && !obs->is_object())
     return fail(error, "metrics context field 'obs' must be an object");
+  // Optional: the phase-attributed interval timeline (--obs-intervals).
+  const JsonValue* obs_intervals = metrics->find("obs_intervals");
+  if (obs_intervals && !obs_intervals->is_object())
+    return fail(error,
+                "metrics context field 'obs_intervals' must be an object");
   if (!m || !m->is_object())
     return fail(error, "metrics context is missing object field 'm'");
 

@@ -1,0 +1,327 @@
+#include "report/timeline.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cinttypes>
+#include <map>
+#include <vector>
+
+#include "report/record_reader.hpp"
+
+namespace dsm::report {
+namespace {
+
+struct TimelineRow {
+  std::uint32_t node = 0;
+  std::uint64_t seq = 0;
+  std::int64_t phase = -1;
+  std::uint64_t end_cycle = 0;
+  std::vector<std::uint64_t> deltas;  ///< one per slot
+};
+
+struct Timeline {
+  std::vector<std::string> slots;
+  std::uint64_t capacity = 0;
+  std::uint64_t captured = 0;
+  std::uint64_t dropped = 0;
+  std::vector<TimelineRow> rows;           ///< oldest first
+  std::vector<std::uint64_t> tail;         ///< open interval, one per slot
+};
+
+bool fail(std::string* err, const std::string& msg) {
+  if (err) *err = msg;
+  return false;
+}
+
+bool signed_of(const JsonValue& v, std::int64_t* out) {
+  if (!v.is_number()) return false;
+  const std::string& raw = v.raw_number();
+  const auto [p, ec] =
+      std::from_chars(raw.data(), raw.data() + raw.size(), *out);
+  return ec == std::errc{} && p == raw.data() + raw.size();
+}
+
+/// The intervals_json schema, strictly (see obs/metrics.hpp): slots,
+/// capacity, captured, dropped, intervals rows [node,seq,phase,end_cycle,
+/// d0..], tail.
+bool parse_timeline(const JsonValue& iv, Timeline* out, std::string* err) {
+  const JsonValue* slots = iv.find("slots");
+  const JsonValue* capacity = iv.find("capacity");
+  const JsonValue* captured = iv.find("captured");
+  const JsonValue* dropped = iv.find("dropped");
+  const JsonValue* intervals = iv.find("intervals");
+  const JsonValue* tail = iv.find("tail");
+  if (!slots || !slots->is_array())
+    return fail(err, "'obs_intervals' is missing array field 'slots'");
+  if (!capacity || !capacity->is_number() || !captured ||
+      !captured->is_number() || !dropped || !dropped->is_number())
+    return fail(err, "'obs_intervals' is missing capacity/captured/dropped");
+  if (!intervals || !intervals->is_array())
+    return fail(err, "'obs_intervals' is missing array field 'intervals'");
+  if (!tail || !tail->is_array())
+    return fail(err, "'obs_intervals' is missing array field 'tail'");
+
+  for (const auto& s : slots->items()) {
+    if (!s.is_string())
+      return fail(err, "'obs_intervals' slot names must be strings");
+    out->slots.push_back(s.string());
+  }
+  out->capacity = capacity->unsigned_int();
+  out->captured = captured->unsigned_int();
+  out->dropped = dropped->unsigned_int();
+
+  const std::size_t width = out->slots.size();
+  for (const auto& row : intervals->items()) {
+    if (!row.is_array() || row.items().size() != 4 + width)
+      return fail(err, "'obs_intervals' row width does not match slots");
+    TimelineRow r;
+    std::int64_t node = 0, seq = 0, cycle = 0;
+    if (!signed_of(row.item(0), &node) || !signed_of(row.item(1), &seq) ||
+        !signed_of(row.item(2), &r.phase) || !signed_of(row.item(3), &cycle))
+      return fail(err, "'obs_intervals' row header must be numeric");
+    r.node = static_cast<std::uint32_t>(node);
+    r.seq = static_cast<std::uint64_t>(seq);
+    r.end_cycle = static_cast<std::uint64_t>(cycle);
+    r.deltas.reserve(width);
+    for (std::size_t i = 0; i < width; ++i)
+      r.deltas.push_back(row.item(4 + i).unsigned_int());
+    out->rows.push_back(std::move(r));
+  }
+  if (tail->items().size() != width)
+    return fail(err, "'obs_intervals' tail width does not match slots");
+  for (const auto& t : tail->items()) out->tail.push_back(t.unsigned_int());
+  return true;
+}
+
+/// Slot indices of the `top_k` metrics by total delta across all rows +
+/// tail, largest first; ties break toward snapshot order so the
+/// selection is deterministic.
+std::vector<std::size_t> top_slots(const Timeline& tl, unsigned top_k) {
+  std::vector<std::uint64_t> total(tl.slots.size(), 0);
+  for (const auto& r : tl.rows)
+    for (std::size_t i = 0; i < total.size(); ++i) total[i] += r.deltas[i];
+  for (std::size_t i = 0; i < total.size(); ++i) total[i] += tl.tail[i];
+  std::vector<std::size_t> order(total.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return total[a] > total[b];
+                   });
+  if (order.size() > top_k) order.resize(top_k);
+  return order;
+}
+
+/// Sum + mean of each selected slot over the rows of one phase.
+struct PhaseProfile {
+  std::uint64_t count = 0;                 ///< intervals in this phase
+  std::vector<double> mean;                ///< per slot (full width)
+};
+
+void render_one(const RecordView& rec, const Timeline& tl,
+                const TimelineOptions& opt, std::FILE* out) {
+  const auto sel = top_slots(tl, opt.top_k);
+  std::fprintf(out, "%s: %" PRIu64 " intervals (%" PRIu64
+               " dropped, ring capacity %" PRIu64 "), %zu metrics\n",
+               rec.key.c_str(), tl.captured, tl.dropped, tl.capacity,
+               tl.slots.size());
+
+  // ---- interval × metric series (top-k columns, head+tail rows) ----
+  std::fprintf(out, "  %-5s %-4s %-5s %-6s %12s", "#", "node", "seq",
+               "phase", "end_cycle");
+  for (const auto s : sel) std::fprintf(out, " %14s", tl.slots[s].c_str());
+  std::fprintf(out, "\n");
+  const std::size_t n = tl.rows.size();
+  const std::size_t head = std::min<std::size_t>(n, opt.max_rows);
+  for (std::size_t i = 0; i < head; ++i) {
+    const auto& r = tl.rows[i];
+    std::fprintf(out, "  %-5zu %-4u %-5" PRIu64 " %-6lld %12" PRIu64, i,
+                 r.node, r.seq, static_cast<long long>(r.phase),
+                 r.end_cycle);
+    for (const auto s : sel)
+      std::fprintf(out, " %14" PRIu64, r.deltas[s]);
+    std::fprintf(out, "\n");
+  }
+  if (head < n)
+    std::fprintf(out, "  ... %zu more rows (--rows=N to widen)\n", n - head);
+
+  // ---- per-phase aggregation ----
+  std::map<std::int64_t, PhaseProfile> phases;
+  for (const auto& r : tl.rows) {
+    auto& p = phases[r.phase];
+    if (p.mean.empty()) p.mean.assign(tl.slots.size(), 0.0);
+    ++p.count;
+    for (std::size_t i = 0; i < r.deltas.size(); ++i)
+      p.mean[i] += static_cast<double>(r.deltas[i]);
+  }
+  for (auto& [id, p] : phases)
+    for (auto& m : p.mean) m /= static_cast<double>(p.count);
+  std::fprintf(out, "  per-phase means (%zu phases):\n", phases.size());
+  std::fprintf(out, "  %-6s %-9s", "phase", "intervals");
+  for (const auto s : sel) std::fprintf(out, " %14s", tl.slots[s].c_str());
+  std::fprintf(out, "\n");
+  for (const auto& [id, p] : phases) {
+    std::fprintf(out, "  %-6lld %-9" PRIu64, static_cast<long long>(id),
+                 p.count);
+    for (const auto s : sel) std::fprintf(out, " %14.1f", p.mean[s]);
+    std::fprintf(out, "\n");
+  }
+
+  // ---- phase-transition matrix over successive boundaries ----
+  std::map<std::pair<std::int64_t, std::int64_t>, std::uint64_t> trans;
+  for (std::size_t i = 1; i < tl.rows.size(); ++i)
+    ++trans[{tl.rows[i - 1].phase, tl.rows[i].phase}];
+  std::fprintf(out, "  phase transitions (from -> to: count):\n");
+  std::pair<std::int64_t, std::int64_t> hottest{0, 0};
+  std::uint64_t hottest_n = 0;
+  for (const auto& [ft, c] : trans) {
+    std::fprintf(out, "    %lld -> %lld: %" PRIu64 "\n",
+                 static_cast<long long>(ft.first),
+                 static_cast<long long>(ft.second), c);
+    if (ft.first != ft.second && c > hottest_n) {
+      hottest = ft;
+      hottest_n = c;
+    }
+  }
+
+  // ---- top metric deltas across the dominant transition ----
+  if (hottest_n > 0) {
+    const auto& a = phases[hottest.first];
+    const auto& b = phases[hottest.second];
+    std::vector<std::size_t> order(tl.slots.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    auto gap = [&](std::size_t i) {
+      const double d = b.mean[i] - a.mean[i];
+      return d < 0 ? -d : d;
+    };
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t x, std::size_t y) {
+                       return gap(x) > gap(y);
+                     });
+    if (order.size() > opt.top_k) order.resize(opt.top_k);
+    std::fprintf(out,
+                 "  top metric deltas across dominant transition "
+                 "%lld -> %lld (mean per interval):\n",
+                 static_cast<long long>(hottest.first),
+                 static_cast<long long>(hottest.second));
+    for (const auto i : order)
+      std::fprintf(out, "    %-36s %14.1f -> %14.1f\n", tl.slots[i].c_str(),
+                   a.mean[i], b.mean[i]);
+  }
+}
+
+/// Chrome counter ("C") events for one record's timeline: one track per
+/// selected metric plus the detected phase id, pid = spec_index so a
+/// multi-record file coexists with (and record 0 overlays) the event
+/// trace conversion, which emits everything under pid 0. Same time base:
+/// 1 simulated cycle = 1 µs.
+void chrome_one(const RecordView& rec, const Timeline& tl,
+                const TimelineOptions& opt, std::FILE* f, const char** sep) {
+  const auto sel = top_slots(tl, opt.top_k);
+  std::fprintf(f,
+               "%s{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%zu,"
+               "\"args\":{\"name\":\"%s\"}}",
+               *sep, rec.spec_index, rec.key.c_str());
+  *sep = ",\n";
+  for (const auto& r : tl.rows) {
+    std::fprintf(f,
+                 "%s{\"name\":\"phase\",\"ph\":\"C\",\"ts\":%" PRIu64
+                 ",\"pid\":%zu,\"tid\":0,\"args\":{\"id\":%lld}}",
+                 *sep, r.end_cycle, rec.spec_index,
+                 static_cast<long long>(r.phase));
+    for (const auto s : sel)
+      std::fprintf(f,
+                   "%s{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%" PRIu64
+                   ",\"pid\":%zu,\"tid\":0,\"args\":{\"delta\":%" PRIu64
+                   "}}",
+                   *sep, tl.slots[s].c_str(), r.end_cycle, rec.spec_index,
+                   r.deltas[s]);
+  }
+}
+
+/// sum(rows) + tail must equal the end-of-run snapshot exactly when no
+/// ring row was dropped — the capture mechanism loses nothing. Returns
+/// false (with a named counter) on mismatch.
+bool reconcile(const RecordView& rec, const Timeline& tl, std::string* err) {
+  const JsonValue* obs = rec.metrics.find("obs");
+  if (obs == nullptr || tl.dropped != 0) return true;  // nothing to check
+  const JsonValue* counters = obs->find("counters");
+  if (counters == nullptr || !counters->is_object()) return true;
+  for (std::size_t i = 0; i < tl.slots.size(); ++i) {
+    std::uint64_t sum = tl.tail[i];
+    for (const auto& r : tl.rows) sum += r.deltas[i];
+    const JsonValue* snap = counters->find(tl.slots[i]);
+    if (snap == nullptr)
+      return fail(err, "snapshot is missing counter '" + tl.slots[i] + "'");
+    if (snap->unsigned_int() != sum)
+      return fail(err, "counter '" + tl.slots[i] +
+                           "': interval sum + tail = " + std::to_string(sum) +
+                           " but snapshot holds " +
+                           std::to_string(snap->unsigned_int()));
+  }
+  return true;
+}
+
+}  // namespace
+
+int render_timeline(shard::LineSource& source, const TimelineOptions& opt,
+                    std::FILE* out) {
+  std::FILE* chrome = nullptr;
+  const char* chrome_sep = "\n";
+  if (!opt.chrome_path.empty()) {
+    chrome = std::fopen(opt.chrome_path.c_str(), "w");
+    if (chrome == nullptr) {
+      std::fprintf(stderr, "dsm_report timeline: cannot write %s\n",
+                   opt.chrome_path.c_str());
+      return 1;
+    }
+    std::fprintf(chrome, "{\"traceEvents\":[");
+  }
+
+  RecordReader reader(source, StreamKind::kShardSlice);
+  RecordView rec;
+  std::size_t with_timeline = 0;
+  int rc = 0;
+  while (reader.next(&rec)) {
+    const JsonValue* iv = rec.metrics.find("obs_intervals");
+    if (iv == nullptr) continue;
+    Timeline tl;
+    std::string err;
+    if (!parse_timeline(*iv, &tl, &err)) {
+      std::fprintf(stderr, "dsm_report timeline: %s: %s\n", rec.key.c_str(),
+                   err.c_str());
+      rc = 1;
+      continue;
+    }
+    ++with_timeline;
+    render_one(rec, tl, opt, out);
+    if (!reconcile(rec, tl, &err)) {
+      std::fprintf(stderr,
+                   "dsm_report timeline: %s: RECONCILIATION FAILED: %s\n",
+                   rec.key.c_str(), err.c_str());
+      rc = 1;
+    } else if (rec.metrics.find("obs") != nullptr && tl.dropped == 0) {
+      std::fprintf(out,
+                   "  reconciled: interval sums + tail match the "
+                   "end-of-run snapshot on all %zu metrics\n",
+                   tl.slots.size());
+    }
+    if (chrome != nullptr) chrome_one(rec, tl, opt, chrome, &chrome_sep);
+  }
+  if (chrome != nullptr) {
+    std::fprintf(chrome, "\n]}\n");
+    std::fclose(chrome);
+  }
+  if (!reader.ok()) {
+    std::fprintf(stderr, "dsm_report timeline: %s\n", reader.error().c_str());
+    return 1;
+  }
+  if (with_timeline == 0) {
+    std::fprintf(stderr,
+                 "dsm_report timeline: no record carries an 'obs_intervals' "
+                 "timeline (run the harness with --obs-intervals)\n");
+    return 1;
+  }
+  return rc;
+}
+
+}  // namespace dsm::report

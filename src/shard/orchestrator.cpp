@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "shard/heartbeat.hpp"
 #include "shard/shard_plan.hpp"
 #include "shard/stream_sink.hpp"
 
@@ -54,6 +55,50 @@ struct Worker {
 void report(const char* what) {
   std::fprintf(stderr, "orchestrator: %s: %s\n", what, std::strerror(errno));
 }
+
+/// Live fleet progress from the workers' heartbeat files: the merge sink
+/// polls after every merged record (cheap — heartbeat files are a line
+/// per completed spec) and prints a stderr line whenever some worker's
+/// completed count advanced. stderr only, never stdout: the merged
+/// result stream must stay byte-identical with heartbeats on.
+class ProgressPoll {
+ public:
+  explicit ProgressPoll(std::vector<std::string> files)
+      : files_(std::move(files)), last_done_(files_.size(), ~0ull) {}
+
+  bool enabled() const { return !files_.empty(); }
+
+  void poll() {
+    for (std::size_t i = 0; i < files_.size(); ++i) {
+      std::FILE* f = std::fopen(files_[i].c_str(), "r");
+      if (f == nullptr) continue;  // worker has not opened it yet
+      // Last line = the worker's current state.
+      std::string last;
+      {
+        FileLineSource src(f);
+        for (std::string line; src.next(line);) last = std::move(line);
+      }
+      std::fclose(f);
+      Heartbeat hb;
+      if (last.empty() || !parse_heartbeat(last, &hb)) continue;
+      if (hb.done == last_done_[i]) continue;
+      last_done_[i] = hb.done;
+      std::fprintf(stderr,
+                   "orchestrator: shard %s %llu/%llu done (last spec %lld, "
+                   "%llu ms, rss %llu KB)\n",
+                   hb.shard.c_str(),
+                   static_cast<unsigned long long>(hb.done),
+                   static_cast<unsigned long long>(hb.total),
+                   static_cast<long long>(hb.last_spec),
+                   static_cast<unsigned long long>(hb.wall_ms),
+                   static_cast<unsigned long long>(hb.maxrss_kb));
+    }
+  }
+
+ private:
+  std::vector<std::string> files_;
+  std::vector<std::uint64_t> last_done_;
+};
 
 }  // namespace
 
@@ -103,6 +148,13 @@ int run_sharded(const OrchestratorOptions& opt, std::FILE* out) {
     std::fprintf(stderr, "orchestrator: bad shard count %u\n", opt.shards);
     return 1;
   }
+  if (!opt.heartbeat_files.empty() &&
+      opt.heartbeat_files.size() != opt.shards) {
+    std::fprintf(stderr,
+                 "orchestrator: %zu heartbeat files for %u shards\n",
+                 opt.heartbeat_files.size(), opt.shards);
+    return 1;
+  }
 
   std::vector<Worker> workers(opt.shards);
   for (unsigned i = 0; i < opt.shards; ++i) {
@@ -136,6 +188,11 @@ int run_sharded(const OrchestratorOptions& opt, std::FILE* out) {
         argv.push_back(const_cast<char*>(a.c_str()));
       const std::string shard_flag = "--shard=" + plan.label();
       argv.push_back(const_cast<char*>(shard_flag.c_str()));
+      std::string hb_flag;
+      if (!opt.heartbeat_files.empty()) {
+        hb_flag = "--heartbeat=" + opt.heartbeat_files[i];
+        argv.push_back(const_cast<char*>(hb_flag.c_str()));
+      }
       argv.push_back(nullptr);
       // execvp, not execv: when /proc/self/exe was unreadable the binary
       // falls back to a bare argv[0], which only a PATH search resolves.
@@ -173,13 +230,16 @@ int run_sharded(const OrchestratorOptions& opt, std::FILE* out) {
   for (auto& s : file_sources) sources.push_back(&s);
 
   std::string error;
+  ProgressPoll progress(opt.heartbeat_files);
   const bool merged = merge_streams(
       sources,
       [&](const std::string& line) {
         std::fwrite(line.data(), 1, line.size(), out);
         std::fputc('\n', out);
+        if (progress.enabled()) progress.poll();
       },
       &error);
+  if (progress.enabled()) progress.poll();  // final state after drain
   std::fflush(out);
 
   // Closing the pipes first makes a still-writing worker take SIGPIPE

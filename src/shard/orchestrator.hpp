@@ -75,6 +75,13 @@ struct OrchestratorOptions {
   std::string binary;              ///< executable to re-invoke (self_exe())
   std::vector<std::string> args;   ///< forwarded flags, minus --shards
   unsigned shards = 1;             ///< workers to fork, in [1, kMaxShards]
+  /// Per-worker heartbeat file paths (heartbeat.hpp), one per shard, or
+  /// empty for no progress telemetry. The orchestrator appends
+  /// --heartbeat=<file i> to worker i's argv and, while merging, polls
+  /// the files and surfaces per-worker progress lines on stderr whenever
+  /// a worker's completed-spec count advances. Telemetry only — the
+  /// merged stdout stream is byte-identical with or without this.
+  std::vector<std::string> heartbeat_files;
 };
 
 /// Absolute path of the running executable (/proc/self/exe), falling back

@@ -20,9 +20,12 @@
 // `protocol` field (present only when the coherence-protocol axis is
 // swept; readers default it to "mesi") — optional precisely so every
 // pre-protocol v2 store still parses and byte-compares, no v3 needed.
-// Same precedent for the optional `batch` field (batch-size axis) and
-// the optional `obs` object (the machine's deterministic observability
-// snapshot, present only under --obs-stats; see src/obs/metrics.hpp).
+// Same precedent for the optional `batch` field (batch-size axis), the
+// optional `obs` object (the machine's deterministic observability
+// snapshot, present only under --obs-stats; see src/obs/metrics.hpp),
+// and the optional `obs_intervals` object (the phase-attributed interval
+// timeline, present only under --obs-intervals; rendered by
+// `dsm_report timeline`).
 // The normative schema description lives in README.md, "NDJSON record
 // schema"; the strict offline validator is report/record_reader.hpp.
 #pragma once

@@ -62,6 +62,25 @@ Machine::Machine(const MachineConfig& cfg)
   pending_.resize(cfg_.num_nodes);
   batch_n_ = cfg_.batch_size;
   DSM_ASSERT(batch_n_ >= 1 && batch_n_ <= coh::CoherenceFabric::kMaxBatch);
+  if (cfg_.obs.intervals) {
+    phase::Thresholds t;
+    t.bbv = cfg_.obs.interval_bbv_threshold != 0
+                ? cfg_.obs.interval_bbv_threshold
+                : cfg_.phase.bbv_norm / 8;
+    t.dds = cfg_.obs.interval_dds_threshold;
+    obs_detectors_.reserve(cfg_.num_nodes);
+    for (unsigned i = 0; i < cfg_.num_nodes; ++i) {
+      if (t.dds > 0.0)
+        obs_detectors_.push_back(std::make_unique<phase::BbvDdvDetector>(
+            cfg_.phase.footprint_vectors, t));
+      else
+        obs_detectors_.push_back(std::make_unique<phase::BbvDetector>(
+            cfg_.phase.footprint_vectors, t));
+    }
+    // All deterministic registrants (network links, fabric hooks) ran in
+    // the member initializers above, so the tracked-slot set is final.
+    obs_.metrics().enable_intervals(cfg_.obs.interval_capacity);
+  }
 }
 
 void Machine::maybe_yield(unsigned tid) {
@@ -108,7 +127,21 @@ void Machine::end_interval(unsigned tid) {
                 ? 0.0
                 : static_cast<double>(rec.cycles) /
                       static_cast<double>(rec.instructions);
+  // Online phase classification (cfg.obs.intervals): label the interval
+  // before the record is moved into the trace. Pure observation — the
+  // detected id feeds the metrics timeline and the trace event only.
+  PhaseId det_phase = kNoPhase;
+  if (!obs_detectors_.empty()) det_phase = obs_detectors_[tid]->classify(rec).phase;
   ps.intervals.push_back(std::move(rec));
+
+  if (obs_.intervals_enabled()) {
+    obs::IntervalMeta meta;
+    meta.end_cycle = now;
+    meta.seq = ps.intervals.size() - 1;
+    meta.node = tid;
+    meta.phase = det_phase;
+    obs_.metrics().end_interval(meta);
+  }
 
   if (obs::TraceBuffer* tb = obs_.trace()) {
     obs::TraceEvent ev;
@@ -116,6 +149,9 @@ void Machine::end_interval(unsigned tid) {
     ev.arg = ps.intervals.size() - 1;  // interval index just closed
     ev.kind = obs::TraceEvent::kPhaseBoundary;
     ev.node = static_cast<std::uint8_t>(tid);
+    // Detected phase id + 1 (0 = detection off / unclassified) so
+    // timeline overlays can color boundaries by phase.
+    ev.aux = static_cast<std::uint32_t>(det_phase + 1);
     tb->record(ev);
   }
 
@@ -290,6 +326,7 @@ RunSummary Machine::run(const AppFn& app) {
   sum.barrier_wait_mean = global_barrier_.wait_stat().mean();
   sum.barrier_wait_max = global_barrier_.wait_stat().max();
   sum.obs_json = obs_.snapshot_json();
+  sum.obs_intervals_json = obs_.intervals_json();
   if (cfg_.obs.trace && !cfg_.obs.trace_path.empty()) {
     std::string err;
     if (!obs_.trace_buffer().dump(cfg_.obs.trace_path, &err))

@@ -31,6 +31,7 @@
 #include "obs/observability.hpp"
 #include "phase/bbv.hpp"
 #include "phase/ddv.hpp"
+#include "phase/detector.hpp"
 #include "phase/interval_record.hpp"
 #include "sim/allocator.hpp"
 #include "sim/scheduler.hpp"
@@ -63,6 +64,12 @@ struct RunSummary {
   /// Deterministic metrics snapshot (obs/metrics.hpp JSON), "" when
   /// cfg.obs.stats was off. Identical across --threads/--shards/--batch.
   std::string obs_json;
+  /// Phase-attributed interval timeline (obs/metrics.hpp intervals_json),
+  /// "" when cfg.obs.intervals was off. Every phase-detector interval
+  /// boundary captures the machine-wide counter deltas since the previous
+  /// boundary, tagged with the online-detected phase id — identical
+  /// across --threads/--shards/--batch like obs_json.
+  std::string obs_intervals_json;
 
   /// Aggregate CPI of processor p (cycles / instructions).
   double cpi(unsigned p) const;
@@ -184,6 +191,11 @@ class Machine {
   std::vector<std::unique_ptr<ProcState>> procs_;
   std::vector<HotLane> lanes_;  ///< one per processor, see HotLane
   std::vector<PendingMem> pending_;  ///< one per processor, see PendingMem
+  /// Per-processor online detectors for phase-attributed interval capture
+  /// (cfg.obs.intervals). classify() is pure w.r.t. simulated state —
+  /// phase ids only label captured intervals and trace events, so the
+  /// observability non-perturbation contract holds.
+  std::vector<std::unique_ptr<phase::PhaseDetector>> obs_detectors_;
   InstrCount interval_len_;
   unsigned batch_n_ = 1;  ///< cfg_.batch_size, hoisted for op_mem
   bool ran_ = false;

@@ -27,18 +27,39 @@
 //       script) for a fleet run: launch, collect the files, merge,
 //       render.
 //
-//   dsm_report stats file.ndjson
+//   dsm_report stats [--diff B.ndjson] file.ndjson
 //       Renders the deterministic observability snapshots (the optional
 //       `obs` envelope field records gain under --obs-stats) as per-record
-//       counter/histogram tables. Exits 1 when no record carries one.
+//       counter/histogram tables. With --diff, compares the snapshots of
+//       two record files pairwise (per-counter delta + percent columns) —
+//       one command to spot a protocol or perf regression in coherence
+//       traffic. Exits 1 when no record carries a snapshot.
+//
+//   dsm_report timeline [--top=K] [--rows=N] [--chrome=FILE] file.ndjson
+//       Renders the phase-attributed interval timelines (the optional
+//       `obs_intervals` field records gain under --obs-intervals):
+//       interval × metric series, per-phase means, the phase-transition
+//       matrix, and the top metric deltas across the dominant transition.
+//       Reconciles interval sums against the end-of-run snapshot when
+//       both fields are present. --chrome additionally emits Chrome
+//       counter ("C") events that overlay `dsm_report trace` output.
+//
+//   dsm_report progress hb.ndjson ...
+//       Renders a fleet status table from collected worker heartbeat
+//       files (bench --heartbeat=FILE / launch_shards.sh): per worker
+//       done/total, last spec index, wall time, peak RSS.
 //
 //   dsm_report trace [--validate] trace.bin
 //       Converts a binary event-trace dump (bench --trace=FILE) to Chrome
 //       trace-event JSON on stdout (load in chrome://tracing or Perfetto;
 //       1 simulated cycle renders as 1 µs). --validate checks the file
-//       structurally and prints a per-node summary instead.
+//       structurally and prints a per-node summary instead; conversion
+//       prints per-node drop counts and ring utilization to stderr so an
+//       overflowed ring is never a silently truncated timeline.
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -46,6 +67,8 @@
 #include "obs/trace.hpp"
 #include "report/record_reader.hpp"
 #include "report/renderer.hpp"
+#include "report/timeline.hpp"
+#include "shard/heartbeat.hpp"
 #include "shard/orchestrator.hpp"
 #include "shard/shard_plan.hpp"
 
@@ -64,8 +87,16 @@ int usage(const char* argv0) {
       "  validate [--merged] FILE...  strict-check record files\n"
       "  plan --bin=PATH --shards=N [--out=DIR] [--sbatch] [-- FLAGS...]\n"
       "                             print per-host shard command lines\n"
-      "  stats FILE                 print the observability snapshots\n"
-      "                             (--obs-stats records' 'obs' field)\n"
+      "  stats [--diff B] FILE      print the observability snapshots\n"
+      "                             (--obs-stats records' 'obs' field);\n"
+      "                             --diff compares two record files with\n"
+      "                             per-counter delta and percent columns\n"
+      "  timeline [--top=K] [--rows=N] [--chrome=FILE] FILE\n"
+      "                             render phase-attributed interval\n"
+      "                             timelines (--obs-intervals records);\n"
+      "                             --chrome also emits counter events\n"
+      "  progress FILE...           fleet status table from worker\n"
+      "                             heartbeat files (bench --heartbeat)\n"
       "  trace [--validate] FILE    convert a binary event trace (bench\n"
       "                             --trace=FILE) to Chrome trace JSON;\n"
       "                             --validate checks + summarizes instead\n",
@@ -202,10 +233,114 @@ int cmd_validate(const std::vector<std::string>& args) {
   return rc;
 }
 
+/// One record's deterministic snapshot, counters in snapshot order.
+struct ObsSnapshot {
+  std::string key;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+};
+
+/// Collects the `obs` counter snapshots of every record in `path`.
+bool collect_snapshots(const std::string& path,
+                       std::vector<ObsSnapshot>* out) {
+  OpenFile in;
+  if (!open_input(path, &in)) return false;
+  shard::FileLineSource source(in.f);
+  report::RecordReader reader(source, report::StreamKind::kShardSlice);
+  report::RecordView rec;
+  while (reader.next(&rec)) {
+    const report::JsonValue* obs = rec.metrics.find("obs");
+    if (obs == nullptr) continue;
+    const report::JsonValue* counters = obs->find("counters");
+    if (counters == nullptr || !counters->is_object()) continue;
+    ObsSnapshot snap;
+    snap.key = rec.key;
+    for (const auto& [name, v] : counters->members())
+      snap.counters.emplace_back(name, v.unsigned_int());
+    out->push_back(std::move(snap));
+  }
+  if (!reader.ok()) {
+    std::fprintf(stderr, "dsm_report stats: %s: %s\n", path.c_str(),
+                 reader.error().c_str());
+    return false;
+  }
+  return true;
+}
+
+/// `stats --diff A B`: pair the two files' snapshots in record order and
+/// print per-counter delta + percent columns. Counters present on only
+/// one side are listed with '-' on the other.
+int cmd_stats_diff(const std::string& path_a, const std::string& path_b) {
+  std::vector<ObsSnapshot> a, b;
+  if (!collect_snapshots(path_a, &a) || !collect_snapshots(path_b, &b))
+    return 1;
+  if (a.empty() || b.empty()) {
+    std::fprintf(stderr,
+                 "dsm_report stats: --diff needs 'obs' snapshots on both "
+                 "sides (%s: %zu, %s: %zu) — run with --obs-stats\n",
+                 path_a.c_str(), a.size(), path_b.c_str(), b.size());
+    return 1;
+  }
+  if (a.size() != b.size())
+    std::fprintf(stderr,
+                 "dsm_report stats: warning: %zu vs %zu snapshot records; "
+                 "diffing the first %zu pairs\n",
+                 a.size(), b.size(), std::min(a.size(), b.size()));
+  const std::size_t pairs = std::min(a.size(), b.size());
+  for (std::size_t p = 0; p < pairs; ++p) {
+    const auto& sa = a[p];
+    const auto& sb = b[p];
+    std::printf("%s vs %s\n", sa.key.c_str(), sb.key.c_str());
+    std::printf("  %-36s %14s %14s %14s %10s\n", "counter", "A", "B",
+                "delta", "pct");
+    auto value_in = [](const ObsSnapshot& s, const std::string& name,
+                       std::uint64_t* v) {
+      for (const auto& [n, val] : s.counters)
+        if (n == name) {
+          *v = val;
+          return true;
+        }
+      return false;
+    };
+    for (const auto& [name, va] : sa.counters) {
+      std::uint64_t vb = 0;
+      if (!value_in(sb, name, &vb)) {
+        std::printf("  %-36s %14" PRIu64 " %14s %14s %10s\n", name.c_str(),
+                    va, "-", "-", "-");
+        continue;
+      }
+      const long long delta = static_cast<long long>(vb) -
+                              static_cast<long long>(va);
+      if (va == 0)
+        std::printf("  %-36s %14" PRIu64 " %14" PRIu64 " %+14lld %10s\n",
+                    name.c_str(), va, vb, delta, delta == 0 ? "0%" : "new");
+      else
+        std::printf("  %-36s %14" PRIu64 " %14" PRIu64 " %+14lld %+9.2f%%\n",
+                    name.c_str(), va, vb, delta,
+                    100.0 * static_cast<double>(delta) /
+                        static_cast<double>(va));
+    }
+    for (const auto& [name, vb] : sb.counters) {
+      std::uint64_t dummy = 0;
+      if (!value_in(sa, name, &dummy))
+        std::printf("  %-36s %14s %14" PRIu64 " %14s %10s\n", name.c_str(),
+                    "-", vb, "-", "-");
+    }
+  }
+  return 0;
+}
+
 int cmd_stats(const std::vector<std::string>& args) {
   std::string path;
+  bool diff = false;
+  std::vector<std::string> diff_paths;
   for (const auto& a : args) {
-    if (!a.empty() && (a[0] != '-' || a == "-")) {
+    if (a == "--diff") {
+      diff = true;
+    } else if (!a.empty() && (a[0] != '-' || a == "-")) {
+      if (diff) {
+        diff_paths.push_back(a);
+        continue;
+      }
       if (!path.empty()) {
         std::fprintf(stderr,
                      "dsm_report stats: exactly one input file (got '%s' "
@@ -218,6 +353,15 @@ int cmd_stats(const std::vector<std::string>& args) {
       std::fprintf(stderr, "dsm_report stats: unknown option %s\n", a.c_str());
       return 2;
     }
+  }
+  if (diff) {
+    if (diff_paths.size() != 2 || !path.empty()) {
+      std::fprintf(stderr,
+                   "dsm_report stats: --diff takes exactly two record files "
+                   "(A.ndjson B.ndjson)\n");
+      return 2;
+    }
+    return cmd_stats_diff(diff_paths[0], diff_paths[1]);
   }
   if (path.empty()) {
     std::fprintf(stderr, "dsm_report stats: no input file\n");
@@ -265,6 +409,109 @@ int cmd_stats(const std::vector<std::string>& args) {
     return 1;
   }
   return 0;
+}
+
+int cmd_timeline(const std::vector<std::string>& args) {
+  report::TimelineOptions opt;
+  std::string path;
+  for (const auto& a : args) {
+    if (a.rfind("--top=", 0) == 0) {
+      const unsigned long k = std::strtoul(a.c_str() + 6, nullptr, 10);
+      if (k < 1) {
+        std::fprintf(stderr, "dsm_report timeline: bad --top value\n");
+        return 2;
+      }
+      opt.top_k = static_cast<unsigned>(k);
+    } else if (a.rfind("--rows=", 0) == 0) {
+      opt.max_rows = static_cast<unsigned>(
+          std::strtoul(a.c_str() + 7, nullptr, 10));
+    } else if (a.rfind("--chrome=", 0) == 0) {
+      opt.chrome_path = a.substr(9);
+      if (opt.chrome_path.empty()) {
+        std::fprintf(stderr, "dsm_report timeline: empty --chrome path\n");
+        return 2;
+      }
+    } else if (!a.empty() && (a[0] != '-' || a == "-")) {
+      if (!path.empty()) {
+        std::fprintf(stderr,
+                     "dsm_report timeline: exactly one input file (got '%s' "
+                     "and '%s')\n",
+                     path.c_str(), a.c_str());
+        return 2;
+      }
+      path = a;
+    } else {
+      std::fprintf(stderr, "dsm_report timeline: unknown option %s\n",
+                   a.c_str());
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "dsm_report timeline: no input file\n");
+    return 2;
+  }
+  OpenFile in;
+  if (!open_input(path, &in)) return 1;
+  shard::FileLineSource source(in.f);
+  return report::render_timeline(source, opt, stdout);
+}
+
+int cmd_progress(const std::vector<std::string>& args) {
+  std::vector<std::string> files;
+  for (const auto& a : args) {
+    if (!a.empty() && a[0] != '-') {
+      files.push_back(a);
+    } else {
+      std::fprintf(stderr, "dsm_report progress: unknown option %s\n",
+                   a.c_str());
+      return 2;
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "dsm_report progress: no heartbeat files\n");
+    return 2;
+  }
+  std::printf("%-28s %-20s %10s %6s %10s %10s %10s %s\n", "file", "bench",
+              "shard", "done", "total", "wall_ms", "rss_kb", "state");
+  std::size_t alive = 0;
+  std::uint64_t fleet_done = 0, fleet_total = 0;
+  for (const auto& path : files) {
+    OpenFile in;
+    if (!open_input(path, &in)) {
+      std::printf("%-28s %-20s %10s %6s %10s %10s %10s %s\n", path.c_str(),
+                  "-", "-", "-", "-", "-", "-", "missing");
+      continue;
+    }
+    // Last parsable line = the worker's current state.
+    shard::Heartbeat hb;
+    bool have = false;
+    {
+      shard::FileLineSource source(in.f);
+      shard::Heartbeat parsed;
+      for (std::string line; source.next(line);)
+        if (shard::parse_heartbeat(line, &parsed)) {
+          hb = parsed;
+          have = true;
+        }
+    }
+    if (!have) {
+      std::printf("%-28s %-20s %10s %6s %10s %10s %10s %s\n", path.c_str(),
+                  "-", "-", "-", "-", "-", "-", "unparsable");
+      continue;
+    }
+    ++alive;
+    fleet_done += hb.done;
+    fleet_total += hb.total;
+    std::printf("%-28s %-20s %10s %6" PRIu64 " %10" PRIu64 " %10" PRIu64
+                " %10" PRIu64 " %s\n",
+                path.c_str(), hb.bench.c_str(), hb.shard.c_str(), hb.done,
+                hb.total, hb.wall_ms, hb.maxrss_kb,
+                hb.done >= hb.total ? "done" : "running");
+  }
+  std::printf("fleet: %zu/%zu workers reporting, %" PRIu64 "/%" PRIu64
+              " specs done\n",
+              alive, files.size(), fleet_done, fleet_total);
+  return alive == 0 ? 1 : 0;
 }
 
 /// DataSource names in coh::DataSource declaration order — kept as a
@@ -386,6 +633,31 @@ int cmd_trace(const std::vector<std::string>& args) {
   }
   std::printf("\n]}\n");
   std::fflush(stdout);
+  // Ring health on stderr: a full ring overwrote its oldest events, so a
+  // "clean" conversion might still be a truncated timeline — make that
+  // visible instead of silent.
+  std::uint64_t total_dropped = 0;
+  for (std::size_t n = 0; n < data.nodes.size(); ++n) {
+    const auto& node = data.nodes[n];
+    const double util =
+        data.capacity_per_node == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(node.events.size()) /
+                  static_cast<double>(data.capacity_per_node);
+    std::fprintf(stderr,
+                 "dsm_report trace: node %zu: %zu/%u events (%.1f%% of "
+                 "ring), %" PRIu64 " dropped\n",
+                 n, node.events.size(), data.capacity_per_node, util,
+                 node.dropped);
+    total_dropped += node.dropped;
+  }
+  if (total_dropped > 0)
+    std::fprintf(stderr,
+                 "dsm_report trace: warning: %" PRIu64
+                 " events were overwritten before the dump — the timeline "
+                 "is truncated; rerun with a larger ring "
+                 "(ObsConfig::trace_events_per_node)\n",
+                 total_dropped);
   return 0;
 }
 
@@ -453,6 +725,8 @@ int main(int argc, char** argv) {
   if (cmd == "validate") return cmd_validate(args);
   if (cmd == "plan") return cmd_plan(args);
   if (cmd == "stats") return cmd_stats(args);
+  if (cmd == "timeline") return cmd_timeline(args);
+  if (cmd == "progress") return cmd_progress(args);
   if (cmd == "trace") return cmd_trace(args);
   std::fprintf(stderr, "dsm_report: unknown command '%s'\n", cmd.c_str());
   return usage(argv[0]);
