@@ -1,5 +1,7 @@
 #include "bench/bench_util.hpp"
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -52,10 +54,35 @@ const char* usage_text() {
       "                             sharded: dsm_report render --csv=DIR)\n"
       "  --threads=N                sweep worker threads (0 = one per core,\n"
       "                             default 1)\n"
-      "  --shards=N                 fork N shard workers of this binary and\n"
-      "                             merge their NDJSON streams (spec order)\n"
+      "  --shards=N                 run the pull-fleet coordinator: fork N\n"
+      "                             workers, lease them spec-index ranges,\n"
+      "                             survive worker deaths, and merge the\n"
+      "                             record streams in spec order\n"
       "  --shard=i/N                run shard i of N only, emitting NDJSON\n"
-      "                             records instead of tables (worker mode)\n"
+      "                             records instead of tables (static\n"
+      "                             worker mode, for collected-file flows)\n"
+      "  --pull=fd:K|host:port      pull-worker mode: lease work from a\n"
+      "                             fleet coordinator over this transport\n"
+      "  --listen=PORT              with --shards=N: accept the N workers\n"
+      "                             over TCP instead of forking (start them\n"
+      "                             with --pull=host:PORT)\n"
+      "  --resume=FILE              with --shards=N: scan this NDJSON store,\n"
+      "                             re-emit its complete records, and lease\n"
+      "                             only the gap spec indices\n"
+      "  --lease-log=FILE           with --shards=N: append the lease ledger\n"
+      "                             (leased/retrying/dead/done) as NDJSON;\n"
+      "                             view with `dsm_report progress --lease=`\n"
+      "  --inject-fault=KIND@SPEC   with --shards=N: deterministically kill\n"
+      "                             the worker running spec index SPEC\n"
+      "                             (KIND: worker-exit, worker-hang,\n"
+      "                             truncated-record, dropped-heartbeat)\n"
+      "  --lease-timeout-ms=N       heartbeat deadline before a leased\n"
+      "                             worker is declared dead (default 30000)\n"
+      "  --hb-interval-ms=N         worker heartbeat cadence (default 1000)\n"
+      "  --max-respawns=N           respawns per dead worker slot (def. 3)\n"
+      "  --backoff-ms=N             respawn backoff base, doubled per\n"
+      "                             attempt (default 250, capped at 8000)\n"
+      "  --lease-chunk=N            spec indices per lease (default: auto)\n"
       "  --obs-stats                attach each machine's deterministic\n"
       "                             metrics snapshot to its record (the\n"
       "                             envelope's \"obs\" field; view with\n"
@@ -160,6 +187,65 @@ ParseResult parse_options(int argc, char** argv) {
                     "bad --shard value (want i/N with 0 <= i < N): " + v);
       opt.shard = *plan;
       opt.shard_set = true;
+    } else if (arg.rfind("--pull=", 0) == 0) {
+      const std::string v = value("--pull=");
+      if (!shard::parse_endpoint(v))
+        return fail(std::move(res),
+                    "bad --pull endpoint (want fd:K or host:port): " + v);
+      opt.pull_endpoint = v;
+    } else if (arg.rfind("--listen=", 0) == 0) {
+      const std::string v = value("--listen=");
+      unsigned long p = 0;
+      if (!parse_unsigned(v, 1, 65535, p))
+        return fail(std::move(res), "bad --listen port: " + v);
+      opt.listen_port = static_cast<unsigned>(p);
+    } else if (arg.rfind("--resume=", 0) == 0) {
+      opt.resume_store = value("--resume=");
+      if (opt.resume_store.empty())
+        return fail(std::move(res), "empty --resume path");
+    } else if (arg.rfind("--lease-log=", 0) == 0) {
+      opt.lease_log = value("--lease-log=");
+      if (opt.lease_log.empty())
+        return fail(std::move(res), "empty --lease-log path");
+    } else if (arg.rfind("--inject-fault=", 0) == 0) {
+      const std::string v = value("--inject-fault=");
+      if (!shard::parse_fault_spec(v, &opt.fault, &opt.fault_spec))
+        return fail(std::move(res),
+                    "bad --inject-fault value (want KIND@SPEC with KIND one "
+                    "of worker-exit, worker-hang, truncated-record, "
+                    "dropped-heartbeat): " +
+                        v);
+    } else if (arg.rfind("--lease-timeout-ms=", 0) == 0) {
+      const std::string v = value("--lease-timeout-ms=");
+      unsigned long ms = 0;
+      if (!parse_unsigned(v, 1, 86400000, ms))
+        return fail(std::move(res), "bad --lease-timeout-ms value: " + v);
+      opt.tuning.heartbeat_deadline_ms = ms;
+    } else if (arg.rfind("--hb-interval-ms=", 0) == 0) {
+      const std::string v = value("--hb-interval-ms=");
+      unsigned long ms = 0;
+      if (!parse_unsigned(v, 1, 3600000, ms))
+        return fail(std::move(res), "bad --hb-interval-ms value: " + v);
+      opt.tuning.heartbeat_interval_ms = ms;
+    } else if (arg.rfind("--max-respawns=", 0) == 0) {
+      const std::string v = value("--max-respawns=");
+      unsigned long n = 0;
+      if (!parse_unsigned(v, 0, 100, n))
+        return fail(std::move(res), "bad --max-respawns value: " + v);
+      opt.tuning.max_respawns = static_cast<unsigned>(n);
+    } else if (arg.rfind("--backoff-ms=", 0) == 0) {
+      const std::string v = value("--backoff-ms=");
+      unsigned long ms = 0;
+      if (!parse_unsigned(v, 1, 3600000, ms))
+        return fail(std::move(res), "bad --backoff-ms value: " + v);
+      opt.tuning.backoff_base_ms = ms;
+      if (opt.tuning.backoff_max_ms < ms) opt.tuning.backoff_max_ms = ms;
+    } else if (arg.rfind("--lease-chunk=", 0) == 0) {
+      const std::string v = value("--lease-chunk=");
+      unsigned long n = 0;
+      if (!parse_unsigned(v, 1, 65536, n))
+        return fail(std::move(res), "bad --lease-chunk value: " + v);
+      opt.tuning.lease_chunk = static_cast<std::size_t>(n);
     } else if (arg.rfind("--csv=", 0) == 0) {
       opt.csv_dir = value("--csv=");
     } else if (arg == "--obs-stats") {
@@ -187,11 +273,30 @@ ParseResult parse_options(int argc, char** argv) {
     return fail(std::move(res),
                 "--shard (worker) and --shards (orchestrator) are mutually "
                 "exclusive");
+  if (!opt.pull_endpoint.empty() && (opt.shard_set || opt.shards > 0))
+    return fail(std::move(res),
+                "--pull (fleet worker) is mutually exclusive with --shard "
+                "and --shards");
+  // Coordinator-only flags: these shape the fleet the coordinator runs,
+  // so a worker (or plain local run) accepting them silently would hide
+  // a misconfigured launch script.
+  if (opt.shards == 0) {
+    const char* stray = nullptr;
+    if (opt.listen_port != 0) stray = "--listen";
+    else if (!opt.resume_store.empty()) stray = "--resume";
+    else if (!opt.lease_log.empty()) stray = "--lease-log";
+    else if (opt.fault != shard::FaultKind::kNone) stray = "--inject-fault";
+    if (stray != nullptr)
+      return fail(std::move(res), std::string(stray) +
+                                      " only makes sense on the coordinator: "
+                                      "add --shards=N");
+  }
   // CSV files are written by the renderer, which stream mode suppresses;
   // silently producing no files would be worse than refusing. The records
   // carry the full-resolution curves, so the offline renderer recovers
   // the same files from the collected stream.
-  if (!opt.csv_dir.empty() && (opt.shard_set || opt.shards > 0))
+  if (!opt.csv_dir.empty() &&
+      (opt.shard_set || opt.shards > 0 || !opt.pull_endpoint.empty()))
     return fail(std::move(res),
                 "--csv is not available in sharded runs: collect the NDJSON "
                 "stream and run `dsm_report render --csv=DIR` over it");
@@ -201,21 +306,60 @@ ParseResult parse_options(int argc, char** argv) {
 std::optional<int> maybe_orchestrate(int argc, char** argv,
                                      const ParseResult& parsed) {
   if (!parsed.ok || parsed.options.shards == 0) return std::nullopt;
-  shard::OrchestratorOptions o;
+  const BenchOptions& bo = parsed.options;
+  shard::FleetOptions o;
   o.binary = shard::self_exe(argc > 0 ? argv[0] : nullptr);
-  // --shards is replaced by per-worker --shard=i/N; --heartbeat is
-  // replaced by per-worker --heartbeat=FILE.<i> (heartbeat_files below),
-  // so neither flag is forwarded verbatim.
-  for (int i = 1; i < argc; ++i)
-    if (std::strncmp(argv[i], "--shards=", 9) != 0 &&
-        std::strncmp(argv[i], "--heartbeat=", 12) != 0)
-      o.args.push_back(argv[i]);
-  o.shards = parsed.options.shards;
-  if (!parsed.options.heartbeat_path.empty())
-    for (unsigned i = 0; i < o.shards; ++i)
-      o.heartbeat_files.push_back(parsed.options.heartbeat_path + "." +
-                                  std::to_string(i));
-  return shard::run_sharded(o, stdout);
+  // Coordinator-only flags are consumed here, not forwarded: workers get
+  // the sweep-shaping flags plus a `--pull=` endpoint the coordinator
+  // appends per spawn. (`--heartbeat` becomes per-worker socket
+  // heartbeats the coordinator tees into FILE.<i> itself.)
+  static const char* kCoordinatorOnly[] = {
+      "--shards=",          "--heartbeat=",      "--resume=",
+      "--lease-log=",       "--inject-fault=",   "--lease-timeout-ms=",
+      "--hb-interval-ms=",  "--max-respawns=",   "--backoff-ms=",
+      "--lease-chunk=",     "--listen=",
+  };
+  for (int i = 1; i < argc; ++i) {
+    bool skip = false;
+    for (const char* p : kCoordinatorOnly)
+      skip |= (std::strncmp(argv[i], p, std::strlen(p)) == 0);
+    if (!skip) o.args.push_back(argv[i]);
+  }
+  o.workers = bo.shards;
+  o.tuning = bo.tuning;
+  o.heartbeat_path = bo.heartbeat_path;
+  o.lease_log = bo.lease_log;
+  o.resume_store = bo.resume_store;
+  o.fault = bo.fault;
+  o.fault_spec = bo.fault_spec;
+  o.listen_port = bo.listen_port;
+  return shard::run_fleet(o, stdout);
+}
+
+int pull_empty_sweep(const BenchOptions& opt, const char* bench_name) {
+  // The worker's spec selection is empty (e.g. a filter matched nothing),
+  // but the coordinator still expects the hello/pull/fin handshake; a
+  // silent exit would read as a death and trigger pointless respawns.
+  const auto ep = shard::parse_endpoint(opt.pull_endpoint);
+  if (!ep) {
+    std::fprintf(stderr, "pull worker: bad endpoint %s\n",
+                 opt.pull_endpoint.c_str());
+    return 1;
+  }
+  shard::PullWorker worker(*ep, bench_name, 0);
+  if (!worker.ok()) return 1;
+  while (worker.next_lease()) {
+    // No specs: any lease would be a coordinator bug; drain to fin.
+  }
+  return worker.transport_lost() ? 1 : 0;
+}
+
+void pull_abort(const char* msg) {
+  // Called from inside map_reduce's emit callback: throwing there would
+  // unwind through the runner's worker threads, so die directly. The
+  // coordinator sees the closed socket and re-leases our indices.
+  std::fprintf(stderr, "pull worker: %s\n", msg);
+  ::_exit(1);
 }
 
 Protocol protocol_of_point(const driver::SpecPoint& pt) {

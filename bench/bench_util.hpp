@@ -47,10 +47,15 @@
 #include "driver/sweep_spec.hpp"
 #include "report/record_reader.hpp"
 #include "report/renderer.hpp"
+#include "shard/coordinator.hpp"
+#include "shard/fleet_msg.hpp"
 #include "shard/heartbeat.hpp"
+#include "shard/lease.hpp"
 #include "shard/orchestrator.hpp"
+#include "shard/pull_worker.hpp"
 #include "shard/shard_plan.hpp"
 #include "shard/stream_sink.hpp"
+#include "shard/transport.hpp"
 #include "sim/machine.hpp"
 
 namespace dsm::bench {
@@ -95,14 +100,39 @@ struct BenchOptions {
   bool verbose = false;
   shard::ShardPlan shard;              ///< --shard=i/N (worker mode)
   bool shard_set = false;              ///< --shard appeared: stream mode
-  unsigned shards = 0;                 ///< --shards=N (orchestrator); 0 = off
+  unsigned shards = 0;                 ///< --shards=N (coordinator); 0 = off
+  /// --pull=fd:K|host:port: pull-worker mode — connect to a fleet
+  /// coordinator, lease spec-index ranges, stream records back over the
+  /// transport. Human output is suppressed like --shard. Empty = off.
+  std::string pull_endpoint;
+  /// --listen=PORT (with --shards=N): the coordinator accepts its N
+  /// workers over TCP instead of forking them (multi-host fleets; start
+  /// workers with --pull=host:PORT). 0 = fork mode.
+  unsigned listen_port = 0;
+  /// --resume=FILE (with --shards=N): scan this NDJSON store, re-emit its
+  /// complete records, and lease only the gap spec indices.
+  std::string resume_store;
+  /// --lease-log=FILE (with --shards=N): append the coordinator's lease
+  /// ledger (leased/retrying/dead/done per worker) as NDJSON; view with
+  /// `dsm_report progress --lease=FILE`.
+  std::string lease_log;
+  /// --inject-fault=kind@spec_index (with --shards=N): deterministic
+  /// chaos harness — the coordinator arms the fault on the first lease
+  /// containing spec_index and the worker dies that way, exactly once.
+  shard::FaultKind fault = shard::FaultKind::kNone;
+  std::size_t fault_spec = 0;
+  /// Fleet timing/retry knobs: --lease-timeout-ms, --hb-interval-ms,
+  /// --max-respawns, --backoff-ms, --lease-chunk.
+  shard::FleetTuning tuning;
 };
 
-/// True when this invocation is a shard worker: the sweep emits NDJSON
-/// records to stdout and the harness must suppress its human output
-/// (headers, tables, CSV) — a merged multi-process stream has no place
-/// for per-worker prose.
-inline bool stream_mode(const BenchOptions& opt) { return opt.shard_set; }
+/// True when this invocation is a shard or pull worker: the sweep emits
+/// NDJSON records (to stdout for --shard, over the transport for --pull)
+/// and the harness must suppress its human output (headers, tables, CSV)
+/// — a merged multi-process stream has no place for per-worker prose.
+inline bool stream_mode(const BenchOptions& opt) {
+  return opt.shard_set || !opt.pull_endpoint.empty();
+}
 
 /// Outcome of command-line parsing. Mains check `ok` and bail with
 /// usage_error() on failure instead of the library calling exit() — which
@@ -130,13 +160,16 @@ const char* usage_text();
 /// code 2 so mains can `return bench::usage_error(r);`.
 int usage_error(const ParseResult& r);
 
-/// Orchestrator entry point, called by every main straight after parsing:
-/// when --shards=N was given, re-invokes this binary N times with
-/// --shard=i/N (forwarding every other flag verbatim), merges the
-/// workers' NDJSON streams in spec order onto stdout, and returns the
-/// exit code for main to return. Returns nullopt when not in
-/// orchestrator mode. Workers inherit --threads: total parallelism is
-/// shards × threads.
+/// Coordinator entry point, called by every main straight after parsing:
+/// when --shards=N was given, runs the pull-based fleet coordinator
+/// (shard/coordinator.hpp) — N re-invocations of this binary as
+/// --pull=fd:3 workers over socketpairs (or N TCP workers with
+/// --listen), dynamic spec-index leases, heartbeat-deadline failure
+/// detection with bounded respawn, optional resume-from-store and
+/// deterministic fault injection — and merges the record streams in spec
+/// order onto stdout, byte-identical to `--shards=1`. Returns the exit
+/// code for main to return, or nullopt when not in coordinator mode.
+/// Workers inherit --threads: total parallelism is shards × threads.
 std::optional<int> maybe_orchestrate(int argc, char** argv,
                                      const ParseResult& parsed);
 
@@ -204,6 +237,17 @@ std::string curve_json(const std::vector<analysis::CurvePoint>& curve);
 /// "governor": "..."}. Written into every BENCH_*.json so wall-clock
 /// trajectory points recorded on different machines stay interpretable.
 std::string host_context_json();
+
+/// Pull-worker handshake for an empty sweep: connect, announce total 0,
+/// drain the fin. Without this a coordinator would wait out its
+/// handshake deadline on a worker that had nothing to do.
+int pull_empty_sweep(const BenchOptions& opt, const char* bench_name);
+
+/// Exit path for a pull worker that lost its coordinator mid-lease:
+/// stderr diagnostic, then _exit(1) — there is nobody left to stream
+/// records to, and the coordinator side already treats the closed
+/// connection as this worker's death.
+[[noreturn]] void pull_abort(const char* msg);
 
 /// Builds the full stream record for one reduced configuration: context
 /// envelope (the spec point's content plus the scale) wrapping the
@@ -290,6 +334,53 @@ int sharded_sweep(
       throw std::runtime_error(driver::spec_label(pt) + ": " + e.what());
     }
   };
+  if (!opt.pull_endpoint.empty()) {
+    // Pull-worker mode: lease spec-index ranges from the coordinator and
+    // stream each completed record back over the transport — the same
+    // formatted bytes --shard workers write to stdout, which is what
+    // keeps the coordinator's merged output byte-identical to --shards=1.
+    const auto ep = shard::parse_endpoint(opt.pull_endpoint);
+    if (!ep)
+      throw std::runtime_error("bad --pull endpoint: " + opt.pull_endpoint);
+    shard::PullWorker worker(*ep, bench_name, points.size());
+    if (!worker.ok()) return 1;
+    while (const auto lease = worker.next_lease()) {
+      std::vector<driver::SpecPoint> slice;
+      for (const auto& pt : points)
+        if (pt.index >= lease->lo && pt.index < lease->hi)
+          slice.push_back(pt);
+      const shard::FaultKind fault = worker.fault();
+      const std::size_t fault_spec = worker.fault_spec();
+      runner.map_reduce<Raw, R>(
+          slice, guarded, reduce,
+          [&](const driver::SpecPoint& pt, R&& r) {
+            const std::string line = shard::format_record(
+                bench_name,
+                make_stream_record<R>(
+                    pt, r, seed_of, metrics,
+                    obs_of ? obs_of(pt, r) : std::string(),
+                    obs_intervals_of ? obs_intervals_of(pt, r)
+                                     : std::string()));
+            if (fault != shard::FaultKind::kNone && pt.index == fault_spec) {
+              // The coordinator armed a deterministic fault on this very
+              // spec index (chaos harness) — die the requested way.
+              switch (fault) {
+                case shard::FaultKind::kWorkerExit: worker.fault_exit();
+                case shard::FaultKind::kWorkerHang: worker.fault_hang();
+                case shard::FaultKind::kTruncatedRecord:
+                  worker.fault_truncate(line);
+                case shard::FaultKind::kDroppedHeartbeat:
+                  worker.drop_heartbeats();
+                  break;
+                default: break;
+              }
+            }
+            if (!worker.emit_record(line, pt.index))
+              pull_abort("coordinator connection lost mid-lease");
+          });
+    }
+    return worker.transport_lost() ? 1 : 0;
+  }
   if (stream_mode(opt)) {
     shard::StreamSink sink(stdout, bench_name);
     // Progress telemetry on its own channel (heartbeat.hpp): the result
@@ -348,8 +439,11 @@ int run_reduced_sweep(
     const std::function<void(const driver::SpecPoint&, const R&)>&
         live_observe = {}) {
   // An empty selection is an empty sweep (the pre-refactor loops printed
-  // zero rows) — never a default "" spec point.
-  if (apps_selected.empty() || nodes.empty()) return 0;
+  // zero rows) — never a default "" spec point. A pull worker must still
+  // tell its coordinator so, or the fleet would wait out a deadline.
+  if (apps_selected.empty() || nodes.empty())
+    return opt.pull_endpoint.empty() ? 0
+                                     : pull_empty_sweep(opt, bench_name);
   driver::SweepSpec spec;
   for (const auto* app : apps_selected) spec.apps.push_back(app->name);
   spec.node_counts = nodes;

@@ -1,0 +1,152 @@
+# chaos_fleet.cmake — ctest script enforcing the fleet's fault-tolerance
+# contract for one harness:
+#
+#   1. an undisturbed `--shards=3` pull-fleet run is the byte reference;
+#   2. for every fault kind (worker-exit, worker-hang, truncated-record,
+#      dropped-heartbeat) a `--inject-fault=KIND@SPEC` run must recover —
+#      exit 0, report the recovery on stderr, and produce a merged stream
+#      BYTE-IDENTICAL to the reference (deaths must be invisible in the
+#      output);
+#   3. resume: the reference store truncated mid-record must scan as
+#      recoverable (`dsm_report resume` exits 1, names the gaps), and a
+#      `--resume=` fleet over it must complete it back to the exact
+#      reference bytes;
+#   4. the heartbeat tee and lease ledger side files must exist and the
+#      ledger must parse (CI uploads them as artifacts on failure).
+#
+# Variables: HARNESS (binary path), HARNESS_ARGS (;-list of flags),
+#            DSM_REPORT (dsm_report binary path), TAG (file-name tag),
+#            WORK_DIR (where the artifacts land).
+#
+# The deadline/backoff knobs are tuned small (2 s deadline, 100 ms beats)
+# so the worker-hang reap costs seconds, not the 30 s production default.
+
+set(ref "${WORK_DIR}/${TAG}_ref.ndjson")
+set(knobs
+  --lease-timeout-ms=2000 --hb-interval-ms=100 --backoff-ms=50)
+
+# 1. Undisturbed reference fleet.
+execute_process(
+  COMMAND ${HARNESS} ${HARNESS_ARGS} --shards=3
+  OUTPUT_FILE ${ref}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${HARNESS} --shards=3 exited with ${rc}")
+endif()
+file(READ ${ref} ref_bytes)
+if(ref_bytes STREQUAL "")
+  message(FATAL_ERROR "reference fleet stream ${ref} is empty")
+endif()
+file(STRINGS ${ref} ref_lines)
+list(LENGTH ref_lines total)
+
+# 2. Every fault kind must recover byte-identically. The fault spec index
+# sits mid-sweep so work exists on both sides of the death.
+math(EXPR fault_spec "${total} / 2")
+foreach(kind worker-exit worker-hang truncated-record dropped-heartbeat)
+  set(out "${WORK_DIR}/${TAG}_${kind}.ndjson")
+  set(err "${WORK_DIR}/${TAG}_${kind}.stderr")
+  set(hb "${WORK_DIR}/${TAG}_${kind}.hb")
+  set(ledger "${WORK_DIR}/${TAG}_${kind}.lease.ndjson")
+  execute_process(
+    COMMAND ${HARNESS} ${HARNESS_ARGS} --shards=3 ${knobs}
+      --inject-fault=${kind}@${fault_spec}
+      --heartbeat=${hb} --lease-log=${ledger}
+    OUTPUT_FILE ${out}
+    ERROR_FILE ${err}
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    file(READ ${err} err_bytes)
+    message(FATAL_ERROR
+      "fleet with --inject-fault=${kind}@${fault_spec} exited with ${rc} "
+      "(must recover and exit 0); stderr:\n${err_bytes}")
+  endif()
+  file(READ ${out} chaos_bytes)
+  if(NOT chaos_bytes STREQUAL ref_bytes)
+    message(FATAL_ERROR
+      "fleet recovered from ${kind} but the merged stream differs from "
+      "the undisturbed reference:\n  reference: ${ref}\n  chaos:     ${out}")
+  endif()
+  # The fault must be *visible* in the diagnostics — one that silently
+  # never fired would pass the byte compare while testing nothing. The
+  # three crash/wedge kinds also deterministically cost a worker death;
+  # dropped-heartbeat need not: lease grants restart the liveness clock,
+  # so a muted worker that keeps finishing leases inside the deadline
+  # completes the sweep without ever being reaped (the reap-at-deadline
+  # path is what worker-hang pins down).
+  file(READ ${err} err_bytes)
+  if(NOT err_bytes MATCHES "fleet: arming ${kind}@${fault_spec}")
+    message(FATAL_ERROR
+      "${kind} run never armed the fault; stderr:\n${err_bytes}")
+  endif()
+  if(NOT kind STREQUAL "dropped-heartbeat" AND
+     NOT err_bytes MATCHES "fleet: recovered")
+    message(FATAL_ERROR
+      "${kind} run recovered no death (did the fault fire?); "
+      "stderr:\n${err_bytes}")
+  endif()
+  # 4. Side-channel artifacts: the lease ledger must parse back through
+  # dsm_report, and at least one heartbeat tee file must exist.
+  execute_process(
+    COMMAND ${DSM_REPORT} progress --lease=${ledger}
+    OUTPUT_QUIET
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "dsm_report progress --lease=${ledger} exited with ${rc}")
+  endif()
+  file(GLOB hb_files "${hb}.*")
+  if(NOT hb_files)
+    message(FATAL_ERROR "${kind} run wrote no heartbeat tee files (${hb}.*)")
+  endif()
+endforeach()
+
+# 3. Resume: cut the reference store mid-record (a fleet killed while a
+# worker was writing), verify the scanner calls it recoverable and names
+# gaps, then complete it with a --resume fleet.
+set(partial "${WORK_DIR}/${TAG}_partial.ndjson")
+file(SIZE ${ref} ref_size)
+math(EXPR cut "${ref_size} - 40")
+file(READ ${ref} partial_bytes LIMIT ${cut})
+file(WRITE ${partial} "${partial_bytes}")
+
+execute_process(
+  COMMAND ${DSM_REPORT} resume --total=${total} ${partial}
+  OUTPUT_VARIABLE scan_out
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR
+    "dsm_report resume on a truncated store exited with ${rc} (want 1 = "
+    "gaps remain):\n${scan_out}")
+endif()
+if(NOT scan_out MATCHES "truncated final record")
+  message(FATAL_ERROR
+    "dsm_report resume did not flag the truncated tail:\n${scan_out}")
+endif()
+
+set(resumed "${WORK_DIR}/${TAG}_resumed.ndjson")
+execute_process(
+  COMMAND ${HARNESS} ${HARNESS_ARGS} --shards=2 ${knobs} --resume=${partial}
+  OUTPUT_FILE ${resumed}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--resume fleet exited with ${rc}")
+endif()
+file(READ ${resumed} resumed_bytes)
+if(NOT resumed_bytes STREQUAL ref_bytes)
+  message(FATAL_ERROR
+    "resumed fleet's completed store differs from the reference:\n"
+    "  reference: ${ref}\n  resumed:   ${resumed}")
+endif()
+execute_process(
+  COMMAND ${DSM_REPORT} resume --total=${total} ${resumed}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "completed store still reports gaps (dsm_report resume -> ${rc})")
+endif()
+
+message(STATUS "chaos fleet OK (${TAG}): ${total} specs; worker-exit, "
+               "worker-hang, truncated-record, dropped-heartbeat all "
+               "recovered byte-identically; truncated store resumed to "
+               "the reference bytes")

@@ -71,6 +71,41 @@ for arg in "$@"; do
   remote_cmd="$remote_cmd '$quoted'"
 done
 
+# Interrupted launches must not strand detached workers: on INT/TERM,
+# kill every still-running shard, report which ones were reaped (so the
+# user knows which NDJSON files are partial), and exit with the
+# conventional 128+signal code. The EXIT trap is cleared on the normal
+# path before the final report.
+launched=0
+cleanup() {
+  sig="$1"
+  reaped=""
+  i=0
+  while [ "$i" -lt "$launched" ]; do
+    eval "pid=\$pid_$i"
+    if kill -0 "$pid" 2>/dev/null; then
+      kill "$pid" 2>/dev/null || true
+      reaped="$reaped $i"
+    fi
+    i=$((i + 1))
+  done
+  # Collect the corpses so no zombie outlives the script.
+  i=0
+  while [ "$i" -lt "$launched" ]; do
+    eval "pid=\$pid_$i"
+    wait "$pid" 2>/dev/null || true
+    i=$((i + 1))
+  done
+  if [ -n "$reaped" ]; then
+    echo "launch_shards.sh: interrupted ($sig); reaped shards:$reaped" \
+         "(of $shards) — their NDJSON in $out is partial" >&2
+  else
+    echo "launch_shards.sh: interrupted ($sig); no shards left running" >&2
+  fi
+}
+trap 'cleanup INT; exit 130' INT
+trap 'cleanup TERM; exit 143' TERM
+
 i=0
 while [ "$i" -lt "$shards" ]; do
   file="$out/shard_$i.of$shards.ndjson"
@@ -90,6 +125,7 @@ while [ "$i" -lt "$shards" ]; do
     "$@" --shard="$i/$shards" > "$file" &
   fi
   eval "pid_$i=$!"
+  launched=$((launched + 1))
   i=$((i + 1))
 done
 
@@ -109,6 +145,7 @@ while [ "$i" -lt "$shards" ]; do
   fi
   i=$((i + 1))
 done
+trap - INT TERM
 if [ "$rc" -ne 0 ]; then
   echo "launch_shards.sh: failed shards:$failed (of $shards); partial" \
        "NDJSON kept in $out for inspection" >&2

@@ -141,7 +141,16 @@ bool RecordReader::next(RecordView* out) {
 
   std::string why;
   if (!read_record(line, out, &why)) {
-    error_ = "line " + std::to_string(line_no_) + ": " + why;
+    if (source_->truncated()) {
+      // The file's writer died mid-record: a *recoverable* defect (the
+      // index is simply missing; `dsm_report resume` / a resumed fleet
+      // re-runs it), reported distinctly from real corruption.
+      error_ = "line " + std::to_string(line_no_) +
+               ": truncated final record (the writing worker crashed "
+               "mid-write; recoverable — resume re-runs its index)";
+    } else {
+      error_ = "line " + std::to_string(line_no_) + ": " + why;
+    }
     return false;
   }
 

@@ -20,7 +20,10 @@ bool FileLineSource::next(std::string& line) {
   const ssize_t n = ::getline(&buf_, &cap_, f_);
   if (n < 0) return false;  // EOF (or read error; caller checks status)
   line.assign(buf_, static_cast<std::size_t>(n));
-  if (!line.empty() && line.back() == '\n') line.pop_back();
+  // A final line with no terminator means the writer died mid-record —
+  // remember it so readers can report truncation, not corruption.
+  truncated_ = line.empty() || line.back() != '\n';
+  if (!truncated_) line.pop_back();
   return true;
 }
 
@@ -39,7 +42,17 @@ bool advance(Head& h, std::string* error) {
   if (!h.active) return true;
   const auto parsed = parse_record(h.line);
   if (!parsed) {
-    *error = "unparsable stream record: " + h.line;
+    if (h.source->truncated()) {
+      // Distinct from corruption: the writer crashed mid-record. The
+      // partial record's index is still a gap — recoverable via
+      // `--resume` / `dsm_report resume` — but a *merge* must refuse:
+      // its output claims to be the complete stream.
+      *error = "stream ends with a truncated record (worker crashed "
+               "mid-write; re-run the missing index or resume): " +
+               h.line;
+    } else {
+      *error = "unparsable stream record: " + h.line;
+    }
     return false;
   }
   h.index = parsed->record.spec_index;

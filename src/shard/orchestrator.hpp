@@ -31,6 +31,11 @@ class LineSource {
  public:
   virtual ~LineSource() = default;
   virtual bool next(std::string& line) = 0;
+  /// True when the most recent line had no terminator — the stream's
+  /// writer died mid-record. Readers use it for a *distinct* diagnostic:
+  /// a truncated final line is recoverable (resume re-runs its index),
+  /// unlike corruption anywhere else.
+  virtual bool truncated() const { return false; }
 };
 
 /// Blocking line reader over a FILE* (a worker pipe, a collected shard
@@ -45,7 +50,8 @@ class FileLineSource : public LineSource {
   // buf_ is a raw getline() buffer: movable (vector storage), never
   // copyable (a copy would double-free it).
   FileLineSource(FileLineSource&& other) noexcept
-      : f_(other.f_), buf_(other.buf_), cap_(other.cap_) {
+      : f_(other.f_), buf_(other.buf_), cap_(other.cap_),
+        truncated_(other.truncated_) {
     other.buf_ = nullptr;
     other.cap_ = 0;
   }
@@ -54,11 +60,13 @@ class FileLineSource : public LineSource {
   FileLineSource& operator=(FileLineSource&&) = delete;
 
   bool next(std::string& line) override;
+  bool truncated() const override { return truncated_; }
 
  private:
   std::FILE* f_;
   char* buf_ = nullptr;
   std::size_t cap_ = 0;
+  bool truncated_ = false;
 };
 
 /// K-way merges per-worker record streams (each already in increasing

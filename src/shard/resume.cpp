@@ -1,0 +1,80 @@
+#include "shard/resume.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "shard/stream_sink.hpp"
+
+namespace dsm::shard {
+
+StoreScan scan_store(const std::string& path) {
+  StoreScan scan;
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    scan.ok = true;  // no store yet: resuming from nothing is a fresh run
+    return scan;
+  }
+  char* buf = nullptr;
+  std::size_t cap = 0;
+  std::string line;
+  bool pending = false;  // a not-yet-absorbed line is buffered in `line`
+  std::size_t line_no = 0;
+
+  auto absorb = [&](bool is_final) -> bool {
+    const auto parsed = parse_record(line);
+    if (!parsed) {
+      if (is_final) {
+        // The writer died mid-record: unusable but recoverable — the
+        // index is simply still a gap. (A terminated-but-unparsable final
+        // line gets the same treatment: a crash can land after the '\n'
+        // of the previous record and before this one finished.)
+        scan.truncated_tail = true;
+        scan.tail = line;
+        return true;
+      }
+      scan.error = "store line " + std::to_string(line_no) +
+                   " is unparsable (not a truncated tail — the store is "
+                   "corrupt): " +
+                   line;
+      return false;
+    }
+    if (scan.records.empty() && scan.duplicates == 0) {
+      scan.bench = parsed->bench;
+    } else if (parsed->bench != scan.bench) {
+      scan.error = "store mixes bench '" + scan.bench + "' with '" +
+                   parsed->bench + "' (line " + std::to_string(line_no) + ")";
+      return false;
+    }
+    const std::size_t idx = parsed->record.spec_index;
+    if (!scan.records.emplace(idx, line).second) ++scan.duplicates;
+    return true;
+  };
+
+  bool ok = true;
+  for (;;) {
+    const ssize_t n = ::getline(&buf, &cap, f);
+    if (n < 0) break;
+    if (pending && !(ok = absorb(false))) break;
+    line.assign(buf, static_cast<std::size_t>(n));
+    if (!line.empty() && line.back() == '\n') line.pop_back();
+    pending = true;
+    ++line_no;
+  }
+  if (ok && pending) ok = absorb(true);
+  std::free(buf);
+  std::fclose(f);
+  scan.ok = ok;
+  return scan;
+}
+
+std::vector<std::size_t> store_gaps(const StoreScan& scan, std::size_t total) {
+  std::vector<std::size_t> gaps;
+  auto it = scan.records.begin();
+  for (std::size_t i = 0; i < total; ++i) {
+    while (it != scan.records.end() && it->first < i) ++it;
+    if (it == scan.records.end() || it->first != i) gaps.push_back(i);
+  }
+  return gaps;
+}
+
+}  // namespace dsm::shard

@@ -1,0 +1,46 @@
+// resume.hpp — machine-consumable scan of an NDJSON record store, so a
+// restarted fleet can mark complete spec indices done and lease only the
+// gaps (what `dsm_report validate` diagnoses for humans, as data).
+//
+// A store written by a fleet that was killed mid-run has three flavors of
+// damage this scanner must distinguish:
+//   * missing indices (gaps) — the work that still needs leasing;
+//   * a truncated final line — the writing process died mid-record; the
+//     partial record is unusable but *recoverable* (its index is simply
+//     re-run), so it is reported separately, never a hard error;
+//   * a malformed line anywhere else — real corruption; hard error,
+//     because silently resuming over it could bless a damaged store.
+// Duplicate indices keep the first occurrence (first-complete-wins, the
+// same rule the live coordinator applies) and are counted.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dsm::shard {
+
+/// Result of scanning one store file.
+struct StoreScan {
+  bool ok = false;          ///< false: `error` holds a hard diagnostic
+  std::string error;
+  std::string bench;        ///< from the first record ("" when empty)
+  /// Complete records by spec index, verbatim lines, first-wins.
+  std::map<std::size_t, std::string> records;
+  std::size_t duplicates = 0;    ///< later same-index records discarded
+  bool truncated_tail = false;   ///< final line had no terminator / failed
+                                 ///< to parse (crash mid-write)
+  std::string tail;              ///< the truncated bytes (diagnostic)
+};
+
+/// Scans `path`. A missing file is ok (empty scan: resuming from nothing
+/// is a fresh run). Records from a different bench than the first are a
+/// hard error — one store holds one harness's sweep.
+StoreScan scan_store(const std::string& path);
+
+/// Spec indices in [0, total) with no record in `scan` — what a resumed
+/// fleet must lease.
+std::vector<std::size_t> store_gaps(const StoreScan& scan, std::size_t total);
+
+}  // namespace dsm::shard

@@ -44,10 +44,21 @@
 //       both fields are present. --chrome additionally emits Chrome
 //       counter ("C") events that overlay `dsm_report trace` output.
 //
-//   dsm_report progress hb.ndjson ...
+//   dsm_report progress [--lease=FILE] hb.ndjson ...
 //       Renders a fleet status table from collected worker heartbeat
 //       files (bench --heartbeat=FILE / launch_shards.sh): per worker
-//       done/total, last spec index, wall time, peak RSS.
+//       done/total, last spec index, wall time, peak RSS, and the age of
+//       the file's last write — a worker whose heartbeat file stopped
+//       aging out is wedged. With --lease=FILE (the coordinator's
+//       --lease-log ledger) also prints each worker's lease state
+//       (leased/retrying/dead/done), current range, and respawn count.
+//
+//   dsm_report resume --total=N store.ndjson
+//       Dry-run of the fleet's --resume=FILE scan: reports the complete
+//       records, duplicates, a truncated final record (crash mid-write,
+//       recoverable), and the gap spec indices a resumed fleet would
+//       lease. Exits 0 when the store already covers [0,N), 1 when gaps
+//       remain, 2 on hard corruption.
 //
 //   dsm_report trace [--validate] trace.bin
 //       Converts a binary event-trace dump (bench --trace=FILE) to Chrome
@@ -56,11 +67,15 @@
 //       structurally and prints a per-node summary instead; conversion
 //       prints per-node drop counts and ring utilization to stderr so an
 //       overflowed ring is never a silently truncated timeline.
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -68,8 +83,10 @@
 #include "report/record_reader.hpp"
 #include "report/renderer.hpp"
 #include "report/timeline.hpp"
+#include "shard/fleet_msg.hpp"
 #include "shard/heartbeat.hpp"
 #include "shard/orchestrator.hpp"
+#include "shard/resume.hpp"
 #include "shard/shard_plan.hpp"
 
 namespace {
@@ -95,8 +112,15 @@ int usage(const char* argv0) {
       "                             render phase-attributed interval\n"
       "                             timelines (--obs-intervals records);\n"
       "                             --chrome also emits counter events\n"
-      "  progress FILE...           fleet status table from worker\n"
-      "                             heartbeat files (bench --heartbeat)\n"
+      "  progress [--lease=FILE] FILE...\n"
+      "                             fleet status table from worker\n"
+      "                             heartbeat files (bench --heartbeat),\n"
+      "                             with last-write age; --lease adds the\n"
+      "                             coordinator's lease-ledger state\n"
+      "  resume --total=N FILE      dry-run the fleet's --resume scan:\n"
+      "                             complete records, duplicates, a\n"
+      "                             truncated tail, and the gap indices a\n"
+      "                             resumed fleet would lease\n"
       "  trace [--validate] FILE    convert a binary event trace (bench\n"
       "                             --trace=FILE) to Chrome trace JSON;\n"
       "                             --validate checks + summarizes instead\n",
@@ -456,10 +480,36 @@ int cmd_timeline(const std::vector<std::string>& args) {
   return report::render_timeline(source, opt, stdout);
 }
 
+/// Age of `path`'s last write, as "3s"/"5m"/"2h" — the liveness signal a
+/// human reads off the table: a heartbeat file that stopped aging out
+/// means its worker is wedged (or done). "-" when unstattable.
+std::string file_age(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return "-";
+  const std::time_t now = std::time(nullptr);
+  long age = static_cast<long>(now - st.st_mtime);
+  if (age < 0) age = 0;
+  char buf[32];
+  if (age < 120)
+    std::snprintf(buf, sizeof buf, "%lds", age);
+  else if (age < 7200)
+    std::snprintf(buf, sizeof buf, "%ldm", age / 60);
+  else
+    std::snprintf(buf, sizeof buf, "%ldh", age / 3600);
+  return buf;
+}
+
 int cmd_progress(const std::vector<std::string>& args) {
   std::vector<std::string> files;
+  std::string lease_path;
   for (const auto& a : args) {
-    if (!a.empty() && a[0] != '-') {
+    if (a.rfind("--lease=", 0) == 0) {
+      lease_path = a.substr(8);
+      if (lease_path.empty()) {
+        std::fprintf(stderr, "dsm_report progress: empty --lease path\n");
+        return 2;
+      }
+    } else if (!a.empty() && a[0] != '-') {
       files.push_back(a);
     } else {
       std::fprintf(stderr, "dsm_report progress: unknown option %s\n",
@@ -467,51 +517,188 @@ int cmd_progress(const std::vector<std::string>& args) {
       return 2;
     }
   }
-  if (files.empty()) {
-    std::fprintf(stderr, "dsm_report progress: no heartbeat files\n");
+  if (files.empty() && lease_path.empty()) {
+    std::fprintf(stderr,
+                 "dsm_report progress: no heartbeat files (and no --lease)\n");
     return 2;
   }
-  std::printf("%-28s %-20s %10s %6s %10s %10s %10s %s\n", "file", "bench",
-              "shard", "done", "total", "wall_ms", "rss_kb", "state");
+
   std::size_t alive = 0;
   std::uint64_t fleet_done = 0, fleet_total = 0;
-  for (const auto& path : files) {
-    OpenFile in;
-    if (!open_input(path, &in)) {
-      std::printf("%-28s %-20s %10s %6s %10s %10s %10s %s\n", path.c_str(),
-                  "-", "-", "-", "-", "-", "-", "missing");
-      continue;
+  if (!files.empty()) {
+    std::printf("%-28s %-20s %8s %6s %8s %9s %9s %5s %s\n", "file", "bench",
+                "shard", "done", "total", "wall_ms", "rss_kb", "age",
+                "state");
+    for (const auto& path : files) {
+      OpenFile in;
+      if (!open_input(path, &in)) {
+        std::printf("%-28s %-20s %8s %6s %8s %9s %9s %5s %s\n", path.c_str(),
+                    "-", "-", "-", "-", "-", "-", "-", "missing");
+        continue;
+      }
+      // Last parsable line = the worker's current state.
+      shard::Heartbeat hb;
+      bool have = false;
+      {
+        shard::FileLineSource source(in.f);
+        shard::Heartbeat parsed;
+        for (std::string line; source.next(line);)
+          if (shard::parse_heartbeat(line, &parsed)) {
+            hb = parsed;
+            have = true;
+          }
+      }
+      if (!have) {
+        std::printf("%-28s %-20s %8s %6s %8s %9s %9s %5s %s\n", path.c_str(),
+                    "-", "-", "-", "-", "-", "-", "-", "unparsable");
+        continue;
+      }
+      ++alive;
+      fleet_done += hb.done;
+      fleet_total += hb.total;
+      std::printf("%-28s %-20s %8s %6" PRIu64 " %8" PRIu64 " %9" PRIu64
+                  " %9" PRIu64 " %5s %s\n",
+                  path.c_str(), hb.bench.c_str(), hb.shard.c_str(), hb.done,
+                  hb.total, hb.wall_ms, hb.maxrss_kb, file_age(path).c_str(),
+                  hb.done >= hb.total ? "done" : "running");
     }
-    // Last parsable line = the worker's current state.
-    shard::Heartbeat hb;
-    bool have = false;
+    std::printf("fleet: %zu/%zu workers reporting, %" PRIu64 "/%" PRIu64
+                " specs done\n",
+                alive, files.size(), fleet_done, fleet_total);
+  }
+
+  if (!lease_path.empty()) {
+    OpenFile in;
+    if (!open_input(lease_path, &in)) return 1;
+    // Last event per worker slot = its current lease state; the ledger
+    // is append-only so a plain forward scan suffices.
+    std::map<std::uint64_t, shard::LeaseEvent> last;
+    std::map<std::uint64_t, std::uint64_t> leases_taken;
+    std::size_t bad_lines = 0;
     {
       shard::FileLineSource source(in.f);
-      shard::Heartbeat parsed;
-      for (std::string line; source.next(line);)
-        if (shard::parse_heartbeat(line, &parsed)) {
-          hb = parsed;
-          have = true;
+      shard::LeaseEvent ev;
+      for (std::string line; source.next(line);) {
+        if (!shard::parse_lease_event(line, &ev)) {
+          ++bad_lines;
+          continue;
         }
+        if (ev.state == "leased") ++leases_taken[ev.worker];
+        last[ev.worker] = ev;
+      }
     }
-    if (!have) {
-      std::printf("%-28s %-20s %10s %6s %10s %10s %10s %s\n", path.c_str(),
-                  "-", "-", "-", "-", "-", "-", "unparsable");
-      continue;
+    if (last.empty()) {
+      std::fprintf(stderr,
+                   "dsm_report progress: %s: no lease events (is this a "
+                   "--lease-log file?)\n",
+                   lease_path.c_str());
+      return 1;
     }
-    ++alive;
-    fleet_done += hb.done;
-    fleet_total += hb.total;
-    std::printf("%-28s %-20s %10s %6" PRIu64 " %10" PRIu64 " %10" PRIu64
-                " %10" PRIu64 " %s\n",
-                path.c_str(), hb.bench.c_str(), hb.shard.c_str(), hb.done,
-                hb.total, hb.wall_ms, hb.maxrss_kb,
-                hb.done >= hb.total ? "done" : "running");
+    if (bad_lines > 0)
+      std::fprintf(stderr,
+                   "dsm_report progress: %s: skipped %zu unparsable lines\n",
+                   lease_path.c_str(), bad_lines);
+    std::printf("%slease ledger (%s):\n", files.empty() ? "" : "\n",
+                lease_path.c_str());
+    std::printf("%8s %-10s %16s %8s %8s %10s\n", "worker", "state",
+                "lease", "leases", "retries", "wall_ms");
+    for (const auto& [worker, ev] : last) {
+      char range[32];
+      if (ev.state == "leased")
+        std::snprintf(range, sizeof range, "[%" PRIu64 ",%" PRIu64 ")",
+                      ev.lo, ev.hi);
+      else
+        std::snprintf(range, sizeof range, "-");
+      std::printf("%8" PRIu64 " %-10s %16s %8" PRIu64 " %8" PRIu64
+                  " %10" PRIu64 "\n",
+                  worker, ev.state.c_str(), range, leases_taken[worker],
+                  ev.retries, ev.wall_ms);
+    }
   }
-  std::printf("fleet: %zu/%zu workers reporting, %" PRIu64 "/%" PRIu64
-              " specs done\n",
-              alive, files.size(), fleet_done, fleet_total);
-  return alive == 0 ? 1 : 0;
+  return (files.empty() || alive > 0) ? 0 : 1;
+}
+
+int cmd_resume(const std::vector<std::string>& args) {
+  std::string path;
+  std::uint64_t total = 0;
+  bool have_total = false;
+  for (const auto& a : args) {
+    if (a.rfind("--total=", 0) == 0) {
+      char* end = nullptr;
+      total = std::strtoull(a.c_str() + 8, &end, 10);
+      if (end == a.c_str() + 8 || *end != '\0') {
+        std::fprintf(stderr, "dsm_report resume: bad --total value\n");
+        return 2;
+      }
+      have_total = true;
+    } else if (!a.empty() && a[0] != '-') {
+      if (!path.empty()) {
+        std::fprintf(stderr,
+                     "dsm_report resume: exactly one store file (got '%s' "
+                     "and '%s')\n",
+                     path.c_str(), a.c_str());
+        return 2;
+      }
+      path = a;
+    } else {
+      std::fprintf(stderr, "dsm_report resume: unknown option %s\n",
+                   a.c_str());
+      return 2;
+    }
+  }
+  if (path.empty() || !have_total) {
+    std::fprintf(stderr,
+                 "dsm_report resume: need --total=N (the sweep size — the "
+                 "harness prints it as 'N/N specs merged') and a store "
+                 "file\n");
+    return 2;
+  }
+  const shard::StoreScan scan = shard::scan_store(path);
+  if (!scan.ok) {
+    std::fprintf(stderr, "dsm_report resume: %s: %s\n", path.c_str(),
+                 scan.error.c_str());
+    return 2;
+  }
+  const std::string bench_note =
+      scan.bench.empty() ? "" : ", bench '" + scan.bench + "'";
+  std::printf("%s: %zu complete records%s\n", path.c_str(),
+              scan.records.size(), bench_note.c_str());
+  if (scan.duplicates > 0)
+    std::printf("  %zu duplicate record(s) discarded (first-complete-wins)\n",
+                scan.duplicates);
+  if (scan.truncated_tail)
+    std::printf("  truncated final record (%zu bytes) — a worker died "
+                "mid-write; recoverable, its index is a gap\n",
+                scan.tail.size());
+  const auto gaps =
+      shard::store_gaps(scan, static_cast<std::size_t>(total));
+  if (gaps.empty()) {
+    std::printf("  store covers [0,%" PRIu64 "): nothing to resume\n", total);
+    return 0;
+  }
+  // Print the gaps as compressed ranges: thousands of missing indices
+  // must not scroll the useful summary away.
+  std::printf("  %zu gap(s) a resumed fleet would lease:", gaps.size());
+  std::size_t run_lo = gaps[0], run_hi = gaps[0];
+  auto flush = [&] {
+    if (run_lo == run_hi)
+      std::printf(" %zu", run_lo);
+    else
+      std::printf(" %zu-%zu", run_lo, run_hi);
+  };
+  for (std::size_t i = 1; i < gaps.size(); ++i) {
+    if (gaps[i] == run_hi + 1) {
+      run_hi = gaps[i];
+    } else {
+      flush();
+      run_lo = run_hi = gaps[i];
+    }
+  }
+  flush();
+  std::printf("\n  resume with: <harness> --shards=N --resume=%s > "
+              "complete.ndjson\n",
+              path.c_str());
+  return 1;
 }
 
 /// DataSource names in coh::DataSource declaration order — kept as a
@@ -727,6 +914,7 @@ int main(int argc, char** argv) {
   if (cmd == "stats") return cmd_stats(args);
   if (cmd == "timeline") return cmd_timeline(args);
   if (cmd == "progress") return cmd_progress(args);
+  if (cmd == "resume") return cmd_resume(args);
   if (cmd == "trace") return cmd_trace(args);
   std::fprintf(stderr, "dsm_report: unknown command '%s'\n", cmd.c_str());
   return usage(argv[0]);
